@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``test_fig*.py`` module regenerates one figure of the paper's
+evaluation (§4) and asserts its *shape* claims — who wins, in which
+direction the trend runs, and that the overheads stay bounded.  Absolute
+numbers differ from the paper's ns2/GT-ITM testbed; EXPERIMENTS.md records
+the measured values side by side with the paper's.
+
+Scale: the paper uses 100 scenarios per configuration point.  The benches
+default to a reduced grid (set ``REPRO_BENCH_FULL=1`` to run the paper's
+full grid) so that ``pytest benchmarks/ --benchmark-only`` completes in a
+few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Paper-scale grid: 10 topologies x 10 member sets per point.
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+TOPOLOGIES = 10 if FULL else 6
+MEMBER_SETS = 10 if FULL else 3
+
+
+@pytest.fixture(scope="session")
+def grid() -> tuple[int, int]:
+    return TOPOLOGIES, MEMBER_SETS

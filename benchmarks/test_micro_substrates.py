@@ -1,0 +1,73 @@
+"""Micro-benchmarks for the substrates (multi-round timings).
+
+These are conventional performance benchmarks (Dijkstra, joins, topology
+generation, DES throughput) rather than figure reproductions; they guard
+against performance regressions that would make the paper-scale sweeps
+impractical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.waxman import WaxmanConfig, waxman_topology
+from repro.core.protocol import SMRPConfig, SMRPProtocol
+from repro.multicast.spf_protocol import SPFMulticastProtocol
+from repro.routing.spf import dijkstra
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture(scope="module")
+def topology100():
+    return waxman_topology(WaxmanConfig(n=100, alpha=0.2, beta=0.25, seed=0)).topology
+
+
+def test_dijkstra_100_nodes(benchmark, topology100):
+    result = benchmark(lambda: dijkstra(topology100, 0))
+    assert len(result.dist) == 100
+
+
+def test_waxman_generation(benchmark):
+    result = benchmark(
+        lambda: waxman_topology(WaxmanConfig(n=100, alpha=0.2, beta=0.25, seed=1))
+    )
+    assert result.topology.is_connected()
+
+
+def test_spf_tree_construction(benchmark, topology100):
+    members = [int(m) for m in np.random.default_rng(5).choice(99, 30, False) + 1]
+
+    def build():
+        return SPFMulticastProtocol(topology100, 0, self_check=False).build(members)
+
+    tree = benchmark(build)
+    assert len(tree.members) == 30
+
+
+def test_smrp_tree_construction(benchmark, topology100):
+    members = [int(m) for m in np.random.default_rng(5).choice(99, 30, False) + 1]
+
+    def build():
+        proto = SMRPProtocol(
+            topology100, 0, config=SMRPConfig(self_check=False)
+        )
+        return proto.build(members)
+
+    tree = benchmark(build)
+    assert len(tree.members) == 30
+
+
+def test_des_event_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000

@@ -1,0 +1,122 @@
+"""Extension — sequential persistent failures and repeated repair.
+
+The paper evaluates a single worst-case failure per member.  Persistent
+failures accumulate in practice (each "usually lasts for hours", §1), so
+a survivable protocol must keep working on an already-degraded network.
+This bench injects a *sequence* of failures — each time cutting the
+current tree's most-loaded link — repairs after every hit, and tracks:
+
+- service continuity (members still fed after each round),
+- cumulative restoration effort (new links brought in),
+- whether SMRP's repaired trees keep beating the SPF baseline's.
+"""
+
+import numpy as np
+
+from repro.graph.waxman import WaxmanConfig, waxman_topology
+from repro.core.protocol import SMRPConfig, SMRPProtocol
+from repro.core.recovery import repair_tree
+from repro.core.shr import link_utilisation
+from repro.multicast.spf_protocol import SPFMulticastProtocol
+from repro.multicast.validation import check_tree_invariants
+from repro.routing.failure_view import NO_FAILURES, FailureSet
+
+
+def run_sequence(seed: int, rounds: int = 4):
+    topology = waxman_topology(
+        WaxmanConfig(n=100, alpha=0.25, beta=0.25, seed=seed)
+    ).topology
+    rng = np.random.default_rng(seed + 600)
+    members = [int(m) for m in rng.choice(range(1, 100), 25, replace=False)]
+
+    outcomes = {}
+    for name, tree, strategy in (
+        (
+            "smrp",
+            SMRPProtocol(topology, 0, config=SMRPConfig(self_check=False)).build(
+                members
+            ),
+            "local",
+        ),
+        (
+            "spf",
+            SPFMulticastProtocol(topology, 0, self_check=False).build(members),
+            "global",
+        ),
+    ):
+        failures = NO_FAILURES
+        served_history = []
+        total_effort = 0.0
+        for _ in range(rounds):
+            utilisation = link_utilisation(tree)
+            if not utilisation:
+                break
+            # Cut the most-loaded live link (ties by key): the failure
+            # that hurts the most members at once.
+            target = max(sorted(utilisation), key=lambda e: utilisation[e])
+            failures = failures.union(FailureSet.links(target))
+            report = repair_tree(topology, tree, failures, strategy=strategy)
+            tree = report.repaired_tree
+            check_tree_invariants(tree)
+            total_effort += report.total_recovery_distance
+            served_history.append(len(tree.members))
+        outcomes[name] = {
+            "served": served_history,
+            "effort": total_effort,
+            "final_members": len(tree.members),
+        }
+    return len(members), outcomes
+
+
+def test_sequential_failures(benchmark):
+    group_size, outcomes = benchmark.pedantic(
+        lambda: run_sequence(seed=2), rounds=1, iterations=1
+    )
+    smrp, spf = outcomes["smrp"], outcomes["spf"]
+    print(
+        f"\nserved members per round (of {group_size}):"
+        f"\n  SMRP: {smrp['served']}  repair effort {smrp['effort']:.0f}"
+        f"\n  SPF:  {spf['served']}  repair effort {spf['effort']:.0f}"
+    )
+    # Service continuity: neither protocol loses a large fraction of the
+    # group to four sequential worst-link failures.
+    assert smrp["final_members"] >= group_size * 0.8
+    # SMRP's spread trees localize each hit: per-round service never dips
+    # below SPF's by more than the odd bridge member.
+    for a, b in zip(smrp["served"], spf["served"]):
+        assert a >= b - 2
+    # And the cumulative repair effort stays no worse than the baseline's
+    # within a modest factor (its detours are short by construction).
+    assert smrp["effort"] <= spf["effort"] * 1.5
+
+
+def test_many_seeds_stability(benchmark):
+    """Across several topologies, SMRP's post-repair service never falls
+    below the baseline's.
+
+    (When the cut link is a bridge isolating the source itself — a
+    topology artifact, not a protocol property — *no* scheme can serve
+    anyone; such seeds are reported but only compared relatively.)
+    """
+
+    def run():
+        rows = []
+        for seed in range(5):
+            group_size, outcomes = run_sequence(seed=seed, rounds=3)
+            rows.append(
+                (
+                    outcomes["smrp"]["final_members"] / group_size,
+                    outcomes["spf"]["final_members"] / group_size,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\nfinal served fraction per seed (SMRP vs SPF): "
+        + ", ".join(f"{a:.2f}/{b:.2f}" for a, b in rows)
+    )
+    for smrp_frac, spf_frac in rows:
+        assert smrp_frac >= spf_frac - 0.1
+    survivable = [a for a, b in rows if b > 0]
+    assert survivable and min(survivable) > 0.7

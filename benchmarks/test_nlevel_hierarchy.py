@@ -1,0 +1,98 @@
+"""Extension — the N-level generalization of §3.3.3.
+
+The paper: the 2-level architecture "can be easily generalized into an
+N-level architecture" and failures are confined to the recovery domain
+they occur in.  This bench builds a 3-level hierarchy and verifies:
+
+- cross-branch traffic meets at the lowest common ancestor domain (data
+  never climbs higher than necessary),
+- a leaf-domain failure reconfigures exactly that leaf domain — the
+  scope *shrinks* as depth grows, because domains get smaller,
+- a mid-level failure spares every leaf domain's tree.
+"""
+
+import numpy as np
+
+from repro.graph.nlevel import LevelSpec, n_level_topology
+from repro.core.nlevel import NLevelMulticast
+from repro.core.protocol import SMRPConfig
+from repro.routing.failure_view import FailureSet
+
+
+def build_session(seed: int = 7):
+    network = n_level_topology(
+        [
+            LevelSpec(size=4, fanout=3, alpha=0.9, scale=150.0),
+            LevelSpec(size=5, fanout=3, alpha=0.8, scale=60.0),
+            LevelSpec(size=7, fanout=0, alpha=0.7, scale=25.0),
+        ],
+        seed=seed,
+    )
+    leaves = network.leaf_domains()
+    rng = np.random.default_rng(seed + 1)
+    source_leaf = leaves[0]
+    source = min(n for n in source_leaf.nodes if n != source_leaf.gateway)
+    session = NLevelMulticast(network, source, config=SMRPConfig(d_thresh=0.5))
+    members = []
+    for leaf in leaves[1:]:
+        candidates = sorted(n for n in leaf.nodes if n != leaf.gateway)
+        member = int(candidates[int(rng.integers(len(candidates)))])
+        session.join(member)
+        members.append(member)
+    return network, session, members
+
+
+def test_nlevel_confinement(benchmark):
+    network, session, members = benchmark.pedantic(
+        build_session, rounds=1, iterations=1
+    )
+    total = network.topology.num_nodes
+    print(
+        f"\n3-level hierarchy: {total} nodes, "
+        f"{len(network.domains)} domains, "
+        f"{len(session.active_domains())} active"
+    )
+
+    # 1. LCA routing: a sibling-leaf member's chain avoids the root.
+    sibling_leaf = network.leaf_domains()[1]
+    sibling_member = next(
+        m for m in members if network.domain_of[m] == sibling_leaf.domain_id
+    )
+    lca = network.lowest_common_ancestor(
+        session.source_domain_id, sibling_leaf.domain_id
+    )
+    assert network.domains[lca].level == 1  # meets at the mid level
+    assert session.end_to_end_delay(sibling_member) > 0
+
+    # 2. Leaf failure confined to one (small) leaf domain.
+    victim = members[-1]
+    leaf_id = network.domain_of[victim]
+    tree = session.protocol(leaf_id).tree
+    path = tree.path_from_source(victim)
+    report = session.recover(FailureSet.links((path[0], path[1])))
+    assert set(report.domains_reconfigured) <= {leaf_id}
+    if report.domains_reconfigured:
+        leaf_size = len(network.domains[leaf_id].nodes)
+        print(
+            f"leaf failure scope: {report.scope_nodes}/{total} nodes "
+            f"(domain size {leaf_size})"
+        )
+        assert report.scope_nodes <= leaf_size + 3  # + child gateways, none here
+        assert report.scope_nodes < total / 5
+
+    # 3. Mid-level failure spares the leaf trees.
+    mid_id = network.root.children[0]
+    if mid_id in session.active_domains():
+        mid_tree = session.protocol(mid_id).tree
+        links = sorted(mid_tree.tree_links())
+        leaf_trees_before = {
+            d: session.protocol(d).tree.tree_links()
+            for d in session.active_domains()
+            if network.domains[d].is_leaf
+        }
+        report2 = session.recover(FailureSet.links(links[0]))
+        assert all(
+            not network.domains[d].is_leaf for d in report2.domains_reconfigured
+        )
+        for d, before in leaf_trees_before.items():
+            assert session.protocol(d).tree.tree_links() == before

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures``
+    Regenerate the paper's evaluation figures (7–10) as text tables.
+``scenario``
+    Run a single seeded scenario and print the per-member comparison of
+    SMRP against the SPF baseline.
+``simulate``
+    Run the message-level simulator on a random topology, optionally
+    injecting a worst-case failure, and print the event summary.
+``info``
+    Version and component inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SMRP (Wu & Shin, DSN 2005) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate evaluation figures")
+    figures.add_argument("--quick", action="store_true",
+                         help="reduced grid (4x2 scenarios per point)")
+    figures.add_argument("--figure", type=int, choices=[7, 8, 9, 10],
+                         help="only this figure")
+
+    scenario = sub.add_parser("scenario", help="run one seeded scenario")
+    scenario.add_argument("--n", type=int, default=100)
+    scenario.add_argument("--group-size", type=int, default=30)
+    scenario.add_argument("--alpha", type=float, default=0.2)
+    scenario.add_argument("--d-thresh", type=float, default=0.3)
+    scenario.add_argument("--topology-seed", type=int, default=0)
+    scenario.add_argument("--member-seed", type=int, default=0)
+    scenario.add_argument("--knowledge", choices=["full", "query"],
+                          default="full")
+    scenario.add_argument("--no-reshape", action="store_true")
+
+    simulate = sub.add_parser("simulate", help="message-level simulation")
+    simulate.add_argument("--n", type=int, default=40)
+    simulate.add_argument("--members", type=int, default=6)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument("--d-thresh", type=float, default=0.3)
+    simulate.add_argument("--fail-worst", action="store_true",
+                          help="inject the first member's worst-case failure")
+
+    sub.add_parser("info", help="version and component inventory")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "figures": _cmd_figures,
+        "scenario": _cmd_scenario,
+        "simulate": _cmd_simulate,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.fig7 import run_figure7
+    from repro.experiments.fig8 import run_figure8
+    from repro.experiments.fig9 import run_figure9
+    from repro.experiments.fig10 import run_figure10
+
+    topologies, member_sets = (4, 2) if args.quick else (10, 10)
+    runs = {
+        7: lambda: run_figure7(topologies=5),
+        8: lambda: run_figure8(topologies=topologies, member_sets=member_sets),
+        9: lambda: run_figure9(topologies=topologies, member_sets=member_sets),
+        10: lambda: run_figure10(topologies=topologies, member_sets=member_sets),
+    }
+    for figure in [args.figure] if args.figure else [7, 8, 9, 10]:
+        print(f"--- Figure {figure} ---")
+        print(runs[figure]().render())
+        print()
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.scenario import ScenarioConfig
+    from repro.experiments.tables import format_table
+    from repro.metrics.stats import summarize
+
+    config = ScenarioConfig(
+        n=args.n,
+        group_size=args.group_size,
+        alpha=args.alpha,
+        d_thresh=args.d_thresh,
+        topology_seed=args.topology_seed,
+        member_seed=args.member_seed,
+        knowledge=args.knowledge,
+        reshape_enabled=not args.no_reshape,
+    )
+    result = run_scenario(config)
+    print(f"scenario: {config.describe()}")
+    print(f"source {result.source}, avg degree "
+          f"{result.average_degree:.2f}, reshapes {result.smrp_reshapes}, "
+          f"fallback joins {result.smrp_fallback_joins}")
+    rows = []
+    for m in result.measurements:
+        rows.append([
+            str(m.member),
+            f"{m.rd_spf_global:.1f}" if m.rd_spf_global is not None else "—",
+            f"{m.rd_smrp_local:.1f}" if m.rd_smrp_local is not None else "—",
+            f"{m.delay_spf:.1f}",
+            f"{m.delay_smrp:.1f}",
+        ])
+    print(format_table(
+        ["member", "RD SPF", "RD SMRP", "delay SPF", "delay SMRP"], rows
+    ))
+    if result.rd_relative:
+        print(f"\nRD_relative   {summarize(result.rd_relative)}")
+        print(f"D_relative    {summarize(result.delay_relative)}")
+    print(f"Cost_relative {result.cost_relative:+.4f}")
+    if result.unrecoverable_members:
+        print(f"unrecoverable members: {result.unrecoverable_members}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.graph.waxman import WaxmanConfig, waxman_topology
+    from repro.core.recovery import worst_case_failure
+    from repro.sim.failures import FailureSchedule
+    from repro.sim.protocols import SmrpSimulation
+
+    topology = waxman_topology(
+        WaxmanConfig(n=args.n, alpha=0.4, beta=0.3, seed=args.seed)
+    ).topology
+    rng = np.random.default_rng(args.seed + 1)
+    members = [
+        int(m)
+        for m in rng.choice(range(1, args.n), args.members, replace=False)
+    ]
+    sim = SmrpSimulation(topology, 0, d_thresh=args.d_thresh)
+    spacing = 50.0 * max(l.delay for l in topology.links())
+    for i, m in enumerate(members):
+        sim.schedule_join(spacing * (i + 1), m)
+    settle = spacing * (len(members) + 2)
+    sim.run(until=settle)
+    tree = sim.extract_tree()
+    print(f"network: {topology}")
+    print(f"tree after joins: {tree}")
+    for m, record in sorted(sim.join_records.items()):
+        latency = f"{record.latency:.1f}" if record.latency is not None else "pending"
+        print(f"  member {m:3}: join latency {latency}")
+    if args.fail_worst and members:
+        failure = worst_case_failure(tree, members[0])
+        (u, v), = failure.failed_links
+        FailureSchedule().fail_link_at(settle + 1.0, u, v).arm(sim.sim, sim.network)
+        sim.run(until=settle + 60 * spacing)
+        print(f"\ninjected failure: {failure.describe()}")
+        for record in sim.recovery_records:
+            status = (
+                f"restored at t={record.restored_at:.1f} "
+                f"(latency {record.restoration_latency:.1f})"
+                if record.restored_at is not None
+                else "not restored"
+            )
+            print(f"  node {record.detector}: detected at "
+                  f"t={record.detected_at:.1f}, {status}")
+    print(f"\nmessages: {sim.network.stats.by_kind}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — SMRP (Wu & Shin, DSN 2005) reproduction")
+    components = [
+        ("repro.graph", "Waxman / transit-stub / N-level topologies"),
+        ("repro.routing", "SPF, routing tables, KSP, disjoint pairs, LSDB"),
+        ("repro.multicast", "tree structure, SPF/TM baselines, protection"),
+        ("repro.core", "SMRP: SHR, join/leave, reshaping, recovery, domains"),
+        ("repro.sim", "discrete-event simulator + distributed protocol"),
+        ("repro.metrics", "RD/delay/cost metrics and confidence intervals"),
+        ("repro.experiments", "figure drivers and parameter sweeps"),
+    ]
+    for name, description in components:
+        print(f"  {name:20} {description}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

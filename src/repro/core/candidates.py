@@ -1,0 +1,133 @@
+"""Candidate-path enumeration for SMRP joins and reshapes (paper §3.2.2).
+
+A joining member ``NR`` considers, for every on-tree node ``R_i``, the path
+that reaches the tree at ``R_i``: the shortest path ``NR → R_i`` (footnote
+4: only the shortest connection to each merge point is considered)
+concatenated with ``R_i``'s on-tree path to the source.
+
+Two refinements the paper leaves implicit:
+
+- **First-contact semantics.**  A join request travelling toward ``R_i``
+  merges at the *first* on-tree node it reaches, so the connection to
+  ``R_i`` must not cross the tree earlier.  Candidates are therefore
+  computed with a barrier-aware shortest-path search
+  (:func:`repro.routing.spf.dijkstra_with_barriers`): on-tree nodes are
+  valid endpoints but cannot be traversed.  (The paper's Figure 4 depends
+  on this: G's option ``G→B→S`` is *not* G's globally shortest route to
+  S — that one runs through on-tree node D — yet it is a legitimate
+  merge-at-S candidate.)
+- **Exclusions.**  Reshaping reuses the same enumeration but must not
+  merge inside the moving node's own subtree (that would create a cycle),
+  so callers can exclude node sets from both the merge-point set and the
+  connecting paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.topology import NodeId, Topology
+from repro.multicast.tree import MulticastTree
+from repro.routing.failure_view import NO_FAILURES, FailureSet
+from repro.routing.spf import dijkstra_with_barriers
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One join option ``P_T^{R_i}(S, NR)``.
+
+    Attributes
+    ----------
+    merge_node:
+        The on-tree node ``R_i`` where the new path merges.
+    graft_path:
+        The new branch, from ``merge_node`` to the joining node.
+    new_delay:
+        Delay of the new branch only (the links brought into the tree —
+        also the candidate's recovery-distance contribution).
+    total_delay:
+        End-to-end delay ``D^{R_i}_{S,NR}``: on-tree delay to the merge
+        node plus the new branch.
+    shr:
+        ``SHR_{S,R_i}`` of the merge node at enumeration time.
+    """
+
+    merge_node: NodeId
+    graft_path: tuple[NodeId, ...]
+    new_delay: float
+    total_delay: float
+    shr: int
+
+    @property
+    def joiner(self) -> NodeId:
+        return self.graft_path[-1]
+
+
+def enumerate_candidates(
+    topology: Topology,
+    tree: MulticastTree,
+    joiner: NodeId,
+    shr_values: dict[NodeId, int],
+    failures: FailureSet = NO_FAILURES,
+    excluded_nodes: frozenset[NodeId] = frozenset(),
+    allowed_merge_nodes: frozenset[NodeId] | None = None,
+    mover: NodeId | None = None,
+) -> list[Candidate]:
+    """All valid join options for ``joiner``, sorted by (shr, delay, id).
+
+    Parameters
+    ----------
+    shr_values:
+        ``SHR_{S,R}`` per on-tree node, supplied by the caller (full
+        knowledge via :func:`repro.core.shr.shr_table`, or the restricted
+        view produced by the query scheme).
+    failures:
+        Components to route around (used by recovery-time joins).
+    excluded_nodes:
+        Nodes the connecting path must avoid and that cannot serve as
+        merge points (a reshaping node's own subtree).
+    allowed_merge_nodes:
+        When given, only these on-tree nodes are eligible merge points
+        (used by the hierarchical protocol to keep joins inside a domain,
+        and by the query scheme which only learns some SHR values).
+    mover:
+        When enumerating for a *reshape*, the node being moved: it is
+        itself on the tree, so it must not count as tree contact along
+        the candidate paths (they all start at it), nor be a merge point.
+    """
+    mask = failures
+    if excluded_nodes:
+        mask = failures.union(FailureSet(failed_nodes=frozenset(excluded_nodes)))
+    on_tree = set(tree.on_tree_nodes()) - set(excluded_nodes)
+    if mover is not None:
+        on_tree.discard(mover)
+    paths = dijkstra_with_barriers(
+        topology, joiner, barriers=on_tree, weight="delay", failures=mask
+    )
+
+    candidates: list[Candidate] = []
+    for merge in sorted(on_tree):
+        if merge not in paths.dist:
+            continue
+        if allowed_merge_nodes is not None and merge not in allowed_merge_nodes:
+            continue
+        if merge not in shr_values:
+            continue
+        toward_merge = paths.path_to(merge)
+        graft = tuple(reversed(toward_merge))
+        new_delay = paths.dist[merge]
+        try:
+            on_tree_delay = tree.delay_from_source(merge)
+        except Exception:  # pragma: no cover - defensive; merge is on-tree
+            continue
+        candidates.append(
+            Candidate(
+                merge_node=merge,
+                graft_path=graft,
+                new_delay=new_delay,
+                total_delay=on_tree_delay + new_delay,
+                shr=shr_values[merge],
+            )
+        )
+    candidates.sort(key=lambda c: (c.shr, c.total_delay, c.merge_node))
+    return candidates

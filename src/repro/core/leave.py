@@ -1,0 +1,56 @@
+"""Member departure (paper §3.2.2).
+
+A leaving member sends ``Leave_Req`` toward the source along its on-tree
+path.  Each traversed node clears the session's soft state and releases
+the branch until a node with remaining downstream members (or the source)
+is reached.  The tree mutation itself lives in
+:meth:`repro.multicast.tree.MulticastTree.prune`; this module wraps it
+with the protocol-visible outcome (how far the request travelled, which
+resources were released) used for message accounting and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NotMemberError
+from repro.graph.topology import NodeId
+from repro.multicast.tree import MulticastTree
+
+
+@dataclass(frozen=True)
+class LeaveOutcome:
+    """Result of processing one ``Leave_Req``."""
+
+    member: NodeId
+    released_nodes: tuple[NodeId, ...]
+    stopped_at: NodeId
+    hops_travelled: int
+
+
+def process_leave(tree: MulticastTree, member: NodeId) -> LeaveOutcome:
+    """Apply a member departure and report the walk of the ``Leave_Req``.
+
+    ``hops_travelled`` counts the links the request crossed: one per
+    released node, plus the final hop that reached the node where pruning
+    stopped (which keeps serving other members).
+    """
+    if not tree.is_member(member):
+        raise NotMemberError(member)
+    parent_of = {node: tree.parent(node) for node in tree.on_tree_nodes()}
+    released = tree.prune(member)
+    if released:
+        last_released = released[-1]
+        stopped_at = parent_of[last_released]
+        assert stopped_at is not None
+        hops = len(released)
+    else:
+        # Interior member: it keeps relaying, the request stops immediately.
+        stopped_at = member
+        hops = 0
+    return LeaveOutcome(
+        member=member,
+        released_nodes=tuple(released),
+        stopped_at=stopped_at,
+        hops_travelled=hops,
+    )

@@ -1,0 +1,278 @@
+"""The SMRP protocol engine (graph level).
+
+:class:`SMRPProtocol` ties together every mechanism of §3.2–3.3 over a
+topology: SHR-driven path selection with the ``D_thresh`` bound, explicit
+join/leave processing, distributed-state maintenance with message
+accounting, Condition-I/Condition-II tree reshaping, the partial-knowledge
+query scheme, and local-detour failure recovery.
+
+This engine computes the same trees the message-level implementation in
+:mod:`repro.sim.protocols` converges to (a cross-validation test asserts
+it), but runs orders of magnitude faster — the parameter sweeps of
+Figures 7–10 use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    AlreadyMemberError,
+    ConfigurationError,
+    NotMemberError,
+)
+from repro.graph.topology import NodeId, Topology
+from repro.multicast.tree import MulticastTree
+from repro.multicast.validation import check_tree_invariants
+from repro.core.candidates import enumerate_candidates
+from repro.core.join import PathSelection, select_path
+from repro.core.leave import LeaveOutcome, process_leave
+from repro.core.query import enumerate_candidates_query
+from repro.core.recovery import RecoveryResult, local_detour_recovery
+from repro.core.reshape import ReshapeDecision, apply_reshape, evaluate_reshape
+from repro.core.state import StateManager
+from repro.routing.failure_view import NO_FAILURES, FailureSet
+from repro.routing.spf import dijkstra
+
+
+@dataclass(frozen=True)
+class SMRPConfig:
+    """Protocol configuration.
+
+    Attributes
+    ----------
+    d_thresh:
+        The delay-stretch bound of the Path Selection Criterion (§3.2.2).
+        The paper sweeps 0.1–0.4 and uses 0.3 as its headline setting.
+    reshape_enabled:
+        Master switch for tree reshaping (§3.2.3); the reshaping ablation
+        turns it off.
+    reshape_shr_threshold:
+        Condition I threshold on ``SHR_{S,R_u} − SHR^{old}_{S,R_u}``.
+    reshape_scope:
+        ``"members"`` — only receivers re-evaluate their paths (each moves
+        with its subtree); ``"all"`` — every non-source on-tree node does
+        (closest to the paper's per-node timers, more churn).
+    max_reshape_rounds:
+        Cap on cascading reshapes processed after a single membership
+        event, preventing livelock on adversarial topologies.
+    knowledge:
+        ``"full"`` — members know the topology and all SHR values
+        (§3.2.2's assumption); ``"query"`` — the neighbor-relay query
+        scheme of §3.3.1.
+    state_mode:
+        ``"eager"`` or ``"deferred"`` SHR maintenance (§3.3.2); affects
+        only the control-message accounting.
+    allow_fallback:
+        Accept the minimum-delay candidate when nothing satisfies the
+        delay bound (see :func:`repro.core.join.select_path`).
+    self_check:
+        Re-validate tree invariants after every mutation.
+    """
+
+    d_thresh: float = 0.3
+    reshape_enabled: bool = True
+    reshape_shr_threshold: int = 2
+    reshape_scope: str = "members"
+    max_reshape_rounds: int = 10
+    knowledge: str = "full"
+    state_mode: str = "eager"
+    allow_fallback: bool = True
+    self_check: bool = True
+
+    def __post_init__(self) -> None:
+        if self.d_thresh < 0:
+            raise ConfigurationError(f"d_thresh must be >= 0, got {self.d_thresh}")
+        if self.reshape_scope not in ("members", "all"):
+            raise ConfigurationError(
+                f"unknown reshape_scope {self.reshape_scope!r}"
+            )
+        if self.knowledge not in ("full", "query"):
+            raise ConfigurationError(f"unknown knowledge mode {self.knowledge!r}")
+        if self.max_reshape_rounds < 0:
+            raise ConfigurationError("max_reshape_rounds must be >= 0")
+
+
+@dataclass
+class ProtocolStats:
+    """Cumulative protocol activity, for the overhead ablations."""
+
+    joins: int = 0
+    fallback_joins: int = 0
+    leaves: int = 0
+    reshape_evaluations: int = 0
+    reshapes_performed: int = 0
+    query_messages: int = 0
+    query_hops: int = 0
+    join_signaling_hops: int = 0
+    leave_signaling_hops: int = 0
+
+
+class SMRPProtocol:
+    """Survivable Multicast Routing Protocol over a topology.
+
+    Examples
+    --------
+    >>> from repro.graph import figure4_topology
+    >>> from repro.graph.generators import node_id
+    >>> proto = SMRPProtocol(figure4_topology(), source=node_id("S"))
+    >>> _ = proto.join(node_id("E"))
+    >>> proto.shr_values()[node_id("D")]
+    2
+    """
+
+    name = "SMRP"
+
+    def __init__(
+        self,
+        topology: Topology,
+        source: NodeId,
+        config: SMRPConfig | None = None,
+    ) -> None:
+        self.topology = topology
+        self.source = source
+        self.config = config or SMRPConfig()
+        self.tree = MulticastTree(topology, source)
+        self.state = StateManager(self.tree, mode=self.config.state_mode)
+        self.stats = ProtocolStats()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def join(
+        self, member: NodeId, failures: FailureSet = NO_FAILURES
+    ) -> PathSelection | None:
+        """Process a member join; returns the path selection (or None when
+        the member was already an on-tree relay and simply became a
+        receiver)."""
+        if self.tree.is_member(member):
+            raise AlreadyMemberError(member)
+        self.stats.joins += 1
+        if self.tree.is_on_tree(member):
+            self.tree.add_member(member)
+            self.state.notify_graft([member])
+            self._after_membership_change()
+            return None
+
+        shr_values = self.state.shr_snapshot()
+        if self.config.knowledge == "query":
+            candidates, query_stats = enumerate_candidates_query(
+                self.topology, self.tree, member, shr_values, failures=failures
+            )
+            self.stats.query_messages += query_stats.queries_sent
+            self.stats.query_hops += query_stats.query_hops
+        else:
+            candidates = enumerate_candidates(
+                self.topology, self.tree, member, shr_values, failures=failures
+            )
+        spf = dijkstra(self.topology, member, weight="delay", failures=failures)
+        selection = select_path(
+            candidates,
+            spf.distance(self.source),
+            self.config.d_thresh,
+            allow_fallback=self.config.allow_fallback,
+        )
+        if selection.fallback:
+            self.stats.fallback_joins += 1
+
+        graft = list(selection.candidate.graft_path)
+        self.tree.graft(graft)
+        self.state.notify_graft(graft)
+        self.stats.join_signaling_hops += len(graft) - 1
+        self._after_membership_change()
+        return selection
+
+    def leave(self, member: NodeId) -> LeaveOutcome:
+        """Process a member departure (``Leave_Req`` walk, §3.2.2)."""
+        if not self.tree.is_member(member):
+            raise NotMemberError(member)
+        self.stats.leaves += 1
+        outcome = process_leave(self.tree, member)
+        self.state.notify_prune(outcome.stopped_at)
+        self.stats.leave_signaling_hops += outcome.hops_travelled
+        self._after_membership_change()
+        return outcome
+
+    def build(self, members: list[NodeId]) -> MulticastTree:
+        """Join a member list in order; returns the tree."""
+        for member in members:
+            self.join(member)
+        return self.tree
+
+    # ------------------------------------------------------------------
+    # Reshaping
+    # ------------------------------------------------------------------
+    def periodic_reshape(self) -> list[ReshapeDecision]:
+        """Condition II: every in-scope node re-runs path selection.
+
+        Returns the decisions of the performed reshapes, in order.
+        """
+        performed: list[ReshapeDecision] = []
+        for _ in range(max(self.config.max_reshape_rounds, 1)):
+            moved = False
+            for node in self._reshape_scope_nodes():
+                decision = self._reshape_once(node)
+                if decision is not None and decision.performed:
+                    performed.append(decision)
+                    moved = True
+            if not moved:
+                break
+        return performed
+
+    def _after_membership_change(self) -> None:
+        if self.config.self_check:
+            check_tree_invariants(self.tree)
+        if not self.config.reshape_enabled:
+            return
+        # Condition I: nodes whose upstream SHR grew past the threshold
+        # since their last reshape re-run path selection.
+        for _ in range(max(self.config.max_reshape_rounds, 1)):
+            triggered = [
+                node
+                for node in self._reshape_scope_nodes()
+                if self.state.condition_i_delta(node)
+                >= self.config.reshape_shr_threshold
+            ]
+            if not triggered:
+                return
+            moved = False
+            for node in triggered:
+                decision = self._reshape_once(node)
+                if decision is not None and decision.performed:
+                    moved = True
+            if not moved:
+                return
+
+    def _reshape_once(self, node: NodeId) -> ReshapeDecision | None:
+        if not self.tree.is_on_tree(node) or node == self.source:
+            return None
+        self.stats.reshape_evaluations += 1
+        decision = evaluate_reshape(
+            self.topology, self.tree, node, self.config.d_thresh
+        )
+        if decision.performed:
+            apply_reshape(self.tree, decision)
+            self.state.notify_move(node)
+            self.stats.reshapes_performed += 1
+            if self.config.self_check:
+                check_tree_invariants(self.tree)
+        # The reshaping process ran: record the fresh upstream SHR as the
+        # new Condition-I baseline whether or not the node moved.
+        self.state.record_reshape_baseline(node)
+        return decision
+
+    def _reshape_scope_nodes(self) -> list[NodeId]:
+        if self.config.reshape_scope == "members":
+            return sorted(self.tree.members)
+        return [n for n in self.tree.on_tree_nodes() if n != self.source]
+
+    # ------------------------------------------------------------------
+    # Recovery and introspection
+    # ------------------------------------------------------------------
+    def recover(self, member: NodeId, failures: FailureSet) -> RecoveryResult:
+        """Local-detour restoration of ``member`` (measurement only)."""
+        return local_detour_recovery(self.topology, self.tree, member, failures)
+
+    def shr_values(self) -> dict[NodeId, int]:
+        """Current ``SHR_{S,R}`` for every on-tree node."""
+        return self.state.shr_snapshot()

@@ -1,0 +1,103 @@
+"""The query scheme for members without topology knowledge (paper §3.3.1).
+
+The base protocol assumes the joining member knows the full topology and
+every on-tree node's SHR.  When it does not, the paper's query scheme has
+the member ask each of its physical neighbors to relay a query along the
+neighbor's unicast shortest path toward the source; the first on-tree node
+the query meets answers with its ``SHR_{S,R}``.
+
+Consequences faithfully reproduced here:
+
+- The member only discovers at most ``degree(NR)`` merge points (one per
+  neighbor), so the selected path may be sub-optimal — the paper accepts
+  this as the cost of deployability, and the ablation bench quantifies it.
+- Each discovered option's connecting path is ``NR → neighbor → … → R``
+  following the *neighbor's* SPF path, not necessarily the shortest
+  ``NR → R`` path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.topology import NodeId, Topology
+from repro.multicast.tree import MulticastTree
+from repro.core.candidates import Candidate
+from repro.routing.failure_view import NO_FAILURES, FailureSet
+from repro.routing.spf import dijkstra
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Message accounting for one query round."""
+
+    queries_sent: int
+    query_hops: int
+    responses: int
+
+
+def enumerate_candidates_query(
+    topology: Topology,
+    tree: MulticastTree,
+    joiner: NodeId,
+    shr_values: dict[NodeId, int],
+    failures: FailureSet = NO_FAILURES,
+) -> tuple[list[Candidate], QueryStats]:
+    """Candidates discoverable through the neighbor-relay query scheme.
+
+    Returns the candidate list (same type the full-knowledge enumeration
+    produces, so :func:`repro.core.join.select_path` applies unchanged)
+    plus the query-message statistics.  Duplicate merge points discovered
+    through different neighbors keep only the lowest-delay option.
+    """
+    best_by_merge: dict[NodeId, Candidate] = {}
+    queries = 0
+    hops = 0
+    responses = 0
+    on_tree = set(tree.on_tree_nodes())
+
+    for neighbor in topology.neighbors(joiner):
+        if not failures.link_usable(joiner, neighbor):
+            continue
+        queries += 1
+        if neighbor in on_tree:
+            # The neighbor itself is on the tree: immediate response.
+            merge = neighbor
+            relay_path = [joiner, neighbor]
+        else:
+            paths = dijkstra(topology, neighbor, weight="delay", failures=failures)
+            if tree.source not in paths.dist:
+                continue
+            spf_path = paths.path_to(tree.source)
+            merge = next((n for n in spf_path if n in on_tree), None)
+            if merge is None:
+                continue
+            prefix = spf_path[: spf_path.index(merge) + 1]
+            if joiner in prefix:
+                # The relay path folds back through the joiner; a real
+                # query would still work but the graft would be degenerate.
+                continue
+            relay_path = [joiner] + prefix
+        hops += len(relay_path) - 1
+        if merge not in shr_values:
+            continue
+        responses += 1
+        graft = tuple(reversed(relay_path))
+        new_delay = topology.path_delay(relay_path)
+        candidate = Candidate(
+            merge_node=merge,
+            graft_path=graft,
+            new_delay=new_delay,
+            total_delay=tree.delay_from_source(merge) + new_delay,
+            shr=shr_values[merge],
+        )
+        incumbent = best_by_merge.get(merge)
+        if incumbent is None or candidate.total_delay < incumbent.total_delay:
+            best_by_merge[merge] = candidate
+
+    candidates = sorted(
+        best_by_merge.values(), key=lambda c: (c.shr, c.total_delay, c.merge_node)
+    )
+    return candidates, QueryStats(
+        queries_sent=queries, query_hops=hops, responses=responses
+    )

@@ -1,0 +1,331 @@
+"""Failure restoration: local detours vs. the global (SPF re-join) detour.
+
+This module implements the two recovery strategies the evaluation
+compares (§4.3.1):
+
+**Local detour** (SMRP's mechanism)
+    The disconnected member immediately reconnects to the *nearest*
+    on-tree node still connected to the source, over the shortest
+    non-faulty path.  Only failure detection and a short graft stand
+    between the failure and restored service — no waiting for unicast
+    re-convergence.
+
+**Global detour** (what PIM/MOSPF do today)
+    The member waits for the unicast routing protocol to re-converge,
+    then re-joins along its new shortest path toward the source, grafting
+    at the first surviving on-tree router that path meets.
+
+Both produce a :class:`RecoveryResult` carrying the paper's recovery
+distance ``RD_R`` — the length of the restoration path, i.e. of the links
+newly brought into the tree ("if D chooses D→C→A→S, the restoration path
+is D→C and hence RD_D = 2").
+
+The per-member *measurement* functions never mutate the tree;
+:func:`repair_tree` actually restores a whole session (all disconnected
+members) and returns the repaired tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RecoveryError, UnrecoverableFailureError
+from repro.graph.topology import Edge, NodeId, Topology, edge_key
+from repro.multicast.tree import MulticastTree
+from repro.routing.failure_view import FailureSet
+from repro.routing.link_state import ConvergenceModel
+from repro.routing.spf import dijkstra
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Outcome of one member's restoration.
+
+    Attributes
+    ----------
+    member:
+        The disconnected member.
+    strategy:
+        ``"local"`` or ``"global"``.
+    attach_node:
+        The surviving on-tree node the member reconnected through.
+    restoration_path:
+        ``member → … → attach_node`` — the links brought into the tree.
+    recovery_distance:
+        ``RD_R``: delay-weighted length of the restoration path.
+    recovery_hops:
+        Hop-count variant of the same metric (for sensitivity checks).
+    new_end_to_end_delay:
+        Post-recovery delay ``D_{S,member}``.
+    already_connected:
+        True when the failure did not actually cut this member off
+        (``RD_R = 0`` and the other fields describe the status quo).
+    """
+
+    member: NodeId
+    strategy: str
+    attach_node: NodeId
+    restoration_path: tuple[NodeId, ...]
+    recovery_distance: float
+    recovery_hops: int
+    new_end_to_end_delay: float
+    already_connected: bool = False
+
+
+def worst_case_failure(tree: MulticastTree, member: NodeId) -> FailureSet:
+    """The paper's worst-case scenario for ``member`` (§4.3.1).
+
+    Fails the on-tree link closest to the source on the member's path
+    (the incident link of ``S`` toward ``member``), which detaches the
+    largest possible portion of the member's branch.
+    """
+    path = tree.path_from_source(member)
+    if len(path) < 2:
+        raise RecoveryError(f"member {member} is the source; nothing to fail")
+    return FailureSet.links((path[0], path[1]))
+
+
+def local_detour_recovery(
+    topology: Topology,
+    tree: MulticastTree,
+    member: NodeId,
+    failures: FailureSet,
+) -> RecoveryResult:
+    """Measure the local-detour restoration of ``member`` under ``failures``.
+
+    The member connects to the surviving on-tree node at minimum
+    shortest-path distance over non-faulty components.  If the shortest
+    path toward that node touches the surviving tree earlier, the detour
+    is truncated at the first contact (the restoration path may not cross
+    the surviving tree — those links are already in service).
+    """
+    surviving = tree.surviving_component(failures)
+    if not surviving:
+        raise UnrecoverableFailureError(member, "the source itself has failed")
+    if member in surviving:
+        return _already_connected(tree, member, "local")
+
+    paths = dijkstra(topology, member, weight="delay", failures=failures)
+    reachable = [node for node in surviving if node in paths.dist]
+    if not reachable:
+        raise UnrecoverableFailureError(
+            member, f"no non-faulty path to the surviving tree ({failures.describe()})"
+        )
+    target = min(reachable, key=lambda node: (paths.dist[node], node))
+    detour = _truncate_at_first_contact(paths.path_to(target), surviving)
+    attach = detour[-1]
+    return RecoveryResult(
+        member=member,
+        strategy="local",
+        attach_node=attach,
+        restoration_path=tuple(detour),
+        recovery_distance=topology.path_delay(detour),
+        recovery_hops=len(detour) - 1,
+        new_end_to_end_delay=tree.delay_from_source(attach)
+        + topology.path_delay(detour),
+    )
+
+
+def global_detour_recovery(
+    topology: Topology,
+    tree: MulticastTree,
+    member: NodeId,
+    failures: FailureSet,
+) -> RecoveryResult:
+    """Measure the SPF re-join restoration of ``member`` under ``failures``.
+
+    Models today's PIM-over-OSPF behaviour: after re-convergence the
+    member's routing table holds a new shortest path to the source with
+    the failed components withdrawn; the re-join travels that path and
+    grafts at the first surviving on-tree router it meets.
+    """
+    surviving = tree.surviving_component(failures)
+    if not surviving:
+        raise UnrecoverableFailureError(member, "the source itself has failed")
+    if member in surviving:
+        return _already_connected(tree, member, "global")
+
+    paths = dijkstra(topology, member, weight="delay", failures=failures)
+    if tree.source not in paths.dist:
+        raise UnrecoverableFailureError(
+            member, f"source unreachable after re-convergence ({failures.describe()})"
+        )
+    rejoin = paths.path_to(tree.source)
+    detour = _truncate_at_first_contact(rejoin, surviving)
+    attach = detour[-1]
+    return RecoveryResult(
+        member=member,
+        strategy="global",
+        attach_node=attach,
+        restoration_path=tuple(detour),
+        recovery_distance=topology.path_delay(detour),
+        recovery_hops=len(detour) - 1,
+        new_end_to_end_delay=tree.delay_from_source(attach)
+        + topology.path_delay(detour),
+    )
+
+
+def estimate_restoration_latency(
+    topology: Topology,
+    tree: MulticastTree,
+    result: RecoveryResult,
+    failures: FailureSet,
+    convergence: ConvergenceModel | None = None,
+    signaling_delay_factor: float = 1.0,
+) -> float:
+    """Translate a recovery into a service-restoration latency estimate.
+
+    - Local detour: failure detection at the member plus graft signaling
+      over the restoration path (round trip: request out, data back).
+    - Global detour: the member's unicast table must re-converge first
+      (§1, [25]); then the re-join propagates the same way.
+
+    The latency model deliberately keeps the same detection delay for
+    both strategies so the comparison isolates what the paper argues:
+    the *re-convergence wait* and the *longer restoration path* are the
+    global detour's handicap.
+    """
+    model = convergence or ConvergenceModel()
+    signaling = 2.0 * signaling_delay_factor * result.recovery_distance
+    if result.strategy == "local":
+        return model.detection_delay + signaling
+    times = model.convergence_times(topology, failures)
+    member_ready = times.get(result.member, model.detection_delay)
+    return member_ready + signaling
+
+
+@dataclass
+class TreeRepairReport:
+    """Outcome of restoring an entire session after a failure."""
+
+    repaired_tree: MulticastTree
+    strategy: str
+    recoveries: list[RecoveryResult] = field(default_factory=list)
+    unrecoverable: list[NodeId] = field(default_factory=list)
+    new_links: set[Edge] = field(default_factory=set)
+
+    @property
+    def total_recovery_distance(self) -> float:
+        return sum(r.recovery_distance for r in self.recoveries)
+
+
+def repair_tree(
+    topology: Topology,
+    tree: MulticastTree,
+    failures: FailureSet,
+    strategy: str = "local",
+) -> TreeRepairReport:
+    """Restore every disconnected member; returns the repaired tree.
+
+    The surviving portion of the tree is kept as-is; disconnected members
+    re-attach one at a time — nearest-first for the local strategy (each
+    restored member immediately becomes a potential attachment for the
+    rest, so recoveries compound), join-order for the global strategy
+    (each member independently re-joins along its re-converged SPF path).
+    Detached pure-relay state is discarded, as its soft state would time
+    out (§3.2).
+    """
+    if strategy not in ("local", "global"):
+        raise RecoveryError(f"unknown repair strategy {strategy!r}")
+    if failures.node_failed(tree.source):
+        raise UnrecoverableFailureError(tree.source, "the source itself has failed")
+
+    repaired = _surviving_subtree(tree, failures)
+    report = TreeRepairReport(repaired_tree=repaired, strategy=strategy)
+    pending = [
+        m
+        for m in tree.disconnected_members(failures)
+        if not failures.node_failed(m)
+    ]
+    report.unrecoverable.extend(
+        m for m in tree.disconnected_members(failures) if failures.node_failed(m)
+    )
+
+    while pending:
+        recovery_fn = (
+            local_detour_recovery if strategy == "local" else global_detour_recovery
+        )
+        options: list[tuple[float, NodeId, RecoveryResult]] = []
+        for member in pending:
+            try:
+                result = recovery_fn(topology, repaired, member, failures)
+            except UnrecoverableFailureError:
+                continue
+            options.append((result.recovery_distance, member, result))
+        if not options:
+            report.unrecoverable.extend(sorted(pending))
+            break
+        if strategy == "local":
+            options.sort(key=lambda item: (item[0], item[1]))
+        chosen_distance, chosen_member, chosen = options[0]
+        graft = list(reversed(chosen.restoration_path))
+        repaired.graft(graft)
+        report.recoveries.append(chosen)
+        report.new_links.update(
+            edge_key(u, v) for u, v in zip(graft, graft[1:])
+        )
+        pending.remove(chosen_member)
+    return report
+
+
+def _surviving_subtree(tree: MulticastTree, failures: FailureSet) -> MulticastTree:
+    """Copy of the tree restricted to the component still fed by the source."""
+    surviving = tree.surviving_component(failures)
+    rebuilt = MulticastTree(tree.topology, tree.source)
+    # Graft surviving branches in breadth-first order so parents exist first.
+    frontier = [tree.source]
+    while frontier:
+        node = frontier.pop(0)
+        for child in tree.children(node):
+            if child not in surviving:
+                continue
+            rebuilt.graft([node, child], member=False)
+            frontier.append(child)
+    for member in tree.members:
+        if member in surviving:
+            rebuilt.add_member(member)
+    # Trim surviving relays whose entire subtree was detached.
+    _trim_dead_leaves(rebuilt)
+    return rebuilt
+
+
+def _trim_dead_leaves(tree: MulticastTree) -> None:
+    """Remove relay leaves left behind after a partition copy."""
+    changed = True
+    while changed:
+        changed = False
+        for node in tree.on_tree_nodes():
+            if node == tree.source:
+                continue
+            if not tree.children(node) and not tree.is_member(node):
+                parent = tree.parent(node)
+                assert parent is not None
+                tree._children[parent].discard(node)  # noqa: SLF001
+                del tree._parent[node]  # noqa: SLF001
+                del tree._children[node]  # noqa: SLF001
+                changed = True
+
+
+def _already_connected(
+    tree: MulticastTree, member: NodeId, strategy: str
+) -> RecoveryResult:
+    return RecoveryResult(
+        member=member,
+        strategy=strategy,
+        attach_node=member,
+        restoration_path=(member,),
+        recovery_distance=0.0,
+        recovery_hops=0,
+        new_end_to_end_delay=tree.delay_from_source(member),
+        already_connected=True,
+    )
+
+
+def _truncate_at_first_contact(
+    path: list[NodeId], surviving: set[NodeId]
+) -> list[NodeId]:
+    """Cut ``path`` (starting off-tree) at its first surviving-tree node."""
+    for index, node in enumerate(path):
+        if node in surviving:
+            return path[: index + 1]
+    raise RecoveryError("path never touches the surviving tree")

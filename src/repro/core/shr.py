@@ -1,0 +1,122 @@
+"""The SHR sharing metric (paper §3.1 and §3.2.1).
+
+``SHR_{S,R}`` measures how heavily the on-tree path from the source ``S``
+to node ``R`` is shared by other members.  Equation (1) defines it over
+links:
+
+.. math::
+
+    SHR_{S,R} = \\sum_{L_{i,j} \\subset P_T(S,R)} N_{L_{i,j}}
+
+where ``N_L`` is the number of members whose on-tree path uses link ``L``.
+Because every member below ``R`` reaches the source over ``R``'s upstream
+link, ``N_{L_{R,R_u}} = N_R``, which yields the incremental form of
+Equation (2):
+
+.. math::
+
+    SHR_{S,R} = SHR_{S,R_u} + N_R
+
+Both forms are implemented; a property test asserts they agree on
+arbitrary trees (this is exactly the identity the distributed protocol
+relies on to maintain SHR with only neighbor message exchange).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotOnTreeError
+from repro.graph.topology import NodeId
+from repro.multicast.tree import MulticastTree
+
+
+def shr_direct(tree: MulticastTree, node: NodeId) -> int:
+    """``SHR_{S,node}`` via Equation (1): sum link utilisations on the path.
+
+    ``N_L`` for a tree link equals the member count of the subtree hanging
+    below the link (its child-side endpoint).
+    """
+    path = tree.path_from_source(node)
+    total = 0
+    for child in path[1:]:
+        # The link (parent(child), child) carries every member below child.
+        total += tree.subtree_member_count(child)
+    return total
+
+
+def shr_incremental(tree: MulticastTree) -> dict[NodeId, int]:
+    """``SHR`` for every on-tree node via Equation (2), in one traversal.
+
+    ``SHR_{S,S} = 0``; each node adds its own subtree member count to its
+    upstream node's value.  This mirrors the neighbor-to-neighbor exchange
+    of the distributed protocol (each node learns ``SHR_{S,R_u}`` from its
+    parent and adds its locally known ``N_R``).
+    """
+    shr: dict[NodeId, int] = {tree.source: 0}
+    # Pre-compute subtree member counts bottom-up in one pass instead of
+    # calling subtree_member_count per node (which would be quadratic).
+    counts = subtree_member_counts(tree)
+    stack = [tree.source]
+    while stack:
+        node = stack.pop()
+        for child in tree.children(node):
+            shr[child] = shr[node] + counts[child]
+            stack.append(child)
+    return shr
+
+
+def subtree_member_counts(tree: MulticastTree) -> dict[NodeId, int]:
+    """``N_R`` for every on-tree node, computed bottom-up in linear time."""
+    counts: dict[NodeId, int] = {}
+    order: list[NodeId] = []
+    stack = [tree.source]
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        stack.extend(tree.children(node))
+    for node in reversed(order):
+        counts[node] = (1 if tree.is_member(node) else 0) + sum(
+            counts[child] for child in tree.children(node)
+        )
+    return counts
+
+
+def shr_table(tree: MulticastTree) -> dict[NodeId, int]:
+    """Convenience alias for :func:`shr_incremental`."""
+    return shr_incremental(tree)
+
+
+def link_utilisation(tree: MulticastTree) -> dict[tuple[NodeId, NodeId], int]:
+    """``N_L`` for every tree link (canonical edge → member count below it)."""
+    counts = subtree_member_counts(tree)
+    utilisation: dict[tuple[NodeId, NodeId], int] = {}
+    for node in tree.on_tree_nodes():
+        parent = tree.parent(node)
+        if parent is None:
+            continue
+        a, b = (node, parent) if node <= parent else (parent, node)
+        utilisation[(a, b)] = counts[node]
+    return utilisation
+
+
+def shr_excluding_subtree(
+    tree: MulticastTree, merge_node: NodeId, mover: NodeId
+) -> int:
+    """``SHR_{S,merge_node}`` as if ``mover``'s subtree had already left.
+
+    Used by tree reshaping (§3.2.3): "since the current path still exists
+    when the new path is located, the value of SHR may be inaccurate and
+    should be adjusted before the path comparison is made."  Every member
+    in ``mover``'s subtree contributes 1 to ``N_{R'}`` for each node ``R'``
+    on the path ``S → mover``; those contributions are subtracted from the
+    candidate merge node's SHR wherever the two paths overlap.
+    """
+    if not tree.is_on_tree(merge_node):
+        raise NotOnTreeError(merge_node)
+    if not tree.is_on_tree(mover):
+        raise NotOnTreeError(mover)
+    moving_members = tree.subtree_member_count(mover)
+    mover_path = set(tree.path_from_source(mover)[1:])  # exclude S
+    merge_path = tree.path_from_source(merge_node)[1:]
+    overlap = sum(1 for node in merge_path if node in mover_path)
+    raw = shr_direct(tree, merge_node)
+    return raw - moving_members * overlap

@@ -1,0 +1,272 @@
+"""Distributed per-node SMRP state (paper §3.2.1 and §3.3.2).
+
+Each on-tree node ``R`` maintains:
+
+- ``N_R`` — members in the subtree rooted at ``R`` (kept implicitly as the
+  sum of the per-interface counts),
+- ``N_R^i`` — members reachable through each downstream interface,
+- ``SHR_{S,R}`` — learned incrementally from the upstream node via Eq. (2),
+- ``SHR^{old}_{S,R_u}`` — the upstream SHR recorded at the last reshape,
+  used by reshaping Condition I.
+
+The :class:`StateManager` maintains this state for every on-tree node and
+*accounts for the control messages* the distributed protocol would spend
+keeping it consistent.  Two maintenance modes implement the design choice
+discussed in §3.3.2:
+
+``eager``
+    Every membership change immediately propagates: ``N`` updates travel
+    up the path to the source, then refreshed ``SHR`` values travel down
+    into every subtree whose value changed ("a new tree-wide update
+    process").
+
+``deferred``
+    ``SHR`` recalculation is postponed until a query from a joining member
+    actually needs the value; the cost is then one message per hop up the
+    path from the queried node to the source ("the maintenance overhead is
+    amortized into each member's join process").
+
+Both modes always *answer* queries with values consistent with the current
+tree (the deferred mode recomputes on demand), so protocol behaviour is
+identical — only the message accounting differs.  The overhead ablation
+bench compares the two counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NotOnTreeError, ConfigurationError
+from repro.graph.topology import NodeId
+from repro.multicast.tree import MulticastTree
+from repro.core.shr import shr_incremental, subtree_member_counts
+
+
+@dataclass
+class SmrpNodeState:
+    """The state block one on-tree node keeps (Figure 3 in the paper)."""
+
+    node: NodeId
+    upstream: NodeId | None
+    n_r: int = 0
+    n_per_interface: dict[NodeId, int] = field(default_factory=dict)
+    shr: int = 0
+    shr_old_upstream: int = 0
+
+    def consistent(self) -> bool:
+        """``N_R`` must equal the sum of interface counts plus self-membership.
+
+        The self-membership term is folded into ``n_r`` by the manager, so
+        here we only check it is never below the interface sum.
+        """
+        return self.n_r >= sum(self.n_per_interface.values())
+
+
+@dataclass
+class MessageCounters:
+    """Control-message accounting for state maintenance."""
+
+    n_updates: int = 0  # hop-by-hop N_R updates toward the source
+    shr_pushes: int = 0  # downward SHR refresh messages (eager mode)
+    shr_pulls: int = 0  # on-demand recomputation messages (deferred mode)
+
+    @property
+    def total(self) -> int:
+        return self.n_updates + self.shr_pushes + self.shr_pulls
+
+
+class StateManager:
+    """Maintains per-node SMRP state consistently with a multicast tree.
+
+    Parameters
+    ----------
+    tree:
+        The tree whose state is being maintained.  The manager reads the
+        tree but never mutates it.
+    mode:
+        ``"eager"`` or ``"deferred"`` (see module docstring).
+    """
+
+    def __init__(self, tree: MulticastTree, mode: str = "eager") -> None:
+        if mode not in ("eager", "deferred"):
+            raise ConfigurationError(f"unknown state mode {mode!r}")
+        self.tree = tree
+        self.mode = mode
+        self.counters = MessageCounters()
+        self.states: dict[NodeId, SmrpNodeState] = {}
+        self._shr_dirty = True
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # Bulk (re)construction
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        """Recompute every node's state from the tree (no message charge).
+
+        Used at initialisation and after operations whose message cost is
+        charged separately (graft/prune/move notifications).
+        """
+        counts = subtree_member_counts(self.tree)
+        shr = shr_incremental(self.tree)
+        old = self.states
+        self.states = {}
+        for node in self.tree.on_tree_nodes():
+            upstream = self.tree.parent(node)
+            state = SmrpNodeState(
+                node=node,
+                upstream=upstream,
+                n_r=counts[node],
+                n_per_interface={
+                    child: counts[child] for child in self.tree.children(node)
+                },
+                shr=shr[node],
+            )
+            # Preserve the Condition-I baseline across rebuilds.
+            if node in old and old[node].upstream == upstream:
+                state.shr_old_upstream = old[node].shr_old_upstream
+            elif upstream is not None:
+                state.shr_old_upstream = shr[upstream]
+            self.states[node] = state
+        self._shr_dirty = False
+
+    # ------------------------------------------------------------------
+    # Event notifications (message accounting)
+    # ------------------------------------------------------------------
+    def notify_graft(self, graft_path: list[NodeId]) -> None:
+        """Account for a join along ``graft_path`` (merge node first).
+
+        The ``Join_Req`` travels the graft path anyway (not charged here);
+        the state cost is: ``N`` increments hop-by-hop from the merge node
+        to the source, plus — in eager mode — SHR refresh pushed into every
+        subtree whose SHR changed (every node below any ancestor of the
+        merge node).
+        """
+        merge = graft_path[0]
+        depth = len(self.tree.path_from_source(merge)) - 1
+        self.counters.n_updates += depth
+        if self.mode == "eager":
+            self.counters.shr_pushes += self._changed_subtree_size(merge)
+            self.rebuild()
+        else:
+            self._shr_dirty = True
+            self._rebuild_counts_only()
+
+    def notify_prune(self, pruned_from: NodeId) -> None:
+        """Account for a leave whose ``Leave_Req`` stopped at ``pruned_from``."""
+        depth = len(self.tree.path_from_source(pruned_from)) - 1
+        self.counters.n_updates += depth
+        if self.mode == "eager":
+            self.counters.shr_pushes += self._changed_subtree_size(pruned_from)
+            self.rebuild()
+        else:
+            self._shr_dirty = True
+            self._rebuild_counts_only()
+
+    def notify_move(self, mover: NodeId) -> None:
+        """Account for a reshape/recovery path switch at ``mover``.
+
+        Charged as a prune at the old attachment plus a graft at the new
+        one; both attachments are read from the *current* (post-move) tree,
+        so callers invoke this after mutating the tree.
+        """
+        parent = self.tree.parent(mover)
+        anchor = parent if parent is not None else mover
+        depth = len(self.tree.path_from_source(anchor)) - 1
+        self.counters.n_updates += 2 * depth
+        if self.mode == "eager":
+            self.counters.shr_pushes += self._changed_subtree_size(anchor)
+            self.rebuild()
+        else:
+            self._shr_dirty = True
+            self._rebuild_counts_only()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def state_of(self, node: NodeId) -> SmrpNodeState:
+        try:
+            return self.states[node]
+        except KeyError:
+            raise NotOnTreeError(node) from None
+
+    def shr(self, node: NodeId) -> int:
+        """``SHR_{S,node}``, recomputing lazily in deferred mode.
+
+        In deferred mode the recomputation walks the path from the source
+        to the node, one pull message per hop (§3.3.2).
+        """
+        if node not in self.states:
+            raise NotOnTreeError(node)
+        if self._shr_dirty:
+            if self.mode == "deferred":
+                self.counters.shr_pulls += len(self.tree.path_from_source(node)) - 1
+            self._refresh_shr()
+        return self.states[node].shr
+
+    def shr_snapshot(self) -> dict[NodeId, int]:
+        """All SHR values (forces a refresh in deferred mode).
+
+        Charged as one pull per on-tree link: a full tree walk answers
+        every node at once.
+        """
+        if self._shr_dirty:
+            if self.mode == "deferred":
+                self.counters.shr_pulls += max(len(self.states) - 1, 0)
+            self._refresh_shr()
+        return {node: st.shr for node, st in self.states.items()}
+
+    def record_reshape_baseline(self, node: NodeId) -> None:
+        """Store ``SHR^{old}_{S,R_u}`` at ``node`` after a reshape decision."""
+        state = self.state_of(node)
+        if state.upstream is not None:
+            state.shr_old_upstream = self.shr(state.upstream)
+
+    def condition_i_delta(self, node: NodeId) -> int:
+        """``SHR_{S,R_u} − SHR^{old}_{S,R_u}`` as seen by ``node``."""
+        state = self.state_of(node)
+        if state.upstream is None:
+            return 0
+        return self.shr(state.upstream) - state.shr_old_upstream
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _refresh_shr(self) -> None:
+        shr = shr_incremental(self.tree)
+        for node, value in shr.items():
+            if node in self.states:
+                self.states[node].shr = value
+        self._shr_dirty = False
+
+    def _rebuild_counts_only(self) -> None:
+        """Synchronise node set and N counters without touching SHR."""
+        counts = subtree_member_counts(self.tree)
+        old = self.states
+        self.states = {}
+        for node in self.tree.on_tree_nodes():
+            upstream = self.tree.parent(node)
+            previous = old.get(node)
+            state = SmrpNodeState(
+                node=node,
+                upstream=upstream,
+                n_r=counts[node],
+                n_per_interface={
+                    child: counts[child] for child in self.tree.children(node)
+                },
+                shr=previous.shr if previous else 0,
+            )
+            if previous is not None and previous.upstream == upstream:
+                state.shr_old_upstream = previous.shr_old_upstream
+            self.states[node] = state
+
+    def _changed_subtree_size(self, anchor: NodeId) -> int:
+        """Nodes whose SHR changes when ``N`` changed on the path S→anchor.
+
+        Every node whose path shares a link with ``S → anchor`` sees a new
+        SHR: that is the union of subtrees rooted at each node on that
+        path.  Equals the subtree of the first path node below S.
+        """
+        path = self.tree.path_from_source(anchor)
+        if len(path) < 2:
+            return 0
+        return len(self.tree.subtree_nodes(path[1]))

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the SMRP reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the whole family with one ``except`` clause while still
+being able to distinguish the specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or a requested graph element does not exist."""
+
+
+class RoutingError(ReproError):
+    """Unicast route computation failed (e.g. destination unreachable)."""
+
+
+class NoPathError(RoutingError):
+    """No path exists between the requested endpoints.
+
+    Carries the endpoints so diagnostics can report exactly which pair
+    was unreachable.
+    """
+
+    def __init__(self, source: object, target: object, reason: str = "") -> None:
+        self.source = source
+        self.target = target
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"no path from {source!r} to {target!r}{detail}")
+
+
+class MulticastError(ReproError):
+    """Multicast tree construction or maintenance failed."""
+
+
+class NotOnTreeError(MulticastError):
+    """An operation referenced a node that is not part of the multicast tree."""
+
+    def __init__(self, node: object) -> None:
+        self.node = node
+        super().__init__(f"node {node!r} is not on the multicast tree")
+
+
+class AlreadyMemberError(MulticastError):
+    """A node attempted to join a group it already belongs to."""
+
+    def __init__(self, node: object) -> None:
+        self.node = node
+        super().__init__(f"node {node!r} is already a member of the group")
+
+
+class NotMemberError(MulticastError):
+    """A node attempted to leave a group it does not belong to."""
+
+    def __init__(self, node: object) -> None:
+        self.node = node
+        super().__init__(f"node {node!r} is not a member of the group")
+
+
+class JoinRejectedError(MulticastError):
+    """No candidate path satisfied the SMRP path-selection criterion."""
+
+    def __init__(self, node: object, reason: str) -> None:
+        self.node = node
+        self.reason = reason
+        super().__init__(f"join of {node!r} rejected: {reason}")
+
+
+class RecoveryError(ReproError):
+    """Failure recovery could not restore the multicast session."""
+
+
+class UnrecoverableFailureError(RecoveryError):
+    """No non-faulty restoration path exists for a disconnected member."""
+
+    def __init__(self, member: object, reason: str = "") -> None:
+        self.member = member
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"member {member!r} cannot be recovered{detail}")
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or protocol was configured with invalid parameters."""

@@ -1,0 +1,38 @@
+"""Experiment harness reproducing the paper's evaluation (§4).
+
+- :mod:`repro.experiments.scenario` — one fully seeded scenario
+  (topology + member set + protocol parameters),
+- :mod:`repro.experiments.runner` — builds both trees (SMRP and the SPF
+  baseline), applies the worst-case failure per member, and measures the
+  paper's metrics,
+- :mod:`repro.experiments.sweeps` — many-scenario parameter sweeps with
+  95% confidence intervals,
+- :mod:`repro.experiments.fig7` … :mod:`repro.experiments.fig10` — one
+  driver per figure in the paper,
+- :mod:`repro.experiments.tables` — plain-text rendering of the series,
+- :mod:`repro.experiments.report` — CSV/JSON/Markdown export of results.
+"""
+
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.runner import ScenarioResult, run_scenario
+from repro.experiments.sweeps import SweepPoint, run_sweep
+from repro.experiments.fig7 import Figure7Result, run_figure7
+from repro.experiments.fig8 import Figure8Result, run_figure8
+from repro.experiments.fig9 import Figure9Result, run_figure9
+from repro.experiments.fig10 import Figure10Result, run_figure10
+
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioResult",
+    "run_scenario",
+    "SweepPoint",
+    "run_sweep",
+    "Figure7Result",
+    "run_figure7",
+    "Figure8Result",
+    "run_figure8",
+    "Figure9Result",
+    "run_figure9",
+    "Figure10Result",
+    "run_figure10",
+]

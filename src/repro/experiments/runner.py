@@ -1,0 +1,162 @@
+"""Run one scenario: build both trees, fail worst-case links, measure.
+
+For a scenario this runner reproduces the paper's §4.2/§4.3 procedure:
+
+1. build the multicast tree twice over the same topology and join order —
+   once with SMRP, once with the SPF baseline;
+2. for every member, apply the *worst-case* failure (the source-incident
+   link on that member's path — evaluated separately per tree, since the
+   trees route members differently);
+3. measure the recovery distance: **local detour on the SMRP tree** vs.
+   **global detour (post-re-convergence SPF re-join) on the SPF tree** —
+   the two complete systems the paper contrasts;
+4. measure end-to-end delays per member and the total tree cost on both
+   trees.
+
+Cross strategies (local detour on the SPF tree, global on SMRP) are also
+recorded so the ablation benches can separate how much of the win comes
+from the tree shape versus the recovery rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.topology import NodeId, Topology
+from repro.core.protocol import SMRPConfig, SMRPProtocol
+from repro.metrics.recovery_metrics import worst_case_recovery
+from repro.metrics.relative import (
+    relative_cost,
+    relative_delay,
+    relative_recovery_distance,
+)
+from repro.multicast.spf_protocol import SPFMulticastProtocol
+from repro.multicast.tree import MulticastTree
+from repro.experiments.scenario import ScenarioConfig
+
+
+@dataclass
+class MemberMeasurement:
+    """Per-member outcome of one scenario."""
+
+    member: NodeId
+    rd_spf_global: float | None
+    rd_smrp_local: float | None
+    rd_spf_local: float | None
+    rd_smrp_global: float | None
+    delay_spf: float
+    delay_smrp: float
+
+    @property
+    def comparable(self) -> bool:
+        """True when both headline strategies produced a recovery."""
+        return (
+            self.rd_spf_global is not None
+            and self.rd_smrp_local is not None
+            and self.rd_spf_global > 0
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """Everything measured in one scenario."""
+
+    config: ScenarioConfig
+    source: NodeId
+    members: list[NodeId]
+    average_degree: float
+    cost_spf: float
+    cost_smrp: float
+    measurements: list[MemberMeasurement] = field(default_factory=list)
+    smrp_fallback_joins: int = 0
+    smrp_reshapes: int = 0
+
+    # -- the paper's relative metrics -----------------------------------
+    @property
+    def rd_relative(self) -> list[float]:
+        """``RD_relative`` per member (positive: SMRP recovers shorter)."""
+        return [
+            relative_recovery_distance(m.rd_spf_global, m.rd_smrp_local)
+            for m in self.measurements
+            if m.comparable
+        ]
+
+    @property
+    def delay_relative(self) -> list[float]:
+        """``D_relative`` per member (positive: SMRP's delay penalty)."""
+        return [
+            relative_delay(m.delay_spf, m.delay_smrp)
+            for m in self.measurements
+            if m.delay_spf > 0
+        ]
+
+    @property
+    def cost_relative(self) -> float:
+        """``Cost_relative`` of the whole tree."""
+        return relative_cost(self.cost_spf, self.cost_smrp)
+
+    @property
+    def unrecoverable_members(self) -> int:
+        return sum(1 for m in self.measurements if not m.comparable)
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Execute one scenario end to end."""
+    topology = config.build_topology()
+    source, members = config.pick_participants(topology)
+
+    spf = SPFMulticastProtocol(topology, source, self_check=False)
+    spf_tree = spf.build(members)
+
+    smrp = SMRPProtocol(
+        topology,
+        source,
+        config=SMRPConfig(
+            d_thresh=config.d_thresh,
+            reshape_enabled=config.reshape_enabled,
+            knowledge=config.knowledge,
+            self_check=False,
+        ),
+    )
+    smrp_tree = smrp.build(members)
+
+    result = ScenarioResult(
+        config=config,
+        source=source,
+        members=members,
+        average_degree=topology.average_degree(),
+        cost_spf=spf_tree.tree_cost(),
+        cost_smrp=smrp_tree.tree_cost(),
+        smrp_fallback_joins=smrp.stats.fallback_joins,
+        smrp_reshapes=smrp.stats.reshapes_performed,
+    )
+    for member in members:
+        result.measurements.append(
+            _measure_member(topology, spf_tree, smrp_tree, member)
+        )
+    return result
+
+
+def _measure_member(
+    topology: Topology,
+    spf_tree: MulticastTree,
+    smrp_tree: MulticastTree,
+    member: NodeId,
+) -> MemberMeasurement:
+    spf_global = worst_case_recovery(topology, spf_tree, member, strategy="global")
+    spf_local = worst_case_recovery(topology, spf_tree, member, strategy="local")
+    smrp_local = worst_case_recovery(topology, smrp_tree, member, strategy="local")
+    smrp_global = worst_case_recovery(topology, smrp_tree, member, strategy="global")
+
+    def rd(measurement) -> float | None:
+        return measurement.recovery_distance if measurement.recovered else None
+
+    return MemberMeasurement(
+        member=member,
+        rd_spf_global=rd(spf_global),
+        rd_smrp_local=rd(smrp_local),
+        rd_spf_local=rd(spf_local),
+        rd_smrp_global=rd(smrp_global),
+        delay_spf=spf_tree.delay_from_source(member),
+        delay_smrp=smrp_tree.delay_from_source(member),
+    )

@@ -1,0 +1,69 @@
+"""Scenario configuration: everything one simulation run depends on.
+
+The paper's tunables (§4.1): network size ``N``, group size ``N_G``, the
+Waxman edge-density parameter ``α`` (β is fixed), and the protocol knob
+``D_thresh``.  A scenario additionally pins the random seeds, so every
+data point in every figure is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.topology import NodeId, Topology
+from repro.graph.waxman import WaxmanConfig, waxman_topology
+from repro.multicast.group import random_member_set
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One evaluation scenario (paper defaults: N=100, N_G=30, α=0.2,
+    D_thresh=0.3)."""
+
+    n: int = 100
+    group_size: int = 30
+    alpha: float = 0.2
+    beta: float = 0.25
+    d_thresh: float = 0.3
+    topology_seed: int = 0
+    member_seed: int = 0
+    reshape_enabled: bool = True
+    knowledge: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.group_size >= self.n:
+            raise ConfigurationError(
+                f"group size {self.group_size} must be below N={self.n} "
+                "(the source is not a member)"
+            )
+
+    def build_topology(self) -> Topology:
+        """The scenario's Waxman topology (connectivity-repaired)."""
+        return waxman_topology(
+            WaxmanConfig(
+                n=self.n,
+                alpha=self.alpha,
+                beta=self.beta,
+                seed=self.topology_seed,
+            )
+        ).topology
+
+    def pick_participants(self, topology: Topology) -> tuple[NodeId, list[NodeId]]:
+        """Source and member join order, drawn from ``member_seed``."""
+        rng = np.random.default_rng(self.member_seed)
+        source = int(rng.integers(self.n))
+        members = random_member_set(topology, source, self.group_size, rng)
+        return source, members
+
+    def with_seeds(self, topology_seed: int, member_seed: int) -> "ScenarioConfig":
+        """The same configuration with different random draws."""
+        return replace(self, topology_seed=topology_seed, member_seed=member_seed)
+
+    def describe(self) -> str:
+        return (
+            f"N={self.n} N_G={self.group_size} alpha={self.alpha} "
+            f"D_thresh={self.d_thresh} seeds=({self.topology_seed},{self.member_seed})"
+        )

@@ -1,0 +1,91 @@
+"""Parameter sweeps over many seeded scenarios.
+
+The paper's Figures 8–10 each evaluate one parameter at several values,
+with 10 random topologies × 10 random member sets (100 scenarios) per
+value, reporting means with 95% confidence intervals.  :func:`run_sweep`
+reproduces that procedure for arbitrary scenario families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.metrics.stats import Summary, summarize
+from repro.experiments.runner import ScenarioResult, run_scenario
+from repro.experiments.scenario import ScenarioConfig
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated results at one parameter value."""
+
+    label: str
+    parameter: float
+    scenarios: list[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def rd_relative(self) -> Summary:
+        samples = [x for r in self.scenarios for x in r.rd_relative]
+        return summarize(samples)
+
+    @property
+    def delay_relative(self) -> Summary:
+        samples = [x for r in self.scenarios for x in r.delay_relative]
+        return summarize(samples)
+
+    @property
+    def cost_relative(self) -> Summary:
+        return summarize([r.cost_relative for r in self.scenarios])
+
+    @property
+    def average_degree(self) -> float:
+        if not self.scenarios:
+            raise ConfigurationError("sweep point has no scenarios")
+        return sum(r.average_degree for r in self.scenarios) / len(self.scenarios)
+
+    @property
+    def unrecoverable_members(self) -> int:
+        return sum(r.unrecoverable_members for r in self.scenarios)
+
+
+def scenario_grid(
+    base: ScenarioConfig, topologies: int, member_sets: int, seed_offset: int = 0
+) -> list[ScenarioConfig]:
+    """The paper's seeding grid: ``topologies × member_sets`` scenarios.
+
+    Seeds are derived deterministically so that two sweep points sharing
+    the same grid sizes face the *same* topologies and member sets — the
+    paper varies one parameter at a time over a common random ensemble.
+    """
+    if topologies < 1 or member_sets < 1:
+        raise ConfigurationError("grid dimensions must be positive")
+    configs = []
+    for t in range(topologies):
+        for m in range(member_sets):
+            configs.append(
+                base.with_seeds(
+                    topology_seed=seed_offset + t,
+                    member_seed=seed_offset + 1000 * (t + 1) + m,
+                )
+            )
+    return configs
+
+
+def run_sweep(
+    label_fn: Callable[[float], ScenarioConfig],
+    values: list[float],
+    topologies: int = 10,
+    member_sets: int = 10,
+    seed_offset: int = 0,
+) -> list[SweepPoint]:
+    """Evaluate ``label_fn(value)`` over the seeding grid for each value."""
+    points: list[SweepPoint] = []
+    for value in values:
+        base = label_fn(value)
+        point = SweepPoint(label=f"{value:g}", parameter=value)
+        for config in scenario_grid(base, topologies, member_sets, seed_offset):
+            point.scenarios.append(run_scenario(config))
+        points.append(point)
+    return points

@@ -1,0 +1,36 @@
+"""Plain-text rendering of experiment results.
+
+Every figure driver returns structured results *and* can print the same
+series the paper plots, as an aligned text table — the closest equivalent
+of regenerating the figure in a terminal-only environment.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.metrics.stats import Summary
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned text table with a header separator."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_percent(value: float) -> str:
+    return f"{100.0 * value:+.1f}%"
+
+
+def format_summary(summary: Summary) -> str:
+    """``mean% ± ci%`` — the paper's error-bar presentation."""
+    return (
+        f"{100.0 * summary.mean:+.1f}% ± {100.0 * summary.ci_half_width:.1f}%"
+    )

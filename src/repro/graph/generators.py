@@ -1,0 +1,152 @@
+"""Deterministic topology fixtures.
+
+Two families live here:
+
+- Reconstructions of the paper's worked examples.  The paper's Figures 1/2
+  (motivating example) and Figures 4/5 (join and reshape walkthrough) use
+  small hand-drawn topologies.  The figures' exact link delays are partially
+  recoverable from the prose (e.g. ``RD_D = 2`` for detour ``D→C``,
+  ``SHR_{S,D} = 2`` after E joins, D_thresh = 0.3 rejecting F's detour
+  paths); the fixtures below are engineered so that every decision the
+  paper narrates comes out the same way.
+
+- Simple parametric families (line, ring, star, grid) used by unit and
+  property tests where a predictable structure matters more than realism.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.graph.topology import NodeId, Topology
+
+#: Node labels for the paper's figures, mapped to integer ids.
+FIGURE_NODES = {"S": 0, "A": 1, "B": 2, "C": 3, "D": 4, "E": 5, "F": 6, "G": 7}
+
+
+def figure1_topology() -> Topology:
+    """The 5-node topology of the paper's Figure 1 (and Figure 2).
+
+    Nodes ``S, A, B, C, D`` map to ids ``0, 1, 2, 3, 4``.  Properties the
+    paper relies on, all reproduced here:
+
+    - The SPF tree for members C and D uses links ``S–A``, ``A–C``, ``A–D``
+      (both members' shortest paths run through A).
+    - When ``L_AD`` fails, the global detour (new SPF path) for D is
+      ``D→B→S`` with recovery distance 3, while the local detour ``D→C``
+      has recovery distance 2 (``RD_D = 2`` in the paper) at the price of
+      a larger end-to-end delay.
+    - ``SHR_{S,C} = N_{L_SA} + N_{L_AC} = 2 + 1 = 3`` on the SPF tree.
+    - The disjoint tree of Figure 2 routes C via ``S→A→C`` and D via
+      ``S→B→D``; a failure of ``L_SA`` then disconnects only C, which can
+      recover through its neighbor D over link ``C–D``.
+    """
+    topo = Topology("paper-figure-1")
+    for label in ("S", "A", "B", "C", "D"):
+        topo.add_node(FIGURE_NODES[label])
+    n = FIGURE_NODES
+    topo.add_link(n["S"], n["A"], delay=1.0)
+    topo.add_link(n["A"], n["C"], delay=1.0)
+    topo.add_link(n["A"], n["D"], delay=1.0)
+    topo.add_link(n["S"], n["B"], delay=2.0)
+    topo.add_link(n["B"], n["D"], delay=1.0)
+    topo.add_link(n["C"], n["D"], delay=2.0)
+    return topo
+
+
+def figure4_topology() -> Topology:
+    """The 8-node topology of the paper's Figures 4 and 5.
+
+    Nodes ``S, A, B, C, D, E, F, G`` map to ids ``0..7``.  With
+    ``D_thresh = 0.3``, the join sequence E, G, F and the subsequent
+    reshape of E unfold exactly as the paper narrates:
+
+    - E joins over its SPF path ``E→D→A→S``; afterwards ``SHR_{S,D} = 2``.
+    - G's candidates include ``G→B→S`` (merges at S, SHR 0, delay 3.0) and
+      ``G→F→D→A→S`` (merges at D, SHR 2, delay 2.8).  Although the latter
+      is shorter, G picks ``G→B→S`` — minimum SHR within the delay bound
+      (3.0 ≤ 1.3 × 2.8 = 3.64).
+    - F's paths ``F→B→S`` (3.5) and ``F→G→B→S`` (3.4) exceed the bound
+      1.3 × 2.4 = 3.12, so F joins via ``F→D→A→S`` despite its higher SHR.
+    - F's join raises ``SHR_{S,D}`` from 2 to 4, triggering E's reshape
+      (Condition I); E switches to ``E→C→A→S`` whose merger A has the
+      smaller SHR.
+    """
+    topo = Topology("paper-figure-4")
+    for label in ("S", "A", "B", "C", "D", "E", "F", "G"):
+        topo.add_node(FIGURE_NODES[label])
+    n = FIGURE_NODES
+    topo.add_link(n["S"], n["A"], delay=1.0)
+    topo.add_link(n["A"], n["D"], delay=1.0)
+    topo.add_link(n["D"], n["E"], delay=1.0)
+    topo.add_link(n["A"], n["C"], delay=1.0)
+    topo.add_link(n["C"], n["E"], delay=1.5)
+    topo.add_link(n["S"], n["B"], delay=2.0)
+    topo.add_link(n["B"], n["G"], delay=1.0)
+    topo.add_link(n["G"], n["F"], delay=0.4)
+    topo.add_link(n["F"], n["D"], delay=0.4)
+    topo.add_link(n["F"], n["B"], delay=1.5)
+    return topo
+
+
+def line_topology(n: int, delay: float = 1.0) -> Topology:
+    """A path ``0 – 1 – … – (n-1)`` with uniform link delays."""
+    if n < 1:
+        raise ConfigurationError(f"line topology needs n >= 1, got {n}")
+    topo = Topology(f"line({n})")
+    for node in range(n):
+        topo.add_node(node)
+    for node in range(n - 1):
+        topo.add_link(node, node + 1, delay=delay)
+    return topo
+
+
+def ring_topology(n: int, delay: float = 1.0) -> Topology:
+    """A cycle of ``n`` nodes with uniform link delays."""
+    if n < 3:
+        raise ConfigurationError(f"ring topology needs n >= 3, got {n}")
+    topo = line_topology(n, delay=delay)
+    topo.name = f"ring({n})"
+    topo.add_link(n - 1, 0, delay=delay)
+    return topo
+
+
+def star_topology(n_leaves: int, delay: float = 1.0) -> Topology:
+    """A hub (node 0) with ``n_leaves`` spokes."""
+    if n_leaves < 1:
+        raise ConfigurationError(f"star topology needs >= 1 leaf, got {n_leaves}")
+    topo = Topology(f"star({n_leaves})")
+    topo.add_node(0)
+    for leaf in range(1, n_leaves + 1):
+        topo.add_node(leaf)
+        topo.add_link(0, leaf, delay=delay)
+    return topo
+
+
+def grid_topology(rows: int, cols: int, delay: float = 1.0) -> Topology:
+    """A ``rows × cols`` grid; node ``(r, c)`` has id ``r * cols + c``.
+
+    Grids give every interior node four link-disjoint directions, which
+    makes them a convenient stress case for local-detour recovery.
+    """
+    if rows < 1 or cols < 1:
+        raise ConfigurationError(f"grid needs positive dimensions, got {rows}x{cols}")
+    topo = Topology(f"grid({rows}x{cols})")
+    for r in range(rows):
+        for c in range(cols):
+            topo.add_node(r * cols + c, pos=(float(c), float(r)))
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                topo.add_link(node, node + 1, delay=delay)
+            if r + 1 < rows:
+                topo.add_link(node, node + cols, delay=delay)
+    return topo
+
+
+def node_id(label: str) -> NodeId:
+    """Map a paper figure label (``"S"``, ``"A"``, …) to its node id."""
+    try:
+        return FIGURE_NODES[label]
+    except KeyError:
+        raise ConfigurationError(f"unknown figure node label {label!r}") from None

@@ -1,0 +1,293 @@
+"""Delay/cost-weighted network topologies.
+
+A :class:`Topology` is an undirected graph whose links carry two positive
+weights:
+
+``delay``
+    The transmission latency across the link.  The paper's end-to-end delay
+    metric and the recovery-distance metric are both sums of link delays.
+
+``cost``
+    The resource cost of using the link.  The paper's tree-cost metric is a
+    sum of link costs.  By default ``cost == delay`` (as in the paper's
+    figures, where one number labels each link), but the two can differ.
+
+The class wraps :class:`networkx.Graph` for storage while exposing a small,
+explicit API so the rest of the library never touches raw attribute dicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from repro.errors import TopologyError
+
+NodeId = int
+Edge = tuple[NodeId, NodeId]
+
+
+def edge_key(u: NodeId, v: NodeId) -> Edge:
+    """Return the canonical (sorted) form of an undirected edge.
+
+    Undirected links are stored and compared in canonical form so that
+    ``(u, v)`` and ``(v, u)`` always refer to the same link.
+    """
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected link with its weights.
+
+    Instances are value objects: two links are equal when they connect the
+    same endpoints with the same weights.
+    """
+
+    u: NodeId
+    v: NodeId
+    delay: float
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.delay <= 0:
+            raise TopologyError(f"link {self.key} has non-positive delay {self.delay}")
+        if self.cost <= 0:
+            raise TopologyError(f"link {self.key} has non-positive cost {self.cost}")
+
+    @property
+    def key(self) -> Edge:
+        """Canonical endpoint pair identifying this link."""
+        return edge_key(self.u, self.v)
+
+    def other(self, node: NodeId) -> NodeId:
+        """Return the endpoint opposite ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise TopologyError(f"node {node} is not an endpoint of link {self.key}")
+
+
+class Topology:
+    """An undirected, weighted network topology.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier used in experiment reports.
+
+    Examples
+    --------
+    >>> topo = Topology("triangle")
+    >>> for n in (0, 1, 2):
+    ...     topo.add_node(n)
+    >>> _ = topo.add_link(0, 1, delay=1.0)
+    >>> _ = topo.add_link(1, 2, delay=2.0)
+    >>> _ = topo.add_link(0, 2, delay=2.5)
+    >>> topo.delay(0, 1)
+    1.0
+    >>> sorted(topo.neighbors(1))
+    [0, 2]
+    """
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self._graph = nx.Graph()
+        self._adjacency_cache: dict[NodeId, dict[NodeId, float]] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId, pos: tuple[float, float] | None = None) -> None:
+        """Add a node, optionally with a 2-D position (used by Waxman)."""
+        if node in self._graph:
+            raise TopologyError(f"node {node} already exists")
+        self._graph.add_node(node, pos=pos)
+        self._adjacency_cache = None
+
+    def add_link(
+        self, u: NodeId, v: NodeId, delay: float, cost: float | None = None
+    ) -> Link:
+        """Add an undirected link; ``cost`` defaults to ``delay``.
+
+        Returns the created :class:`Link`.
+        """
+        if u == v:
+            raise TopologyError(f"self-loop on node {u} is not allowed")
+        for node in (u, v):
+            if node not in self._graph:
+                raise TopologyError(f"node {node} does not exist")
+        if self._graph.has_edge(u, v):
+            raise TopologyError(f"link {edge_key(u, v)} already exists")
+        link = Link(*edge_key(u, v), delay=delay, cost=cost if cost is not None else delay)
+        self._graph.add_edge(link.u, link.v, delay=link.delay, cost=link.cost)
+        self._adjacency_cache = None
+        return link
+
+    def remove_link(self, u: NodeId, v: NodeId) -> None:
+        """Permanently remove a link (topology change, not a failure)."""
+        if not self._graph.has_edge(u, v):
+            raise TopologyError(f"link {edge_key(u, v)} does not exist")
+        self._graph.remove_edge(u, v)
+        self._adjacency_cache = None
+
+    def remove_node(self, node: NodeId) -> None:
+        """Permanently remove a node and its incident links."""
+        if node not in self._graph:
+            raise TopologyError(f"node {node} does not exist")
+        self._graph.remove_node(node)
+        self._adjacency_cache = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_links(self) -> int:
+        return self._graph.number_of_edges()
+
+    def nodes(self) -> list[NodeId]:
+        """All node ids, sorted for determinism."""
+        return sorted(self._graph.nodes)
+
+    def links(self) -> list[Link]:
+        """All links, in canonical-key order."""
+        out = []
+        for u, v, data in self._graph.edges(data=True):
+            a, b = edge_key(u, v)
+            out.append(Link(a, b, delay=data["delay"], cost=data["cost"]))
+        out.sort(key=lambda link: link.key)
+        return out
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._graph
+
+    def has_link(self, u: NodeId, v: NodeId) -> bool:
+        return self._graph.has_edge(u, v)
+
+    def link(self, u: NodeId, v: NodeId) -> Link:
+        """Return the :class:`Link` between ``u`` and ``v``."""
+        if not self._graph.has_edge(u, v):
+            raise TopologyError(f"link {edge_key(u, v)} does not exist")
+        data = self._graph.edges[u, v]
+        a, b = edge_key(u, v)
+        return Link(a, b, delay=data["delay"], cost=data["cost"])
+
+    def delay(self, u: NodeId, v: NodeId) -> float:
+        return self.link(u, v).delay
+
+    def cost(self, u: NodeId, v: NodeId) -> float:
+        return self.link(u, v).cost
+
+    def neighbors(self, node: NodeId) -> Iterator[NodeId]:
+        if node not in self._graph:
+            raise TopologyError(f"node {node} does not exist")
+        return iter(sorted(self._graph.neighbors(node)))
+
+    def degree(self, node: NodeId) -> int:
+        if node not in self._graph:
+            raise TopologyError(f"node {node} does not exist")
+        return self._graph.degree(node)
+
+    def average_degree(self) -> float:
+        """Realised average node degree (2E/N)."""
+        if self.num_nodes == 0:
+            return 0.0
+        return 2.0 * self.num_links / self.num_nodes
+
+    def position(self, node: NodeId) -> tuple[float, float] | None:
+        """The node's planar position, if one was assigned."""
+        if node not in self._graph:
+            raise TopologyError(f"node {node} does not exist")
+        return self._graph.nodes[node].get("pos")
+
+    def path_delay(self, path: Iterable[NodeId]) -> float:
+        """Sum of link delays along a node path."""
+        return self._path_weight(path, "delay")
+
+    def path_cost(self, path: Iterable[NodeId]) -> float:
+        """Sum of link costs along a node path."""
+        return self._path_weight(path, "cost")
+
+    def _path_weight(self, path: Iterable[NodeId], attr: str) -> float:
+        nodes = list(path)
+        total = 0.0
+        for u, v in zip(nodes, nodes[1:]):
+            if not self._graph.has_edge(u, v):
+                raise TopologyError(f"path uses missing link {edge_key(u, v)}")
+            total += self._graph.edges[u, v][attr]
+        return total
+
+    def is_connected(self) -> bool:
+        if self.num_nodes == 0:
+            return True
+        return nx.is_connected(self._graph)
+
+    def connected_components(self) -> list[set[NodeId]]:
+        return [set(c) for c in nx.connected_components(self._graph)]
+
+    # ------------------------------------------------------------------
+    # Views and export
+    # ------------------------------------------------------------------
+    def graph_view(self) -> nx.Graph:
+        """Read-only view of the underlying networkx graph.
+
+        Exposed for algorithms (e.g. cross-validation against networkx in
+        tests); mutation must go through the :class:`Topology` API.
+        """
+        return self._graph.copy(as_view=True)
+
+    def adjacency(self) -> Mapping[NodeId, dict[NodeId, float]]:
+        """Delay-weighted adjacency mapping ``{u: {v: delay}}``.
+
+        Cached (and invalidated on mutation): shortest-path computations
+        call this on every invocation, thousands of times per experiment.
+        Callers must treat the result as read-only.
+        """
+        if self._adjacency_cache is None:
+            self._adjacency_cache = {
+                u: {v: data["delay"] for v, data in self._graph.adj[u].items()}
+                for u in self._graph.nodes
+            }
+        return self._adjacency_cache
+
+    def copy(self, name: str | None = None) -> "Topology":
+        """Deep copy; topology mutations on the copy do not affect this one."""
+        clone = Topology(name or self.name)
+        clone._graph = self._graph.copy()
+        return clone
+
+    def validate(self) -> None:
+        """Raise :class:`TopologyError` if any structural invariant fails.
+
+        Checks: positive weights, no self-loops, and (when positions exist)
+        positions present on every node.
+        """
+        positioned = 0
+        for node in self._graph.nodes:
+            if self._graph.nodes[node].get("pos") is not None:
+                positioned += 1
+        if positioned not in (0, self.num_nodes):
+            raise TopologyError(
+                f"{self.name}: {positioned}/{self.num_nodes} nodes have positions; "
+                "positions must be assigned to all nodes or none"
+            )
+        for u, v, data in self._graph.edges(data=True):
+            if u == v:
+                raise TopologyError(f"{self.name}: self-loop on node {u}")
+            if data.get("delay", 0) <= 0 or data.get("cost", 0) <= 0:
+                raise TopologyError(
+                    f"{self.name}: link {edge_key(u, v)} has non-positive weight"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(name={self.name!r}, nodes={self.num_nodes}, "
+            f"links={self.num_links}, avg_degree={self.average_degree():.2f})"
+        )

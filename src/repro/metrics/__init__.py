@@ -1,0 +1,43 @@
+"""Evaluation metrics (paper §4.2).
+
+- :mod:`repro.metrics.tree_metrics` — end-to-end delay ``D_{S,R}`` and
+  tree cost ``Cost_T``,
+- :mod:`repro.metrics.recovery_metrics` — recovery distance ``RD_R`` under
+  the worst-case failure scenario,
+- :mod:`repro.metrics.relative` — the paper's relative metrics comparing
+  SMRP against the SPF baseline,
+- :mod:`repro.metrics.stats` — means and 95% confidence intervals (the
+  error bars of Figures 8–10).
+"""
+
+from repro.metrics.tree_metrics import (
+    average_delay,
+    member_delays,
+    tree_cost,
+)
+from repro.metrics.recovery_metrics import (
+    MemberRecovery,
+    worst_case_recovery,
+    worst_case_recovery_all,
+)
+from repro.metrics.relative import (
+    relative_cost,
+    relative_delay,
+    relative_recovery_distance,
+)
+from repro.metrics.stats import Summary, confidence_interval_95, summarize
+
+__all__ = [
+    "average_delay",
+    "member_delays",
+    "tree_cost",
+    "MemberRecovery",
+    "worst_case_recovery",
+    "worst_case_recovery_all",
+    "relative_cost",
+    "relative_delay",
+    "relative_recovery_distance",
+    "Summary",
+    "confidence_interval_95",
+    "summarize",
+]

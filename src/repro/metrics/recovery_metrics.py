@@ -1,0 +1,79 @@
+"""Recovery-distance measurement under the paper's worst-case scenario.
+
+For every member ``R``, §4.3.1 fails "the link closest to the source node
+on R's multicast path" — the failure that detaches the largest portion of
+the tree — and measures the restoration path length ``RD_R``.  Each
+member's scenario is evaluated independently on a pristine copy of the
+tree (the paper's figures are per-member points/averages, not sequential
+multi-failure runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnrecoverableFailureError
+from repro.graph.topology import NodeId, Topology
+from repro.multicast.tree import MulticastTree
+from repro.core.recovery import (
+    RecoveryResult,
+    global_detour_recovery,
+    local_detour_recovery,
+    worst_case_failure,
+)
+from repro.routing.failure_view import FailureSet
+
+
+@dataclass(frozen=True)
+class MemberRecovery:
+    """One member's worst-case recovery measurement."""
+
+    member: NodeId
+    failure: FailureSet
+    result: RecoveryResult | None  # None when unrecoverable
+
+    @property
+    def recovered(self) -> bool:
+        return self.result is not None
+
+    @property
+    def recovery_distance(self) -> float:
+        if self.result is None:
+            raise UnrecoverableFailureError(self.member)
+        return self.result.recovery_distance
+
+
+def worst_case_recovery(
+    topology: Topology,
+    tree: MulticastTree,
+    member: NodeId,
+    strategy: str,
+) -> MemberRecovery:
+    """Fail the member's source-incident link and measure its recovery."""
+    failure = worst_case_failure(tree, member)
+    recovery_fn = (
+        local_detour_recovery if strategy == "local" else global_detour_recovery
+    )
+    try:
+        result = recovery_fn(topology, tree, member, failure)
+    except UnrecoverableFailureError:
+        return MemberRecovery(member=member, failure=failure, result=None)
+    return MemberRecovery(member=member, failure=failure, result=result)
+
+
+def worst_case_recovery_all(
+    topology: Topology,
+    tree: MulticastTree,
+    strategy: str,
+) -> dict[NodeId, MemberRecovery]:
+    """Worst-case recovery for every member, each in its own scenario.
+
+    Members that the failure does not actually disconnect (their path's
+    first link is shared with no one, yet they sit next to the source —
+    or the SPF tie-break gave them a one-hop path) still produce a
+    measurement; ``already_connected`` results carry ``RD = 0``.
+    """
+    return {
+        member: worst_case_recovery(topology, tree, member, strategy)
+        for member in sorted(tree.members)
+    }

@@ -1,0 +1,53 @@
+"""The paper's relative metrics (§4.2).
+
+Absolute delays and costs vary arbitrarily with the random topology, so
+the evaluation reports relative values:
+
+.. math::
+
+    RD^{relative}_R = (RD^{SPF}_R - RD^{SMRP}_R) / RD^{SPF}_R
+
+    D^{relative}_{S,R} = (D^{SMRP}_{S,R} - D^{SPF}_{S,R}) / D^{SPF}_{S,R}
+
+    Cost^{relative}_T = (Cost^{SMRP}_T - Cost^{SPF}_T) / Cost^{SPF}_T
+
+Positive ``RD_relative`` means SMRP's recovery path is *shorter* (good);
+positive delay/cost relatives are SMRP's overhead (the ≈5% penalty the
+paper reports at ``D_thresh = 0.3``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def relative_recovery_distance(rd_spf: float, rd_smrp: float) -> float:
+    """``(RD^SPF − RD^SMRP) / RD^SPF``; positive when SMRP recovers shorter.
+
+    A zero SPF recovery distance (member not actually cut off) carries no
+    information; callers filter those out before averaging, and passing
+    one here is an error rather than a silent NaN.
+    """
+    if rd_spf <= 0:
+        raise ConfigurationError(
+            f"relative RD undefined for non-positive RD^SPF ({rd_spf})"
+        )
+    return (rd_spf - rd_smrp) / rd_spf
+
+
+def relative_delay(d_spf: float, d_smrp: float) -> float:
+    """``(D^SMRP − D^SPF) / D^SPF``; positive is SMRP's delay penalty."""
+    if d_spf <= 0:
+        raise ConfigurationError(
+            f"relative delay undefined for non-positive D^SPF ({d_spf})"
+        )
+    return (d_smrp - d_spf) / d_spf
+
+
+def relative_cost(cost_spf: float, cost_smrp: float) -> float:
+    """``(Cost^SMRP − Cost^SPF) / Cost^SPF``; positive is SMRP's cost penalty."""
+    if cost_spf <= 0:
+        raise ConfigurationError(
+            f"relative cost undefined for non-positive Cost^SPF ({cost_spf})"
+        )
+    return (cost_smrp - cost_spf) / cost_spf

@@ -1,0 +1,64 @@
+"""Summary statistics: means and 95% confidence intervals.
+
+Figures 8–10 plot means with 95% confidence error bars over 100 random
+scenarios per configuration; this module reproduces that aggregation using
+the Student-t interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as scipy_stats
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread, and a 95% confidence interval of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def ci_half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def __str__(self) -> str:
+        return f"{self.mean:+.4f} ± {self.ci_half_width:.4f} (n={self.n})"
+
+
+def summarize(samples: Sequence[float], confidence: float = 0.95) -> Summary:
+    """Mean with a Student-t confidence interval.
+
+    Degenerate samples are handled explicitly: a single observation gets a
+    zero-width interval (there is nothing to infer a spread from), and an
+    empty sample is an error.
+    """
+    if not samples:
+        raise ConfigurationError("cannot summarize an empty sample")
+    if not 0 < confidence < 1:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n == 1:
+        return Summary(n=1, mean=mean, std=0.0, ci_low=mean, ci_high=mean)
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    std = math.sqrt(variance)
+    if std == 0.0:
+        return Summary(n=n, mean=mean, std=0.0, ci_low=mean, ci_high=mean)
+    t_crit = float(scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    half = t_crit * std / math.sqrt(n)
+    return Summary(n=n, mean=mean, std=std, ci_low=mean - half, ci_high=mean + half)
+
+
+def confidence_interval_95(samples: Sequence[float]) -> tuple[float, float]:
+    """The 95% confidence interval of the sample mean."""
+    summary = summarize(samples, confidence=0.95)
+    return (summary.ci_low, summary.ci_high)

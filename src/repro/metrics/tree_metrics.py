@@ -1,0 +1,64 @@
+"""Tree-quality metrics: end-to-end delay and tree cost (paper §4.2).
+
+These are the two quantities SMRP knowingly trades away (bounded by
+``D_thresh``) in exchange for shorter recovery paths.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MulticastError
+from repro.graph.topology import NodeId
+from repro.multicast.tree import MulticastTree
+
+
+def member_delays(tree: MulticastTree) -> dict[NodeId, float]:
+    """``D_{S,R}`` for every member ``R``."""
+    return {member: tree.delay_from_source(member) for member in tree.members}
+
+
+def average_delay(tree: MulticastTree) -> float:
+    """Mean end-to-end delay over the member set."""
+    delays = member_delays(tree)
+    if not delays:
+        raise MulticastError("tree has no members; average delay is undefined")
+    return sum(delays.values()) / len(delays)
+
+
+def max_delay(tree: MulticastTree) -> float:
+    """Worst member delay (jitter-sensitive applications care about this)."""
+    delays = member_delays(tree)
+    if not delays:
+        raise MulticastError("tree has no members; max delay is undefined")
+    return max(delays.values())
+
+
+def tree_cost(tree: MulticastTree) -> float:
+    """``Cost_T`` — the sum of link costs over the tree."""
+    return tree.tree_cost()
+
+
+def delay_jitter(tree: MulticastTree) -> float:
+    """Inter-member delay spread (max − min member delay).
+
+    The paper's QoS motivation names "delay jitter" alongside delay
+    (§3.1): applications mixing streams from the same source care how
+    far apart members' one-way delays sit.
+    """
+    delays = member_delays(tree)
+    if not delays:
+        raise MulticastError("tree has no members; jitter is undefined")
+    return max(delays.values()) - min(delays.values())
+
+
+def delay_stretch(tree: MulticastTree, spf_delays: dict[NodeId, float]) -> dict[NodeId, float]:
+    """Per-member stretch ``D_{S,R} / D^{SPF}_{S,R}``.
+
+    The Path Selection Criterion guarantees each member's stretch at join
+    time is at most ``1 + D_thresh``; tests use this to verify the bound
+    survives reshaping.
+    """
+    stretches: dict[NodeId, float] = {}
+    for member, delay in member_delays(tree).items():
+        spf = spf_delays[member]
+        stretches[member] = delay / spf if spf > 0 else 1.0
+    return stretches

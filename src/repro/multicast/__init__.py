@@ -1,0 +1,27 @@
+"""Multicast substrate: trees, group membership, and the SPF baseline.
+
+- :mod:`repro.multicast.tree` — the :class:`~repro.multicast.tree.MulticastTree`
+  structure shared by SMRP and the baseline,
+- :mod:`repro.multicast.group` — membership workloads (join/leave event
+  streams with seeded randomness),
+- :mod:`repro.multicast.spf_protocol` — the PIM/MOSPF-style shortest-path
+  baseline the paper compares against in every figure,
+- :mod:`repro.multicast.validation` — tree invariant checking used by tests
+  and by the protocols' self-checks.
+"""
+
+from repro.multicast.tree import MulticastTree
+from repro.multicast.group import GroupEvent, GroupWorkload, random_member_set
+from repro.multicast.spf_protocol import SPFMulticastProtocol
+from repro.multicast.steiner_protocol import SteinerMulticastProtocol
+from repro.multicast.validation import check_tree_invariants
+
+__all__ = [
+    "MulticastTree",
+    "GroupEvent",
+    "GroupWorkload",
+    "random_member_set",
+    "SPFMulticastProtocol",
+    "SteinerMulticastProtocol",
+    "check_tree_invariants",
+]

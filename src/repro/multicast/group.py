@@ -1,0 +1,161 @@
+"""Group membership workloads.
+
+The paper's experiments pick ``N_G`` random members per scenario (§4.1) and
+its reshaping mechanism is motivated by dynamic join/leave churn (§3.2.3).
+This module provides both workload shapes with seeded randomness:
+
+- :func:`random_member_set` — the static member sets of Figures 7–10,
+- :class:`GroupWorkload` — timestamped join/leave event streams for the
+  churn experiments and the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.topology import NodeId, Topology
+
+
+def random_member_set(
+    topology: Topology,
+    source: NodeId,
+    group_size: int,
+    rng: np.random.Generator,
+) -> list[NodeId]:
+    """Pick ``group_size`` distinct members, excluding the source.
+
+    Returned in the (random) join order; the same generator state always
+    yields the same set, making scenarios reproducible from their seed.
+    """
+    candidates = [n for n in topology.nodes() if n != source]
+    if group_size < 1:
+        raise ConfigurationError(f"group size must be >= 1, got {group_size}")
+    if group_size > len(candidates):
+        raise ConfigurationError(
+            f"group size {group_size} exceeds the {len(candidates)} available nodes"
+        )
+    picked = rng.choice(len(candidates), size=group_size, replace=False)
+    return [candidates[i] for i in picked]
+
+
+class GroupAction(Enum):
+    """What a membership event does."""
+
+    JOIN = "join"
+    LEAVE = "leave"
+
+
+@dataclass(frozen=True)
+class GroupEvent:
+    """A timestamped membership change."""
+
+    time: float
+    node: NodeId
+    action: GroupAction
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError(f"event time must be non-negative: {self}")
+
+
+@dataclass
+class GroupWorkload:
+    """An ordered stream of membership events.
+
+    Events are kept sorted by (time, node) so replays are deterministic.
+    """
+
+    events: list[GroupEvent] = field(default_factory=list)
+
+    def add(self, event: GroupEvent) -> None:
+        self.events.append(event)
+        self.events.sort(key=lambda e: (e.time, e.node, e.action.value))
+
+    def __iter__(self) -> Iterator[GroupEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def members_at(self, time: float) -> set[NodeId]:
+        """The member set after applying all events up to ``time`` inclusive."""
+        members: set[NodeId] = set()
+        for event in self.events:
+            if event.time > time:
+                break
+            if event.action is GroupAction.JOIN:
+                members.add(event.node)
+            else:
+                members.discard(event.node)
+        return members
+
+    @staticmethod
+    def static_joins(members: list[NodeId], spacing: float = 1.0) -> "GroupWorkload":
+        """All members join once, ``spacing`` time units apart — the
+        Figures 7–10 workload."""
+        if spacing <= 0:
+            raise ConfigurationError(f"spacing must be positive, got {spacing}")
+        workload = GroupWorkload()
+        for index, node in enumerate(members):
+            workload.add(GroupEvent(time=index * spacing, node=node, action=GroupAction.JOIN))
+        return workload
+
+    @staticmethod
+    def churn(
+        topology: Topology,
+        source: NodeId,
+        rng: np.random.Generator,
+        duration: float,
+        mean_holding_time: float,
+        mean_interarrival: float,
+        initial_members: list[NodeId] | None = None,
+    ) -> "GroupWorkload":
+        """Poisson join arrivals with exponential holding times.
+
+        Models the dynamic membership that motivates tree reshaping
+        (§3.2.3): members arrive as a Poisson process, stay for an
+        exponential holding time, then leave.  A node already in the group
+        when picked as an arrival is skipped (re-draws are not attempted so
+        that the event count stays bounded and reproducible).
+        """
+        if duration <= 0 or mean_holding_time <= 0 or mean_interarrival <= 0:
+            raise ConfigurationError("churn parameters must be positive")
+        workload = GroupWorkload()
+        active: dict[NodeId, float] = {}
+        candidates = [n for n in topology.nodes() if n != source]
+        if not candidates:
+            raise ConfigurationError("topology has no candidate members")
+
+        for node in initial_members or []:
+            workload.add(GroupEvent(time=0.0, node=node, action=GroupAction.JOIN))
+            leave_at = float(rng.exponential(mean_holding_time))
+            active[node] = leave_at
+
+        clock = 0.0
+        while True:
+            clock += float(rng.exponential(mean_interarrival))
+            if clock >= duration:
+                break
+            node = candidates[int(rng.integers(len(candidates)))]
+            # Flush departures that happen before this arrival.
+            for member, leave_at in sorted(active.items()):
+                if leave_at <= clock:
+                    workload.add(
+                        GroupEvent(time=leave_at, node=member, action=GroupAction.LEAVE)
+                    )
+                    del active[member]
+            if node in active:
+                continue
+            workload.add(GroupEvent(time=clock, node=node, action=GroupAction.JOIN))
+            active[node] = clock + float(rng.exponential(mean_holding_time))
+        for member, leave_at in sorted(active.items()):
+            if leave_at < duration:
+                workload.add(
+                    GroupEvent(time=leave_at, node=member, action=GroupAction.LEAVE)
+                )
+        return workload

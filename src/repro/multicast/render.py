@@ -1,0 +1,95 @@
+"""ASCII rendering of multicast trees.
+
+Examples and debugging sessions want to *see* tree shapes — especially
+the difference between an SPF tree's shared trunks and an SMRP tree's
+spread branches.  :func:`render_tree` draws the tree top-down with box
+characters; :func:`render_comparison` puts two trees side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.graph.topology import NodeId
+from repro.multicast.tree import MulticastTree
+
+
+def render_tree(
+    tree: MulticastTree,
+    label: Callable[[NodeId], str] | None = None,
+    show_delays: bool = False,
+) -> str:
+    """Draw the tree as indented ASCII art.
+
+    Members are marked with ``*``; pure relays are bare.  With
+    ``show_delays`` each node shows its link delay from its parent.
+    """
+    name = label or str
+    lines: list[str] = []
+
+    def describe(node: NodeId) -> str:
+        text = name(node)
+        if tree.is_member(node):
+            text += " *"
+        if show_delays:
+            parent = tree.parent(node)
+            if parent is not None:
+                text += f" ({tree.topology.delay(parent, node):g})"
+        return text
+
+    def walk(node: NodeId, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(describe(node))
+            child_prefix = ""
+        else:
+            connector = "└── " if is_last else "├── "
+            lines.append(prefix + connector + describe(node))
+            child_prefix = prefix + ("    " if is_last else "│   ")
+        children = tree.children(node)
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1, False)
+
+    walk(tree.source, "", True, True)
+    return "\n".join(lines)
+
+
+def render_comparison(
+    left: MulticastTree,
+    right: MulticastTree,
+    left_title: str = "left",
+    right_title: str = "right",
+    label: Callable[[NodeId], str] | None = None,
+    gap: int = 4,
+) -> str:
+    """Two trees side by side with titles — e.g. SPF vs. SMRP."""
+    left_lines = render_tree(left, label=label).splitlines()
+    right_lines = render_tree(right, label=label).splitlines()
+    width = max([len(l) for l in left_lines] + [len(left_title)])
+    height = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (height - len(left_lines))
+    right_lines += [""] * (height - len(right_lines))
+    spacer = " " * gap
+    out = [f"{left_title.ljust(width)}{spacer}{right_title}"]
+    out.append(f"{'-' * width}{spacer}{'-' * max(len(right_title), 1)}")
+    for l, r in zip(left_lines, right_lines):
+        out.append(f"{l.ljust(width)}{spacer}{r}")
+    return "\n".join(out)
+
+
+def tree_statistics(tree: MulticastTree) -> str:
+    """One-line structural summary used under rendered trees."""
+    from repro.core.shr import shr_table
+
+    members = len(tree.members)
+    relays = len(tree.on_tree_nodes()) - members - (
+        0 if tree.is_member(tree.source) else 1
+    )
+    depth = max(
+        (len(tree.path_from_source(n)) - 1 for n in tree.on_tree_nodes()),
+        default=0,
+    )
+    worst_shr = max(shr_table(tree).values()) if tree.on_tree_nodes() else 0
+    return (
+        f"members={members} relays={max(relays, 0)} links={len(tree.tree_links())} "
+        f"depth={depth} cost={tree.tree_cost():g} max_SHR={worst_shr}"
+    )

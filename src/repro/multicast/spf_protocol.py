@@ -1,0 +1,84 @@
+"""SPF-based multicast baseline (PIM/MOSPF-style).
+
+This is the comparator in every figure of the paper's evaluation: "the
+traditional SPF-based multicast routing protocols" (§4.2).  Joins follow
+PIM-SM source-tree semantics: the join request travels from the new member
+along its unicast shortest path toward the source and grafts at the first
+on-tree router it meets.  No sharing metric, no delay bound — the unicast
+SPF decides everything.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AlreadyMemberError, NotMemberError
+from repro.graph.topology import NodeId, Topology
+from repro.multicast.tree import MulticastTree
+from repro.multicast.validation import check_tree_invariants
+from repro.routing.failure_view import NO_FAILURES, FailureSet
+from repro.routing.spf import shortest_path
+
+
+class SPFMulticastProtocol:
+    """Shortest-path-first multicast tree construction.
+
+    Parameters
+    ----------
+    topology:
+        The network.
+    source:
+        The multicast source.
+    self_check:
+        When True (default), tree invariants are re-validated after every
+        mutation; disable only in tight benchmark loops.
+    """
+
+    name = "SPF"
+
+    def __init__(
+        self, topology: Topology, source: NodeId, self_check: bool = True
+    ) -> None:
+        self.topology = topology
+        self.source = source
+        self.tree = MulticastTree(topology, source)
+        self.self_check = self_check
+
+    def join(self, member: NodeId, failures: FailureSet = NO_FAILURES) -> list[NodeId]:
+        """Join ``member`` along its unicast shortest path toward the source.
+
+        Returns the grafted path (merge node first).  ``failures`` models a
+        join issued after unicast re-convergence, with failed components
+        withdrawn — the global-detour rejoin of §4.3.1 uses this.
+        """
+        if self.tree.is_member(member):
+            raise AlreadyMemberError(member)
+        if self.tree.is_on_tree(member):
+            self.tree.add_member(member)
+            return [member]
+        # PIM sends the join from the member toward the source; the graft
+        # happens at the first on-tree router the join reaches.
+        toward_source = shortest_path(
+            self.topology, member, self.source, weight="delay", failures=failures
+        )
+        merge_index = next(
+            i for i, node in enumerate(toward_source) if self.tree.is_on_tree(node)
+        )
+        graft_path = list(reversed(toward_source[: merge_index + 1]))
+        self.tree.graft(graft_path)
+        if self.self_check:
+            check_tree_invariants(self.tree)
+        return graft_path
+
+    def leave(self, member: NodeId) -> list[NodeId]:
+        """Process a ``Leave_Req``; returns the pruned nodes."""
+        if not self.tree.is_member(member):
+            raise NotMemberError(member)
+        removed = self.tree.prune(member)
+        if self.self_check:
+            check_tree_invariants(self.tree)
+        return removed
+
+    def build(self, members: list[NodeId]) -> MulticastTree:
+        """Join a whole member list in order; returns the tree."""
+        for member in members:
+            self.join(member)
+        return self.tree

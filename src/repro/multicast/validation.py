@@ -1,0 +1,70 @@
+"""Multicast tree invariant checking.
+
+Used by tests (including hypothesis property tests) and as an optional
+self-check in the protocols after every mutation.  Checking is centralised
+here so that the invariants are stated once:
+
+1. every on-tree node reaches the source through the parent chain
+   (rooted, acyclic, connected);
+2. parent/children maps mirror each other exactly;
+3. every tree link exists in the topology;
+4. every member is an on-tree node;
+5. every leaf is a member (no dead branches — the leave procedure must
+   have trimmed them).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MulticastError
+from repro.multicast.tree import MulticastTree
+
+
+def check_tree_invariants(tree: MulticastTree) -> None:
+    """Raise :class:`MulticastError` when any tree invariant is violated."""
+    parent = tree._parent  # noqa: SLF001 — validation is a friend module.
+    children = tree._children  # noqa: SLF001
+    members = tree.members
+
+    if tree.source not in parent or parent[tree.source] is not None:
+        raise MulticastError("source must be on the tree with no parent")
+    if set(parent) != set(children):
+        raise MulticastError("parent and children maps cover different node sets")
+
+    # Mirror check.
+    for node, kids in children.items():
+        for child in kids:
+            if parent.get(child) != node:
+                raise MulticastError(
+                    f"child link {node}->{child} not mirrored in parent map"
+                )
+    for node, up in parent.items():
+        if up is not None and node not in children.get(up, set()):
+            raise MulticastError(f"parent link {node}->{up} not mirrored in children")
+
+    # Rooted/acyclic: every node must reach the source within |tree| hops.
+    limit = len(parent)
+    for node in parent:
+        cursor = node
+        for _ in range(limit + 1):
+            if cursor == tree.source:
+                break
+            cursor = parent[cursor]
+            if cursor is None:
+                raise MulticastError(f"node {node} has a parent chain ending off-root")
+        else:
+            raise MulticastError(f"cycle detected in parent chain of node {node}")
+
+    # Embedding: tree links must exist in the topology.
+    for node, up in parent.items():
+        if up is not None and not tree.topology.has_link(node, up):
+            raise MulticastError(f"tree link {node}-{up} is not in the topology")
+
+    # Membership.
+    for member in members:
+        if member not in parent:
+            raise MulticastError(f"member {member} is not on the tree")
+
+    # No dead branches.
+    for node, kids in children.items():
+        if not kids and node not in members and node != tree.source:
+            raise MulticastError(f"leaf {node} is neither a member nor the source")

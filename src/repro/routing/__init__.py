@@ -1,0 +1,38 @@
+"""Unicast routing substrate (the paper's OSPF-like underlay).
+
+SMRP sits on top of a conventional link-state unicast routing protocol: it
+needs shortest-path distances for the ``D_thresh`` bound, shortest paths to
+arbitrary merge points for candidate enumeration, and — for the global-
+detour baseline — re-converged routes after a failure.  This subpackage
+implements that underlay from scratch:
+
+- :mod:`repro.routing.failure_view` — immutable sets of failed components
+  and graph views that mask them,
+- :mod:`repro.routing.spf` — Dijkstra shortest-path-first with
+  deterministic tie-breaking,
+- :mod:`repro.routing.tables` — per-node routing tables,
+- :mod:`repro.routing.ksp` — Yen's k-shortest loopless paths,
+- :mod:`repro.routing.link_state` — a link-state database with flooding
+  and a convergence-latency model (used to contrast local-detour recovery
+  time against waiting for unicast re-convergence, §1 and [25]).
+"""
+
+from repro.routing.failure_view import FailureSet, NO_FAILURES
+from repro.routing.spf import ShortestPaths, dijkstra, shortest_path, spf_distance
+from repro.routing.tables import RoutingTable, build_routing_table
+from repro.routing.ksp import k_shortest_paths
+from repro.routing.link_state import LinkStateDatabase, ConvergenceModel
+
+__all__ = [
+    "FailureSet",
+    "NO_FAILURES",
+    "ShortestPaths",
+    "dijkstra",
+    "shortest_path",
+    "spf_distance",
+    "RoutingTable",
+    "build_routing_table",
+    "k_shortest_paths",
+    "LinkStateDatabase",
+    "ConvergenceModel",
+]

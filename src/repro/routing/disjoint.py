@@ -1,0 +1,163 @@
+"""Link-disjoint path pairs (Suurballe/Bhandari).
+
+The paper's related work (§2) contrasts SMRP's *reactive* local recovery
+with *proactive* schemes: Han & Shin's dependable connections [22]
+pre-establish a backup channel disjoint from the primary, and Medard et
+al. [16] build redundant trees.  To let the benchmarks compare SMRP
+against a protection-based design point, this module computes a pair of
+link-disjoint paths of minimum total delay between two nodes.
+
+Implementation: Bhandari's variant of Suurballe's algorithm —
+
+1. find a shortest path ``P1``;
+2. re-run a shortest-path search in a *modified* graph where every link
+   of ``P1`` may be traversed only in the reverse direction with negated
+   weight (requires a Bellman-Ford-style relaxation because of the
+   negative arcs);
+3. remove the arcs that ``P1`` and ``P2`` traverse in opposite
+   directions ("interlacing") and recombine the remainder into two
+   link-disjoint paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NoPathError, TopologyError
+from repro.graph.topology import Edge, NodeId, Topology, edge_key
+from repro.routing.failure_view import NO_FAILURES, FailureSet
+from repro.routing.spf import dijkstra
+
+
+@dataclass(frozen=True)
+class DisjointPair:
+    """Two link-disjoint paths between the same endpoints.
+
+    ``primary`` is the shorter of the two (ties by node sequence);
+    ``total_delay`` is their combined length — the resource footprint a
+    protection scheme must reserve.
+    """
+
+    primary: tuple[NodeId, ...]
+    backup: tuple[NodeId, ...]
+    primary_delay: float
+    backup_delay: float
+
+    @property
+    def total_delay(self) -> float:
+        return self.primary_delay + self.backup_delay
+
+    def shared_links(self) -> set[Edge]:
+        """Empty by construction; exposed for tests."""
+        first = {edge_key(u, v) for u, v in zip(self.primary, self.primary[1:])}
+        second = {edge_key(u, v) for u, v in zip(self.backup, self.backup[1:])}
+        return first & second
+
+
+def link_disjoint_paths(
+    topology: Topology,
+    source: NodeId,
+    target: NodeId,
+    failures: FailureSet = NO_FAILURES,
+) -> DisjointPair:
+    """Minimum-total-delay pair of link-disjoint paths ``source → target``.
+
+    Raises :class:`NoPathError` when no such pair exists (the graph has a
+    bridge separating the endpoints).
+    """
+    if not topology.has_node(source) or not topology.has_node(target):
+        raise TopologyError(f"unknown endpoint in ({source}, {target})")
+    if source == target:
+        raise TopologyError("disjoint paths need distinct endpoints")
+
+    first = dijkstra(topology, source, failures=failures)
+    if target not in first.dist:
+        raise NoPathError(source, target)
+    p1 = first.path_to(target)
+    p1_arcs = set(zip(p1, p1[1:]))
+
+    # Bellman-Ford over the residual graph: arcs of P1 are reversed with
+    # negated weight; all other links usable in both directions.
+    arcs: dict[tuple[NodeId, NodeId], float] = {}
+    for link in topology.links():
+        if not failures.link_usable(link.u, link.v):
+            continue
+        for u, v in ((link.u, link.v), (link.v, link.u)):
+            if (u, v) in p1_arcs:
+                continue  # forward traversal of a P1 arc is forbidden
+            if (v, u) in p1_arcs:
+                arcs[(u, v)] = -link.delay  # reverse of a P1 arc
+            else:
+                arcs[(u, v)] = link.delay
+
+    dist: dict[NodeId, float] = {source: 0.0}
+    parent: dict[NodeId, NodeId] = {}
+    for _ in range(topology.num_nodes):
+        changed = False
+        for (u, v), weight in arcs.items():
+            if u in dist and dist[u] + weight < dist.get(v, float("inf")) - 1e-12:
+                dist[v] = dist[u] + weight
+                parent[v] = u
+                changed = True
+        if not changed:
+            break
+    if target not in dist:
+        raise NoPathError(
+            source, target, reason="no second link-disjoint path exists"
+        )
+    p2: list[NodeId] = [target]
+    seen = {target}
+    cursor = target
+    while cursor != source:
+        cursor = parent[cursor]
+        if cursor in seen:  # pragma: no cover - negative cycle guard
+            raise NoPathError(source, target, reason="negative cycle detected")
+        seen.add(cursor)
+        p2.append(cursor)
+    p2.reverse()
+
+    return _recombine(topology, source, target, p1, p2)
+
+
+def _recombine(
+    topology: Topology,
+    source: NodeId,
+    target: NodeId,
+    p1: list[NodeId],
+    p2: list[NodeId],
+) -> DisjointPair:
+    """Drop interlacing arcs and stitch the remainder into two paths."""
+    arcs: set[tuple[NodeId, NodeId]] = set(zip(p1, p1[1:]))
+    for u, v in zip(p2, p2[1:]):
+        if (v, u) in arcs:
+            arcs.discard((v, u))  # traversed oppositely: cancels out
+        else:
+            arcs.add((u, v))
+
+    # The remaining arcs form two arc-disjoint source→target paths; walk
+    # them greedily.
+    out: dict[NodeId, list[NodeId]] = {}
+    for u, v in arcs:
+        out.setdefault(u, []).append(v)
+    for vs in out.values():
+        vs.sort()
+
+    paths: list[list[NodeId]] = []
+    for _ in range(2):
+        path = [source]
+        cursor = source
+        while cursor != target:
+            nxt = out[cursor].pop(0)
+            path.append(nxt)
+            cursor = nxt
+        paths.append(path)
+
+    delays = [topology.path_delay(p) for p in paths]
+    order = sorted(range(2), key=lambda i: (delays[i], paths[i]))
+    primary, backup = paths[order[0]], paths[order[1]]
+    return DisjointPair(
+        primary=tuple(primary),
+        backup=tuple(backup),
+        primary_delay=delays[order[0]],
+        backup_delay=delays[order[1]],
+    )

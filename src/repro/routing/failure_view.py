@@ -1,0 +1,96 @@
+"""Failure sets: immutable descriptions of failed links and nodes.
+
+A persistent failure (§1 of the paper: cable cuts, router crashes, extended
+congestion) removes components from service for a long time.  Routing and
+recovery algorithms take a :class:`FailureSet` and must never route through
+a failed component.  The set is immutable so that a failure scenario can be
+shared between the SMRP and baseline runs of an experiment without risk of
+mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.graph.topology import Edge, NodeId, edge_key
+
+
+@dataclass(frozen=True)
+class FailureSet:
+    """An immutable set of failed links and failed nodes.
+
+    A failed node implicitly fails all of its incident links; callers can
+    rely on :meth:`link_usable` to account for both.
+    """
+
+    failed_links: frozenset[Edge] = field(default_factory=frozenset)
+    failed_nodes: frozenset[NodeId] = field(default_factory=frozenset)
+
+    @staticmethod
+    def links(*links: tuple[NodeId, NodeId]) -> "FailureSet":
+        """Failure of the given links only."""
+        return FailureSet(
+            failed_links=frozenset(edge_key(u, v) for u, v in links)
+        )
+
+    @staticmethod
+    def nodes(*nodes: NodeId) -> "FailureSet":
+        """Failure of the given nodes (and implicitly their links)."""
+        return FailureSet(failed_nodes=frozenset(nodes))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.failed_links and not self.failed_nodes
+
+    def link_failed(self, u: NodeId, v: NodeId) -> bool:
+        """True when the link itself is listed as failed."""
+        return edge_key(u, v) in self.failed_links
+
+    def node_failed(self, node: NodeId) -> bool:
+        return node in self.failed_nodes
+
+    def link_usable(self, u: NodeId, v: NodeId) -> bool:
+        """True when neither the link nor either endpoint has failed."""
+        return (
+            not self.link_failed(u, v)
+            and u not in self.failed_nodes
+            and v not in self.failed_nodes
+        )
+
+    def path_affected(self, path: Iterable[NodeId]) -> bool:
+        """True when any node or link of ``path`` is failed."""
+        nodes = list(path)
+        if any(node in self.failed_nodes for node in nodes):
+            return True
+        return any(self.link_failed(u, v) for u, v in zip(nodes, nodes[1:]))
+
+    def union(self, other: "FailureSet") -> "FailureSet":
+        """Combined failure scenario."""
+        return FailureSet(
+            failed_links=self.failed_links | other.failed_links,
+            failed_nodes=self.failed_nodes | other.failed_nodes,
+        )
+
+    def iter_failed_links(self) -> Iterator[Edge]:
+        return iter(sorted(self.failed_links))
+
+    def iter_failed_nodes(self) -> Iterator[NodeId]:
+        return iter(sorted(self.failed_nodes))
+
+    def describe(self) -> str:
+        """Human-readable summary for traces and reports."""
+        if self.is_empty:
+            return "no failures"
+        parts = []
+        if self.failed_links:
+            links = ", ".join(f"{u}-{v}" for u, v in sorted(self.failed_links))
+            parts.append(f"links[{links}]")
+        if self.failed_nodes:
+            nodes = ", ".join(str(n) for n in sorted(self.failed_nodes))
+            parts.append(f"nodes[{nodes}]")
+        return " ".join(parts)
+
+
+#: The empty failure scenario, shared to avoid rebuilding it everywhere.
+NO_FAILURES = FailureSet()

@@ -1,0 +1,84 @@
+"""Yen's k-shortest loopless paths.
+
+SMRP's candidate enumeration normally needs only the single shortest path
+from the joining member to each merge point (paper footnote 4: "we only
+consider the shortest one").  K-shortest paths are used in two places:
+
+- the ablation benches, to measure how much is lost by that restriction,
+- recovery stress tests, where the first detour may itself be faulty.
+
+Implemented as classic Yen: repeatedly compute spur paths off the previous
+best path with root-prefix and used-edge masking.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, NoPathError
+from repro.graph.topology import NodeId, Topology, edge_key
+from repro.routing.failure_view import NO_FAILURES, FailureSet
+from repro.routing.spf import shortest_path
+
+
+def k_shortest_paths(
+    topology: Topology,
+    source: NodeId,
+    target: NodeId,
+    k: int,
+    weight: str = "delay",
+    failures: FailureSet = NO_FAILURES,
+) -> list[list[NodeId]]:
+    """Up to ``k`` loopless shortest paths, in nondecreasing length order.
+
+    Returns fewer than ``k`` paths when the graph does not contain that
+    many; raises :class:`NoPathError` when source and target are entirely
+    disconnected.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    first = shortest_path(topology, source, target, weight=weight, failures=failures)
+    accepted: list[list[NodeId]] = [first]
+    candidates: list[tuple[float, list[NodeId]]] = []
+
+    while len(accepted) < k:
+        previous = accepted[-1]
+        for spur_index in range(len(previous) - 1):
+            root = previous[: spur_index + 1]
+            spur_node = previous[spur_index]
+
+            # Mask edges that would recreate an already-accepted path with
+            # the same root, plus the root's interior nodes (loopless-ness).
+            masked_links = set()
+            for path in accepted + [p for _, p in candidates]:
+                if path[: spur_index + 1] == root and len(path) > spur_index + 1:
+                    masked_links.add(edge_key(path[spur_index], path[spur_index + 1]))
+            masked_nodes = set(root[:-1])
+
+            spur_failures = failures.union(
+                FailureSet(
+                    failed_links=frozenset(masked_links),
+                    failed_nodes=frozenset(masked_nodes),
+                )
+            )
+            try:
+                spur = shortest_path(
+                    topology, spur_node, target, weight=weight, failures=spur_failures
+                )
+            except NoPathError:
+                continue
+            total = root[:-1] + spur
+            length = _path_weight(topology, total, weight)
+            if all(total != p for _, p in candidates) and total not in accepted:
+                candidates.append((length, total))
+
+        if not candidates:
+            break
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        __, best = candidates.pop(0)
+        accepted.append(best)
+    return accepted
+
+
+def _path_weight(topology: Topology, path: list[NodeId], weight: str) -> float:
+    if weight == "delay":
+        return topology.path_delay(path)
+    return topology.path_cost(path)

@@ -1,0 +1,227 @@
+"""Shortest-path-first (Dijkstra) routing with deterministic tie-breaking.
+
+This is the library's single source of truth for unicast shortest paths.
+It is written from scratch (rather than deferring to networkx) because the
+reproduction needs explicit, testable semantics:
+
+- **Failure masking.**  Every computation takes a
+  :class:`~repro.routing.failure_view.FailureSet`; failed links and nodes
+  are invisible, exactly as a re-converged link-state protocol would see
+  the network.
+
+- **Deterministic ties.**  When two paths have equal length, the one whose
+  predecessor node id is smaller wins.  The paper's experiments average
+  over randomized topologies, but determinism makes every individual
+  scenario reproducible and lets tests pin exact trees.
+
+- **Weight selection.**  Paths can be computed over ``delay`` (the paper's
+  default — its SPF baseline and D_thresh bound are delay-based) or
+  ``cost``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import NoPathError, RoutingError, TopologyError
+from repro.graph.topology import NodeId, Topology
+from repro.routing.failure_view import NO_FAILURES, FailureSet
+
+
+@dataclass
+class ShortestPaths:
+    """Single-source shortest-path result.
+
+    Attributes
+    ----------
+    source:
+        The root of this SPF computation.
+    dist:
+        Map of reachable node → distance from ``source``.
+    parent:
+        Map of reachable node → predecessor on its shortest path
+        (``source`` maps to ``None``).
+    """
+
+    source: NodeId
+    dist: dict[NodeId, float] = field(default_factory=dict)
+    parent: dict[NodeId, NodeId | None] = field(default_factory=dict)
+
+    def reachable(self, node: NodeId) -> bool:
+        return node in self.dist
+
+    def distance(self, node: NodeId) -> float:
+        """Distance from the source; raises :class:`NoPathError` if unreachable."""
+        try:
+            return self.dist[node]
+        except KeyError:
+            raise NoPathError(self.source, node) from None
+
+    def path_to(self, node: NodeId) -> list[NodeId]:
+        """The shortest path ``source → … → node`` as a node list."""
+        if node not in self.dist:
+            raise NoPathError(self.source, node)
+        path: list[NodeId] = []
+        cursor: NodeId | None = node
+        while cursor is not None:
+            path.append(cursor)
+            cursor = self.parent[cursor]
+        path.reverse()
+        if path[0] != self.source:
+            raise RoutingError(
+                f"corrupt SPF state: path to {node} starts at {path[0]}, "
+                f"not source {self.source}"
+            )
+        return path
+
+    def next_hop(self, node: NodeId) -> NodeId:
+        """First hop from the source toward ``node``."""
+        path = self.path_to(node)
+        if len(path) < 2:
+            raise RoutingError(f"{node} is the source itself; no next hop")
+        return path[1]
+
+
+def dijkstra(
+    topology: Topology,
+    source: NodeId,
+    weight: str = "delay",
+    failures: FailureSet = NO_FAILURES,
+) -> ShortestPaths:
+    """Compute single-source shortest paths under a failure scenario.
+
+    Failed nodes (including a failed ``source``) and failed links are
+    excluded from the search.  Nodes left unreachable simply do not appear
+    in the result.
+    """
+    if weight not in ("delay", "cost"):
+        raise RoutingError(f"unknown weight {weight!r}; expected 'delay' or 'cost'")
+    if not topology.has_node(source):
+        raise TopologyError(f"source {source} is not in the topology")
+    result = ShortestPaths(source=source)
+    if failures.node_failed(source):
+        return result
+
+    adjacency = topology.adjacency()
+    weight_of = (
+        (lambda u, v: adjacency[u][v])
+        if weight == "delay"
+        else (lambda u, v: topology.cost(u, v))
+    )
+
+    result.dist[source] = 0.0
+    result.parent[source] = None
+    # Heap entries: (distance, predecessor id, node).  Including the
+    # predecessor id makes equal-distance pops deterministic: the path via
+    # the smaller predecessor is settled first and kept.
+    heap: list[tuple[float, int, NodeId]] = [(0.0, -1, source)]
+    settled: set[NodeId] = set()
+    while heap:
+        dist_u, _, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        for v in sorted(adjacency[u]):
+            if v in settled:
+                continue
+            if not failures.link_usable(u, v):
+                continue
+            candidate = dist_u + weight_of(u, v)
+            best = result.dist.get(v)
+            if best is None or candidate < best - 1e-12:
+                result.dist[v] = candidate
+                result.parent[v] = u
+                heapq.heappush(heap, (candidate, u, v))
+            elif abs(candidate - best) <= 1e-12 and u < (result.parent[v] or -1):
+                # Tie: prefer the smaller predecessor id for determinism.
+                result.parent[v] = u
+                heapq.heappush(heap, (candidate, u, v))
+    return result
+
+
+def dijkstra_with_barriers(
+    topology: Topology,
+    source: NodeId,
+    barriers: set[NodeId],
+    weight: str = "delay",
+    failures: FailureSet = NO_FAILURES,
+) -> ShortestPaths:
+    """Shortest paths that may *end* at a barrier node but never cross one.
+
+    Barrier nodes can be settled (they are valid destinations) but their
+    outgoing links are not relaxed, so no path traverses them.  This is
+    the search a join request effectively performs: for every on-tree
+    node ``R_i`` it yields the shortest connection from the joining member
+    that touches the tree exactly at ``R_i`` (paper §3.2.2 — a request
+    routed through an earlier on-tree node would merge there instead).
+
+    ``source`` being itself a barrier is allowed (used when a node already
+    on the tree re-selects its path): the search starts normally from it.
+    """
+    if weight not in ("delay", "cost"):
+        raise RoutingError(f"unknown weight {weight!r}; expected 'delay' or 'cost'")
+    if not topology.has_node(source):
+        raise TopologyError(f"source {source} is not in the topology")
+    result = ShortestPaths(source=source)
+    if failures.node_failed(source):
+        return result
+
+    adjacency = topology.adjacency()
+    weight_of = (
+        (lambda u, v: adjacency[u][v])
+        if weight == "delay"
+        else (lambda u, v: topology.cost(u, v))
+    )
+    result.dist[source] = 0.0
+    result.parent[source] = None
+    heap: list[tuple[float, int, NodeId]] = [(0.0, -1, source)]
+    settled: set[NodeId] = set()
+    while heap:
+        dist_u, _, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if u in barriers and u != source:
+            continue  # reachable, but not traversable
+        for v in sorted(adjacency[u]):
+            if v in settled:
+                continue
+            if not failures.link_usable(u, v):
+                continue
+            candidate = dist_u + weight_of(u, v)
+            best = result.dist.get(v)
+            if best is None or candidate < best - 1e-12:
+                result.dist[v] = candidate
+                result.parent[v] = u
+                heapq.heappush(heap, (candidate, u, v))
+            elif abs(candidate - best) <= 1e-12 and u < (result.parent[v] or -1):
+                result.parent[v] = u
+                heapq.heappush(heap, (candidate, u, v))
+    return result
+
+
+def shortest_path(
+    topology: Topology,
+    source: NodeId,
+    target: NodeId,
+    weight: str = "delay",
+    failures: FailureSet = NO_FAILURES,
+) -> list[NodeId]:
+    """Shortest path between two nodes; raises :class:`NoPathError` if none."""
+    if not topology.has_node(target):
+        raise TopologyError(f"target {target} is not in the topology")
+    return dijkstra(topology, source, weight=weight, failures=failures).path_to(target)
+
+
+def spf_distance(
+    topology: Topology,
+    source: NodeId,
+    target: NodeId,
+    weight: str = "delay",
+    failures: FailureSet = NO_FAILURES,
+) -> float:
+    """Shortest-path distance between two nodes under a failure scenario."""
+    if not topology.has_node(target):
+        raise TopologyError(f"target {target} is not in the topology")
+    return dijkstra(topology, source, weight=weight, failures=failures).distance(target)

@@ -1,0 +1,99 @@
+"""Per-node unicast routing tables.
+
+The discrete-event simulator's nodes forward control messages hop by hop,
+the way real routers would relay a PIM ``Join`` toward the source.  Each
+node therefore holds a :class:`RoutingTable`: destination → (next hop,
+distance), derived from an SPF computation over the node's current view of
+the network (i.e. its link-state database after masking known failures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NoPathError
+from repro.graph.topology import NodeId, Topology
+from repro.routing.failure_view import NO_FAILURES, FailureSet
+from repro.routing.spf import dijkstra
+
+
+@dataclass
+class RouteEntry:
+    """One routing-table row."""
+
+    destination: NodeId
+    next_hop: NodeId
+    distance: float
+
+
+@dataclass
+class RoutingTable:
+    """Unicast routing table of a single node."""
+
+    owner: NodeId
+    entries: dict[NodeId, RouteEntry] = field(default_factory=dict)
+
+    def has_route(self, destination: NodeId) -> bool:
+        return destination == self.owner or destination in self.entries
+
+    def next_hop(self, destination: NodeId) -> NodeId:
+        """Next hop toward ``destination``; raises if unreachable."""
+        if destination == self.owner:
+            raise NoPathError(
+                self.owner, destination, reason="destination is the node itself"
+            )
+        try:
+            return self.entries[destination].next_hop
+        except KeyError:
+            raise NoPathError(self.owner, destination) from None
+
+    def distance(self, destination: NodeId) -> float:
+        if destination == self.owner:
+            return 0.0
+        try:
+            return self.entries[destination].distance
+        except KeyError:
+            raise NoPathError(self.owner, destination) from None
+
+    def destinations(self) -> list[NodeId]:
+        return sorted(self.entries)
+
+
+def build_routing_table(
+    topology: Topology,
+    owner: NodeId,
+    weight: str = "delay",
+    failures: FailureSet = NO_FAILURES,
+) -> RoutingTable:
+    """Compute ``owner``'s routing table under a failure scenario.
+
+    Equivalent to the table OSPF would install after SPF over the node's
+    link-state database with the failed components withdrawn.
+    """
+    paths = dijkstra(topology, owner, weight=weight, failures=failures)
+    table = RoutingTable(owner=owner)
+    for destination in paths.dist:
+        if destination == owner:
+            continue
+        table.entries[destination] = RouteEntry(
+            destination=destination,
+            next_hop=paths.next_hop(destination),
+            distance=paths.dist[destination],
+        )
+    return table
+
+
+def build_all_tables(
+    topology: Topology,
+    weight: str = "delay",
+    failures: FailureSet = NO_FAILURES,
+) -> dict[NodeId, RoutingTable]:
+    """Routing tables for every live node — a converged unicast routing plane."""
+    tables = {}
+    for node in topology.nodes():
+        if failures.node_failed(node):
+            continue
+        tables[node] = build_routing_table(
+            topology, node, weight=weight, failures=failures
+        )
+    return tables

@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate (the paper's ns2 substitute).
+
+The paper evaluates SMRP in ns2; this subpackage provides the equivalent
+control-plane simulation: nodes exchange ``Join_Req``/``Leave_Req``/query/
+refresh/heartbeat messages over delay-weighted links, soft state expires
+unless refreshed, failures are injected at absolute times, and recovery
+latency is measured in simulated time.
+
+- :mod:`repro.sim.engine` — event queue and simulation clock,
+- :mod:`repro.sim.events` — timers and event records,
+- :mod:`repro.sim.messages` — the control-message vocabulary,
+- :mod:`repro.sim.network` — links with delays and dynamic failure state,
+- :mod:`repro.sim.node` — the per-node message-dispatch runtime,
+- :mod:`repro.sim.softstate` — soft-state table with refresh/expiry,
+- :mod:`repro.sim.failures` — failure injection schedules,
+- :mod:`repro.sim.protocols` — SMRP and the SPF baseline over the DES,
+- :mod:`repro.sim.trace` — structured event tracing.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.network import SimNetwork
+from repro.sim.failures import FailureSchedule
+from repro.sim.protocols import SmrpSimulation, SpfSimulation
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = [
+    "Simulator",
+    "SimNetwork",
+    "FailureSchedule",
+    "SmrpSimulation",
+    "SpfSimulation",
+    "Trace",
+    "TraceRecord",
+]

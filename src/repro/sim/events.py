@@ -1,0 +1,90 @@
+"""Timer helpers built on the simulator engine."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventHandle, Simulator
+
+
+class PeriodicTimer:
+    """A repeating timer (soft-state refresh, reshaping Condition II).
+
+    The callback runs every ``period`` time units until :meth:`stop` is
+    called.  The first firing happens one full period after :meth:`start`.
+    """
+
+    def __init__(
+        self, sim: Simulator, period: float, callback: Callable[[], None]
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"timer period must be positive, got {period}")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._handle: EventHandle | None = None
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._arm()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _arm(self) -> None:
+        self._handle = self._sim.schedule(self._period, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if self._running:
+            self._arm()
+
+
+class WatchdogTimer:
+    """A deadline that is pushed back every time activity is observed.
+
+    Used for heartbeat-based failure detection: the watchdog fires only
+    when ``timeout`` elapses with no :meth:`kick`.
+    """
+
+    def __init__(
+        self, sim: Simulator, timeout: float, on_expire: Callable[[], None]
+    ) -> None:
+        if timeout <= 0:
+            raise SimulationError(f"watchdog timeout must be positive, got {timeout}")
+        self._sim = sim
+        self._timeout = timeout
+        self._on_expire = on_expire
+        self._handle: EventHandle | None = None
+
+    def kick(self) -> None:
+        """Record activity: re-arm the deadline."""
+        if self._handle is not None:
+            self._handle.cancel()
+        self._handle = self._sim.schedule(self._timeout, self._expire)
+
+    def disarm(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    def _expire(self) -> None:
+        self._handle = None
+        self._on_expire()

@@ -1,0 +1,80 @@
+"""Failure injection schedules.
+
+Persistent failures are injected at absolute simulated times and never
+heal by themselves (the paper's failure model: cable cuts, crashed
+routers, §1).  A :class:`FailureSchedule` binds injection times to a
+:class:`~repro.sim.network.SimNetwork` and arms them on a simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.graph.topology import NodeId
+from repro.sim.engine import Simulator
+from repro.sim.network import SimNetwork
+
+
+@dataclass(frozen=True)
+class LinkFailure:
+    time: float
+    u: NodeId
+    v: NodeId
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    time: float
+    node: NodeId
+
+
+@dataclass
+class FailureSchedule:
+    """A set of timed persistent failures."""
+
+    link_failures: list[LinkFailure] = field(default_factory=list)
+    node_failures: list[NodeFailure] = field(default_factory=list)
+
+    def fail_link_at(self, time: float, u: NodeId, v: NodeId) -> "FailureSchedule":
+        if time < 0:
+            raise ConfigurationError(f"failure time must be non-negative: {time}")
+        self.link_failures.append(LinkFailure(time, u, v))
+        return self
+
+    def fail_node_at(self, time: float, node: NodeId) -> "FailureSchedule":
+        if time < 0:
+            raise ConfigurationError(f"failure time must be non-negative: {time}")
+        self.node_failures.append(NodeFailure(time, node))
+        return self
+
+    def arm(self, sim: Simulator, network: SimNetwork) -> None:
+        """Schedule every failure on the simulator."""
+        for lf in self.link_failures:
+            sim.schedule_at(lf.time, lambda lf=lf: self._inject_link(network, lf))
+        for nf in self.node_failures:
+            sim.schedule_at(nf.time, lambda nf=nf: self._inject_node(network, nf))
+
+    @staticmethod
+    def _inject_link(network: SimNetwork, failure: LinkFailure) -> None:
+        network.fail_link(failure.u, failure.v)
+        if network.trace is not None:
+            network.trace.record(
+                network.sim.now,
+                "failure",
+                failure.u,
+                "link_failed",
+                detail=f"link {failure.u}-{failure.v}",
+            )
+
+    @staticmethod
+    def _inject_node(network: SimNetwork, failure: NodeFailure) -> None:
+        network.fail_node(failure.node)
+        if network.trace is not None:
+            network.trace.record(
+                network.sim.now, "failure", failure.node, "node_failed"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.link_failures and not self.node_failures

@@ -1,0 +1,166 @@
+"""Control-message vocabulary of the simulated protocols.
+
+Messages travel hop by hop: every message names only its transmitting and
+receiving nodes on one link; multi-hop semantics (e.g. a ``Join_Req``
+walking its selected path toward the source) are implemented by the
+receiving node forwarding a successor message.  This mirrors how the real
+protocol installs per-hop soft state as the request advances (§3.2.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.graph.topology import NodeId
+
+_message_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: one hop of one control message.
+
+    ``hop_src``/``hop_dst`` are the link endpoints for this transmission;
+    subclasses carry the protocol payload.
+    """
+
+    hop_src: NodeId
+    hop_dst: NodeId
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class JoinReq(Message):
+    """``Join_Req`` advancing along its selected path toward the source.
+
+    ``joiner`` is the new member; ``path`` is the remaining route (the
+    next element after ``hop_dst``'s position is where it forwards next);
+    ``member`` distinguishes receiver joins from relay activations.
+    """
+
+    joiner: NodeId = -1
+    path: tuple[NodeId, ...] = ()
+    member: bool = True
+
+
+@dataclass(frozen=True)
+class JoinAck(Message):
+    """Confirmation flowing back from the merge node to the joiner."""
+
+    joiner: NodeId = -1
+    merge_node: NodeId = -1
+    path: tuple[NodeId, ...] = ()
+
+
+@dataclass(frozen=True)
+class LeaveReq(Message):
+    """``Leave_Req`` walking from a departing member toward the source."""
+
+    leaver: NodeId = -1
+
+
+@dataclass(frozen=True)
+class ShrQuery(Message):
+    """§3.3.1 query relayed along a neighbor's SPF path to the source."""
+
+    origin: NodeId = -1  # the joining member
+    relay: NodeId = -1  # the neighbor that relays the query
+    visited: tuple[NodeId, ...] = ()
+
+
+@dataclass(frozen=True)
+class ShrResponse(Message):
+    """Response from the first on-tree node a query met."""
+
+    origin: NodeId = -1
+    relay: NodeId = -1
+    on_tree_node: NodeId = -1
+    shr: int = 0
+    on_tree_delay: float = 0.0
+    relay_path: tuple[NodeId, ...] = ()
+
+
+@dataclass(frozen=True)
+class Refresh(Message):
+    """Soft-state refresh sent periodically from each node to its parent."""
+
+    subtree_members: int = 0  # piggybacks N_R for SHR maintenance (Eq. 2)
+
+
+@dataclass(frozen=True)
+class ShrAdvert(Message):
+    """Parent-to-child advertisement of the parent's SHR value (Eq. 2).
+
+    Children compute their own ``SHR = advert.shr_upstream + N_self`` and
+    propagate further down, implementing the iterative calculation of
+    §3.2.1; it also serves as the downstream heartbeat that failure
+    detection watches.
+    """
+
+    shr_upstream: int = 0
+
+
+@dataclass(frozen=True)
+class Prune(Message):
+    """Sent upstream when a node's last downstream state disappears."""
+
+    pruned: NodeId = -1
+
+
+@dataclass(frozen=True)
+class Lsa(Message):
+    """Link-state advertisement: a router announces a dead link.
+
+    Flooded hop by hop over the surviving topology; receivers that learn
+    something new re-flood to their other neighbors (OSPF-style reliable
+    flooding, without the ack machinery — persistent failures give
+    endless re-detection opportunities).
+    """
+
+    failed_u: NodeId = -1
+    failed_v: NodeId = -1
+
+
+@dataclass(frozen=True)
+class HopByHopJoin(Message):
+    """A PIM-style join routed by each hop's *own* unicast table.
+
+    Unlike :class:`JoinReq` (source-routed along a path the joiner
+    selected), this join carries only the target and the visited trail;
+    every router forwards it toward the source according to its current
+    link-state view.  Before re-convergence that view may still point at
+    the failure — the join is then lost and must be retried, which is
+    precisely the re-convergence wait the paper's local detour avoids.
+    """
+
+    joiner: NodeId = -1
+    target: NodeId = -1
+    visited: tuple[NodeId, ...] = ()
+
+
+@dataclass(frozen=True)
+class HopByHopAck(Message):
+    """Ack for a hop-by-hop join, returned along the recorded trail."""
+
+    joiner: NodeId = -1
+    merge_node: NodeId = -1
+    trail: tuple[NodeId, ...] = ()
+
+
+@dataclass(frozen=True)
+class DataPacket(Message):
+    """One multicast data packet, forwarded down the tree's soft state.
+
+    ``seq`` is the source's monotone sequence number; receivers log the
+    sequence numbers they see, and gaps measure the service disruption a
+    failure caused.  ``ttl`` caps forwarding depth as a transient-loop
+    guard (real multicast routers do the same).
+    """
+
+    seq: int = 0
+    ttl: int = 64

@@ -1,0 +1,141 @@
+"""The simulated network: message delivery over links with failure state.
+
+The network owns the dynamic failure state (links and nodes can fail at
+any simulated time).  Transmission semantics for persistent failures:
+
+- a message sent over a failed link is silently lost (exactly what a
+  cable cut does — detection is the protocols' job, via heartbeats),
+- a failed node neither sends nor receives,
+- link delays are the topology's ``delay`` weights; per-message jitter is
+  zero so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, TYPE_CHECKING
+
+from repro.errors import SimulationError, TopologyError
+from repro.graph.topology import Edge, NodeId, Topology, edge_key
+from repro.routing.failure_view import FailureSet
+from repro.sim.engine import Simulator
+from repro.sim.messages import Message
+from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.node import SimNode
+
+
+@dataclass
+class NetworkStats:
+    """Message accounting over the whole run."""
+
+    sent: int = 0
+    delivered: int = 0
+    lost_link_failed: int = 0
+    lost_node_failed: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+
+class SimNetwork:
+    """Delivers messages between registered nodes with link delays."""
+
+    def __init__(self, sim: Simulator, topology: Topology, trace: Trace | None = None) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.trace = trace
+        self.stats = NetworkStats()
+        self._nodes: dict[NodeId, "SimNode"] = {}
+        self._failed_links: set[Edge] = set()
+        self._failed_nodes: set[NodeId] = set()
+        #: When the most recent failure was injected (None: never).
+        self.last_failure_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # Registration and failure state
+    # ------------------------------------------------------------------
+    def register(self, node: "SimNode") -> None:
+        if node.node_id in self._nodes:
+            raise SimulationError(f"node {node.node_id} registered twice")
+        if not self.topology.has_node(node.node_id):
+            raise TopologyError(f"node {node.node_id} is not in the topology")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: NodeId) -> "SimNode":
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise SimulationError(f"node {node_id} is not registered") from None
+
+    def nodes(self) -> list["SimNode"]:
+        return [self._nodes[n] for n in sorted(self._nodes)]
+
+    def fail_link(self, u: NodeId, v: NodeId) -> None:
+        if not self.topology.has_link(u, v):
+            raise TopologyError(f"cannot fail missing link {edge_key(u, v)}")
+        self._failed_links.add(edge_key(u, v))
+        self.last_failure_at = self.sim.now
+
+    def fail_node(self, node: NodeId) -> None:
+        if not self.topology.has_node(node):
+            raise TopologyError(f"cannot fail missing node {node}")
+        self._failed_nodes.add(node)
+        self.last_failure_at = self.sim.now
+
+    def repair_all(self) -> None:
+        self._failed_links.clear()
+        self._failed_nodes.clear()
+
+    @property
+    def current_failures(self) -> FailureSet:
+        return FailureSet(
+            failed_links=frozenset(self._failed_links),
+            failed_nodes=frozenset(self._failed_nodes),
+        )
+
+    def link_usable(self, u: NodeId, v: NodeId) -> bool:
+        return self.current_failures.link_usable(u, v)
+
+    def node_alive(self, node: NodeId) -> bool:
+        return node not in self._failed_nodes
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(self, message: Message) -> None:
+        """Send one message over one link; deliver after the link delay."""
+        u, v = message.hop_src, message.hop_dst
+        if not self.topology.has_link(u, v):
+            raise TopologyError(f"no link {edge_key(u, v)} for message {message.kind}")
+        self.stats.sent += 1
+        self.stats.by_kind[message.kind] = self.stats.by_kind.get(message.kind, 0) + 1
+        if self.trace is not None:
+            self.trace.record(self.sim.now, "send", u, message.kind, detail=f"to {v}")
+        if u in self._failed_nodes:
+            self.stats.lost_node_failed += 1
+            return
+        if edge_key(u, v) in self._failed_links:
+            self.stats.lost_link_failed += 1
+            return
+        delay = self.topology.delay(u, v)
+        self.sim.schedule(delay, lambda: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        v = message.hop_dst
+        # Failure state is re-checked at delivery time: a failure injected
+        # while the message was in flight loses it.
+        if v in self._failed_nodes or message.hop_src in self._failed_nodes:
+            self.stats.lost_node_failed += 1
+            return
+        if edge_key(message.hop_src, v) in self._failed_links:
+            self.stats.lost_link_failed += 1
+            return
+        receiver = self._nodes.get(v)
+        if receiver is None:
+            raise SimulationError(f"message for unregistered node {v}")
+        self.stats.delivered += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "recv", v, message.kind, detail=f"from {message.hop_src}"
+            )
+        receiver.receive(message)

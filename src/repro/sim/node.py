@@ -1,0 +1,60 @@
+"""The per-node simulation runtime.
+
+A :class:`SimNode` is a router participating in the simulation: it
+receives messages from the network and dispatches them to handlers
+registered per message type.  Protocol implementations subclass it and
+register their handlers in ``__init__``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.graph.topology import NodeId
+from repro.sim.messages import Message
+from repro.sim.network import SimNetwork
+
+
+class SimNode:
+    """Base class for simulated routers."""
+
+    def __init__(self, node_id: NodeId, network: SimNetwork) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.sim = network.sim
+        self._handlers: dict[type, Callable[[Message], None]] = {}
+        network.register(self)
+
+    def on(self, message_type: type, handler: Callable[[Message], None]) -> None:
+        """Register ``handler`` for messages of ``message_type``."""
+        if message_type in self._handlers:
+            raise SimulationError(
+                f"node {self.node_id} already handles {message_type.__name__}"
+            )
+        self._handlers[message_type] = handler
+
+    def receive(self, message: Message) -> None:
+        """Dispatch an arriving message; dead nodes ignore everything."""
+        if not self.network.node_alive(self.node_id):
+            return
+        handler = self._handlers.get(type(message))
+        if handler is None:
+            raise SimulationError(
+                f"node {self.node_id} has no handler for {message.kind}"
+            )
+        handler(message)
+
+    def send(self, message: Message) -> None:
+        """Transmit a message whose ``hop_src`` must be this node."""
+        if message.hop_src != self.node_id:
+            raise SimulationError(
+                f"node {self.node_id} cannot send a message from {message.hop_src}"
+            )
+        self.network.transmit(message)
+
+    def trace(self, category: str, event: str, detail: str = "") -> None:
+        if self.network.trace is not None:
+            self.network.trace.record(
+                self.sim.now, category, self.node_id, event, detail
+            )

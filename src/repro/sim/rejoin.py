@@ -1,0 +1,332 @@
+"""The global-detour baseline, measured entirely in simulated time.
+
+The paper's motivation (§1, citing Wang et al. [25]) is that PIM-style
+failure recovery is dominated by the *unicast re-convergence wait*: the
+member's new shortest path only exists once OSPF has flooded the failure
+and every router on the path has re-run SPF.  The analytic
+:class:`~repro.routing.link_state.ConvergenceModel` estimates that wait;
+this module *simulates* it message by message:
+
+1. the router adjacent to a dead link detects it (loss of signal — its
+   watchdog fired *and* the link is physically down) and originates an
+   :class:`~repro.sim.messages.Lsa`, flooded hop by hop;
+2. every router merges the LSA into its own
+   :class:`~repro.routing.link_state.LinkStateDatabase` and re-floods
+   when it learned something new;
+3. the disconnected node periodically retries a
+   :class:`~repro.sim.messages.HopByHopJoin` toward the source.  Each
+   router forwards it by its *own current* routing table — a router that
+   has not re-converged forwards the join straight into the failure,
+   where it is lost.  Service restores only when the tables along the
+   way are consistent, exactly the effect the paper describes.
+
+The SMRP-vs-baseline restoration-latency bench runs the same scenario in
+:class:`~repro.sim.protocols.SmrpSimulation` (local detour) and in
+:class:`SpfRejoinSimulation` and compares the measured latencies.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NoPathError
+from repro.graph.topology import NodeId, Topology
+from repro.routing.link_state import LinkStateDatabase
+from repro.routing.spf import dijkstra
+from repro.routing.tables import RoutingTable
+from repro.sim.messages import HopByHopAck, HopByHopJoin, Lsa, Message
+from repro.sim.network import SimNetwork
+from repro.sim.protocols import (
+    MulticastSimNode,
+    RecoveryRecord,
+    SimTimers,
+    _BaseSimulation,
+)
+from repro.sim.trace import Trace
+
+
+class RejoinSimNode(MulticastSimNode):
+    """A router with a link-state database and hop-by-hop join support.
+
+    Routing tables are **not** updated the instant an LSA arrives: like
+    real OSPF implementations (spfDelay/spfHoldtime), the router schedules
+    an SPF recomputation ``owner.spf_recompute_delay`` after the LSDB
+    changes and keeps forwarding on the stale table until then.  This is
+    the re-convergence wait of [25] that the global detour inherits and
+    the local detour sidesteps.
+    """
+
+    def __init__(self, node_id: NodeId, network: SimNetwork, owner) -> None:
+        super().__init__(node_id, network, owner)
+        self.lsdb = LinkStateDatabase(node_id, network.topology)
+        # Computed eagerly: the pristine table must be in place before any
+        # failure, so that post-failure knowledge only takes effect after
+        # the scheduled SPF run (never by lazy first-use computation).
+        self._routing_table: RoutingTable = self.lsdb.routing_table()
+        self._spf_scheduled = False
+        self.on(Lsa, self._handle_lsa)
+        self.on(HopByHopJoin, self._handle_hop_join)
+        self.on(HopByHopAck, self._handle_hop_ack)
+
+    # ------------------------------------------------------------------
+    # Link-state machinery
+    # ------------------------------------------------------------------
+    def routing_table(self) -> RoutingTable:
+        return self._routing_table
+
+    def _schedule_spf(self) -> None:
+        """Queue an SPF run; the stale table keeps forwarding meanwhile."""
+        if self._spf_scheduled:
+            return
+        self._spf_scheduled = True
+
+        def recompute() -> None:
+            self._spf_scheduled = False
+            self._routing_table = self.lsdb.routing_table()
+            self.trace("lsa", "spf-recomputed")
+            self.owner.note_converged(self.node_id, self.sim.now)
+            self._reevaluate_rpf()
+
+        self.sim.schedule(self.owner.spf_recompute_delay, recompute)
+
+    def _reevaluate_rpf(self) -> None:
+        """PIM's RPF check after a table change: an on-tree router whose
+        upstream no longer matches its route toward the source re-joins
+        through the new RPF neighbor (this is what dissolves the
+        transient loops formed by joins that merged at stale state)."""
+        if self.is_source or not self.on_tree:
+            return
+        table = self._routing_table
+        if not table.has_route(self.owner.source):
+            return
+        expected = table.next_hop(self.owner.source)
+        if expected == self.upstream:
+            return
+        old_upstream = self.upstream
+        self.trace(
+            "join", "rpf-change", detail=f"{old_upstream} -> {expected}"
+        )
+        self.connected = False
+        self.start_hop_by_hop_join(self.owner.source)
+        if old_upstream is not None and old_upstream != self.upstream:
+            from repro.sim.messages import Prune
+
+            if self.network.topology.has_link(self.node_id, old_upstream):
+                self.send(
+                    Prune(
+                        hop_src=self.node_id,
+                        hop_dst=old_upstream,
+                        pruned=self.node_id,
+                    )
+                )
+
+    def originate_lsa(self, u: NodeId, v: NodeId) -> None:
+        """Announce a dead link and flood it.
+
+        Even the originator keeps forwarding on its stale table until its
+        own scheduled SPF run — OSPF implementations batch exactly so.
+        """
+        from repro.routing.failure_view import FailureSet
+
+        if self.lsdb.learn_failure(FailureSet.links((u, v))):
+            self._schedule_spf()
+        self.trace("lsa", "originate", detail=f"link {u}-{v}")
+        self._flood_lsa(u, v, exclude=None)
+
+    def _handle_lsa(self, message: Message) -> None:
+        assert isinstance(message, Lsa)
+        from repro.routing.failure_view import FailureSet
+
+        learned = self.lsdb.learn_failure(
+            FailureSet.links((message.failed_u, message.failed_v))
+        )
+        if not learned:
+            return
+        self._schedule_spf()
+        self.owner.note_lsa(self.node_id, self.sim.now)
+        self._flood_lsa(message.failed_u, message.failed_v, exclude=message.hop_src)
+
+    def _flood_lsa(self, u: NodeId, v: NodeId, exclude: NodeId | None) -> None:
+        for neighbor in self.network.topology.neighbors(self.node_id):
+            if neighbor == exclude:
+                continue
+            self.send(
+                Lsa(
+                    hop_src=self.node_id,
+                    hop_dst=neighbor,
+                    failed_u=u,
+                    failed_v=v,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Hop-by-hop joins
+    # ------------------------------------------------------------------
+    def start_hop_by_hop_join(self, target: NodeId) -> None:
+        """Issue (or retry) a table-routed join toward ``target``."""
+        table = self.routing_table()
+        if not table.has_route(target):
+            self.trace("join", "no-route", detail=f"target {target}")
+            return
+        next_hop = table.next_hop(target)
+        self.upstream = next_hop
+        self._refresh_timer.start()
+        self._advert_timer.start()
+        self.send(
+            HopByHopJoin(
+                hop_src=self.node_id,
+                hop_dst=next_hop,
+                joiner=self.node_id,
+                target=target,
+                visited=(self.node_id,),
+            )
+        )
+
+    def _handle_hop_join(self, message: Message) -> None:
+        assert isinstance(message, HopByHopJoin)
+        previous_hop = message.hop_src
+        trail = message.visited + (self.node_id,)
+        if self.node_id in message.visited:
+            return  # routing loop during convergence; drop
+        self.downstream.refresh(previous_hop, subtree_members=0)
+        if self.on_tree and self.connected:
+            self.trace("join", "merged", detail=f"joiner {message.joiner}")
+            self.send(
+                HopByHopAck(
+                    hop_src=self.node_id,
+                    hop_dst=previous_hop,
+                    joiner=message.joiner,
+                    merge_node=self.node_id,
+                    trail=trail,
+                )
+            )
+            return
+        table = self.routing_table()
+        if not table.has_route(message.target):
+            return  # not converged / partitioned: the join dies here
+        next_hop = table.next_hop(message.target)
+        self.upstream = next_hop
+        self._refresh_timer.start()
+        self._advert_timer.start()
+        self.send(
+            HopByHopJoin(
+                hop_src=self.node_id,
+                hop_dst=next_hop,
+                joiner=message.joiner,
+                target=message.target,
+                visited=trail,
+            )
+        )
+
+    def _handle_hop_ack(self, message: Message) -> None:
+        assert isinstance(message, HopByHopAck)
+        self.connected = True
+        if self.upstream is not None:
+            self._watchdog.kick()
+        if message.joiner == self.node_id:
+            self.trace("join", "ack", detail=f"merge {message.merge_node}")
+            self._awaiting_ack = False
+            self.owner.complete_rejoin(self.node_id, self.sim.now)
+            return
+        index = message.trail.index(self.node_id)
+        if index == 0:
+            return
+        self.send(
+            HopByHopAck(
+                hop_src=self.node_id,
+                hop_dst=message.trail[index - 1],
+                joiner=message.joiner,
+                merge_node=message.merge_node,
+                trail=message.trail,
+            )
+        )
+
+
+class SpfRejoinSimulation(_BaseSimulation):
+    """PIM-over-OSPF baseline: SPF joins, LSA flooding, table-routed rejoins."""
+
+    node_class = RejoinSimNode
+
+    def __init__(
+        self,
+        topology: Topology,
+        source: NodeId,
+        timers: SimTimers | None = None,
+        trace: Trace | None = None,
+        rejoin_retry_period: float | None = None,
+        spf_recompute_delay: float | None = None,
+    ) -> None:
+        super().__init__(topology, source, timers=timers, trace=trace)
+        self.rejoin_retry_period = (
+            rejoin_retry_period
+            if rejoin_retry_period is not None
+            else self.timers.advert_period
+        )
+        # OSPF-style SPF scheduling delay (spfDelay + holdtime): routers
+        # batch LSDB changes and recompute after this pause.  Scaled to
+        # the protocol timers, like everything else in the simulation.
+        self.spf_recompute_delay = (
+            spf_recompute_delay
+            if spf_recompute_delay is not None
+            else 2.0 * self.timers.advert_period
+        )
+        self.lsa_arrivals: dict[NodeId, float] = {}
+        self.convergence_times: dict[NodeId, float] = {}
+
+    # ------------------------------------------------------------------
+    # Joins follow the unicast SPF path (PIM source trees).
+    # ------------------------------------------------------------------
+    def select_join_path(self, member: NodeId) -> tuple[NodeId, ...]:
+        paths = dijkstra(self.topology, member)
+        return tuple(paths.path_to(self.source))
+
+    # ------------------------------------------------------------------
+    # Failure handling: flood, wait for convergence, re-join by table.
+    # ------------------------------------------------------------------
+    def handle_upstream_loss(self, detector: NodeId, lost_upstream: NodeId) -> None:
+        record = RecoveryRecord(
+            detector=detector,
+            failed_at=self._failure_time(),
+            detected_at=self.sim.now,
+        )
+        self.recovery_records.append(record)
+        node = self.nodes[detector]
+        assert isinstance(node, RejoinSimNode)
+        node.connected = False
+        # Loss of signal vs. mere silence: only a physically dead adjacent
+        # link is advertised; silence means the outage is further upstream
+        # and somebody closer to it will advertise.
+        if not self.network.link_usable(detector, lost_upstream):
+            node.originate_lsa(detector, lost_upstream)
+        # First rejoin attempt goes out immediately (it will chase the
+        # stale route and die until the tables converge), then retries.
+        self._attempt_rejoin(detector, attempt=1)
+
+    def _attempt_rejoin(self, member: NodeId, attempt: int) -> None:
+        node = self.nodes[member]
+        assert isinstance(node, RejoinSimNode)
+        if node.connected or not self.network.node_alive(member):
+            return
+        node.trace("join", "rejoin-attempt", detail=f"#{attempt}")
+        try:
+            node.start_hop_by_hop_join(self.source)
+        except NoPathError:
+            pass
+        if attempt < 200:  # bounded persistence; scenario-scale safety net
+            self.sim.schedule(
+                self.rejoin_retry_period,
+                lambda: self._attempt_rejoin(member, attempt + 1),
+            )
+
+    # ------------------------------------------------------------------
+    # Bookkeeping hooks
+    # ------------------------------------------------------------------
+    def note_lsa(self, node: NodeId, at: float) -> None:
+        self.lsa_arrivals.setdefault(node, at)
+
+    def note_converged(self, node: NodeId, at: float) -> None:
+        self.convergence_times.setdefault(node, at)
+
+    def complete_rejoin(self, member: NodeId, at: float) -> None:
+        # Delegates to note_restored, which validates that the new
+        # attachment genuinely reaches the source (a rejoin may have
+        # merged at a stale fragment mid-convergence).
+        self.note_restored(member)

@@ -1,0 +1,95 @@
+"""Soft-state tables with refresh and expiry (paper §3.2).
+
+SMRP "adopts the soft-state mechanism to maintain each constructed
+multicast tree for robustness": forwarding state installed by a
+``Join_Req`` is kept alive by periodic refreshes from downstream and
+silently evaporates when refreshes stop (e.g. the downstream branch died
+or a ``Leave_Req`` was lost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.graph.topology import NodeId
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class SoftStateEntry:
+    """One piece of per-neighbor soft state (a downstream interface)."""
+
+    neighbor: NodeId
+    expires_at: float
+    is_member_branch: bool = True
+    subtree_members: int = 0
+
+
+class SoftStateTable:
+    """Downstream soft state of one node, with lazy expiry.
+
+    Entries are refreshed by :meth:`refresh` and reaped by :meth:`expire`,
+    which the owner calls from a periodic timer; expired entries trigger
+    the ``on_expire`` callback so the protocol can prune.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        lifetime: float,
+        on_expire: Callable[[SoftStateEntry], None],
+    ) -> None:
+        if lifetime <= 0:
+            raise SimulationError(f"soft-state lifetime must be positive: {lifetime}")
+        self.sim = sim
+        self.lifetime = lifetime
+        self.on_expire = on_expire
+        self._entries: dict[NodeId, SoftStateEntry] = {}
+
+    def refresh(
+        self, neighbor: NodeId, subtree_members: int = 0, is_member_branch: bool = True
+    ) -> SoftStateEntry:
+        """Create or renew the entry for a downstream neighbor."""
+        entry = self._entries.get(neighbor)
+        if entry is None:
+            entry = SoftStateEntry(
+                neighbor=neighbor,
+                expires_at=self.sim.now + self.lifetime,
+                is_member_branch=is_member_branch,
+                subtree_members=subtree_members,
+            )
+            self._entries[neighbor] = entry
+        else:
+            entry.expires_at = self.sim.now + self.lifetime
+            entry.subtree_members = subtree_members
+            entry.is_member_branch = is_member_branch
+        return entry
+
+    def remove(self, neighbor: NodeId) -> None:
+        self._entries.pop(neighbor, None)
+
+    def expire(self) -> list[SoftStateEntry]:
+        """Reap entries past their lifetime; returns the expired ones."""
+        now = self.sim.now
+        expired = [e for e in self._entries.values() if e.expires_at <= now]
+        for entry in expired:
+            del self._entries[entry.neighbor]
+            self.on_expire(entry)
+        return expired
+
+    def neighbors(self) -> list[NodeId]:
+        return sorted(self._entries)
+
+    def entry(self, neighbor: NodeId) -> SoftStateEntry | None:
+        return self._entries.get(neighbor)
+
+    def total_subtree_members(self) -> int:
+        return sum(e.subtree_members for e in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, neighbor: NodeId) -> bool:
+        return neighbor in self._entries

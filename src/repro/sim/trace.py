@@ -1,0 +1,73 @@
+"""Structured event tracing for simulations.
+
+A :class:`Trace` is an append-only log of timestamped records; tests and
+examples filter it to verify protocol behaviour ("the join reached the
+source", "recovery completed at t=…") without poking at node internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.graph.topology import NodeId
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One logged event."""
+
+    time: float
+    category: str
+    node: NodeId
+    event: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{self.time:10.3f}] node {self.node:>3} {self.category}/{self.event}{suffix}"
+
+
+@dataclass
+class Trace:
+    """Append-only simulation log."""
+
+    records: list[TraceRecord] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(
+        self, time: float, category: str, node: NodeId, event: str, detail: str = ""
+    ) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(time, category, node, event, detail))
+
+    def filter(
+        self,
+        category: str | None = None,
+        node: NodeId | None = None,
+        event: str | None = None,
+    ) -> Iterator[TraceRecord]:
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if node is not None and rec.node != node:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            yield rec
+
+    def first(
+        self,
+        category: str | None = None,
+        node: NodeId | None = None,
+        event: str | None = None,
+    ) -> TraceRecord | None:
+        return next(self.filter(category=category, node=node, event=event), None)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def dump(self, limit: int | None = None) -> str:
+        """Multi-line rendering, for examples and debugging."""
+        rows = self.records if limit is None else self.records[:limit]
+        return "\n".join(str(rec) for rec in rows)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    figure1_topology,
+    figure4_topology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+)
+from repro.graph.topology import Topology
+from repro.graph.waxman import WaxmanConfig, waxman_topology
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def fig1() -> Topology:
+    return figure1_topology()
+
+
+@pytest.fixture
+def fig4() -> Topology:
+    return figure4_topology()
+
+
+@pytest.fixture
+def grid5() -> Topology:
+    return grid_topology(5, 5)
+
+
+@pytest.fixture
+def ring6() -> Topology:
+    return ring_topology(6)
+
+
+@pytest.fixture
+def line4() -> Topology:
+    return line_topology(4)
+
+
+@pytest.fixture
+def waxman50() -> Topology:
+    """A mid-size random topology shared by integration-style tests."""
+    return waxman_topology(WaxmanConfig(n=50, alpha=0.25, beta=0.25, seed=42)).topology
+
+
+@pytest.fixture
+def triangle() -> Topology:
+    topo = Topology("triangle")
+    for n in range(3):
+        topo.add_node(n)
+    topo.add_link(0, 1, delay=1.0)
+    topo.add_link(1, 2, delay=2.0)
+    topo.add_link(0, 2, delay=2.5)
+    return topo

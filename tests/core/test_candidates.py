@@ -1,0 +1,101 @@
+"""Tests for candidate-path enumeration."""
+
+import pytest
+
+from repro.graph.generators import node_id
+from repro.multicast.tree import MulticastTree
+from repro.core.candidates import enumerate_candidates
+from repro.core.shr import shr_table
+from repro.routing.failure_view import FailureSet
+
+
+@pytest.fixture
+def fig4_tree(fig4):
+    """Tree after E's join: S-A-D-E."""
+    tree = MulticastTree(fig4, node_id("S"))
+    tree.graft([node_id("S"), node_id("A"), node_id("D"), node_id("E")])
+    return tree
+
+
+class TestEnumeration:
+    def test_candidates_for_g(self, fig4, fig4_tree):
+        candidates = enumerate_candidates(
+            fig4, fig4_tree, node_id("G"), shr_table(fig4_tree)
+        )
+        by_merge = {c.merge_node: c for c in candidates}
+        # Valid merges: S (via B) and D (via F); A and E are unreachable
+        # without crossing the tree first.
+        assert set(by_merge) == {node_id("S"), node_id("D")}
+        assert by_merge[node_id("S")].graft_path == (
+            node_id("S"),
+            node_id("B"),
+            node_id("G"),
+        )
+        assert by_merge[node_id("S")].total_delay == pytest.approx(3.0)
+        assert by_merge[node_id("D")].total_delay == pytest.approx(2.8)
+        assert by_merge[node_id("D")].new_delay == pytest.approx(0.8)
+
+    def test_sorted_by_shr_then_delay(self, fig4, fig4_tree):
+        candidates = enumerate_candidates(
+            fig4, fig4_tree, node_id("G"), shr_table(fig4_tree)
+        )
+        keys = [(c.shr, c.total_delay, c.merge_node) for c in candidates]
+        assert keys == sorted(keys)
+
+    def test_graft_paths_avoid_tree_interior(self, waxman50):
+        tree = MulticastTree(waxman50, 0)
+        # Build an arbitrary small tree.
+        from repro.multicast.spf_protocol import SPFMulticastProtocol
+
+        proto = SPFMulticastProtocol(waxman50, 0)
+        proto.build([10, 20, 30])
+        tree = proto.tree
+        on_tree = set(tree.on_tree_nodes())
+        candidates = enumerate_candidates(waxman50, tree, 45, shr_table(tree))
+        assert candidates, "there must be at least one way onto the tree"
+        for c in candidates:
+            # interior of the graft path never touches the tree
+            assert all(n not in on_tree for n in c.graft_path[1:])
+            assert c.graft_path[0] == c.merge_node
+            assert c.graft_path[-1] == 45
+
+    def test_failures_respected(self, fig4, fig4_tree):
+        failures = FailureSet.links((node_id("B"), node_id("G")))
+        candidates = enumerate_candidates(
+            fig4, fig4_tree, node_id("G"), shr_table(fig4_tree), failures=failures
+        )
+        # G can still merge at S, but only via the longer G-F-B-S route.
+        by_merge = {c.merge_node: c for c in candidates}
+        assert set(by_merge) == {node_id("S"), node_id("D")}
+        assert by_merge[node_id("S")].graft_path == (
+            node_id("S"),
+            node_id("B"),
+            node_id("F"),
+            node_id("G"),
+        )
+        for c in candidates:
+            path = list(c.graft_path)
+            assert not failures.path_affected(path)
+
+    def test_allowed_merge_nodes_filter(self, fig4, fig4_tree):
+        candidates = enumerate_candidates(
+            fig4,
+            fig4_tree,
+            node_id("G"),
+            shr_table(fig4_tree),
+            allowed_merge_nodes=frozenset({node_id("D")}),
+        )
+        assert {c.merge_node for c in candidates} == {node_id("D")}
+
+    def test_missing_shr_values_skipped(self, fig4, fig4_tree):
+        partial = {node_id("S"): 0}  # only the source's SHR is known
+        candidates = enumerate_candidates(fig4, fig4_tree, node_id("G"), partial)
+        assert {c.merge_node for c in candidates} == {node_id("S")}
+
+    def test_unreachable_joiner_returns_empty(self, fig4, fig4_tree):
+        # Isolate G entirely.
+        failures = FailureSet.nodes(node_id("B"), node_id("F"))
+        candidates = enumerate_candidates(
+            fig4, fig4_tree, node_id("G"), shr_table(fig4_tree), failures=failures
+        )
+        assert candidates == []

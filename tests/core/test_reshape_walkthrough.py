@@ -1,0 +1,67 @@
+"""The paper's Figure 5 walkthrough: F's join triggers E's reshape."""
+
+import pytest
+
+from repro.graph.generators import node_id
+from repro.core.protocol import SMRPConfig, SMRPProtocol
+from repro.core.reshape import apply_reshape, evaluate_reshape
+from repro.multicast.validation import check_tree_invariants
+
+
+class TestFigure5Reshape:
+    def test_manual_evaluation_matches_paper(self, fig4):
+        """After F joins, E's re-selection finds E→C→A→S (merge at A)."""
+        proto = SMRPProtocol(
+            fig4, node_id("S"), config=SMRPConfig(d_thresh=0.3, reshape_enabled=False)
+        )
+        for m in ("E", "G", "F"):
+            proto.join(node_id(m))
+        decision = evaluate_reshape(proto.topology, proto.tree, node_id("E"), 0.3)
+        assert decision.performed
+        assert decision.new_merge_node == node_id("A")
+        assert decision.new_path == (node_id("A"), node_id("C"), node_id("E"))
+        # Adjusted comparison: A (1) strictly better than current D (2).
+        assert decision.new_shr_adjusted < decision.current_shr_adjusted
+
+    def test_apply_reshape_switches_path(self, fig4):
+        proto = SMRPProtocol(
+            fig4, node_id("S"), config=SMRPConfig(d_thresh=0.3, reshape_enabled=False)
+        )
+        for m in ("E", "G", "F"):
+            proto.join(node_id(m))
+        decision = evaluate_reshape(proto.topology, proto.tree, node_id("E"), 0.3)
+        apply_reshape(proto.tree, decision)
+        assert proto.tree.parent(node_id("E")) == node_id("C")
+        assert proto.tree.parent(node_id("C")) == node_id("A")
+        check_tree_invariants(proto.tree)
+
+    def test_condition_i_triggers_automatically(self, fig4):
+        """With reshaping enabled, F's join alone reshapes E (Figure 5)."""
+        proto = SMRPProtocol(
+            fig4,
+            node_id("S"),
+            config=SMRPConfig(d_thresh=0.3, reshape_enabled=True,
+                              reshape_shr_threshold=2),
+        )
+        for m in ("E", "G", "F"):
+            proto.join(node_id(m))
+        assert proto.stats.reshapes_performed == 1
+        assert proto.tree.parent(node_id("E")) == node_id("C")
+
+    def test_reshape_does_not_break_delay_bound(self, fig4):
+        proto = SMRPProtocol(fig4, node_id("S"), config=SMRPConfig(d_thresh=0.3))
+        for m in ("E", "G", "F"):
+            proto.join(node_id(m))
+        # E's new path E-C-A-S has delay 3.5 <= 1.3 * 3.0.
+        assert proto.tree.delay_from_source(node_id("E")) == pytest.approx(3.5)
+
+    def test_high_threshold_suppresses_reshape(self, fig4):
+        proto = SMRPProtocol(
+            fig4,
+            node_id("S"),
+            config=SMRPConfig(d_thresh=0.3, reshape_shr_threshold=10),
+        )
+        for m in ("E", "G", "F"):
+            proto.join(node_id(m))
+        assert proto.stats.reshapes_performed == 0
+        assert proto.tree.parent(node_id("E")) == node_id("D")

@@ -1,0 +1,108 @@
+"""Tests for the SHR metric (Eq. 1 and Eq. 2)."""
+
+import pytest
+
+from repro.graph.generators import node_id
+from repro.multicast.tree import MulticastTree
+from repro.core.shr import (
+    link_utilisation,
+    shr_direct,
+    shr_excluding_subtree,
+    shr_incremental,
+    shr_table,
+    subtree_member_counts,
+)
+
+
+@pytest.fixture
+def fig1_tree(fig1):
+    tree = MulticastTree(fig1, node_id("S"))
+    tree.graft([node_id("S"), node_id("A"), node_id("C")])
+    tree.graft([node_id("A"), node_id("D")])
+    return tree
+
+
+class TestPaperValues:
+    def test_shr_sc_is_three(self, fig1_tree):
+        """Paper §3.1: SHR_{S,C} = N_{L_SA} + N_{L_AC} = 2 + 1 = 3."""
+        assert shr_direct(fig1_tree, node_id("C")) == 3
+
+    def test_shr_of_source_is_zero(self, fig1_tree):
+        assert shr_direct(fig1_tree, node_id("S")) == 0
+        assert shr_incremental(fig1_tree)[node_id("S")] == 0
+
+    def test_figure4_shr_after_e_joins(self, fig4):
+        """Paper Figure 4(b): SHR_{S,D} = 2 after E's join."""
+        tree = MulticastTree(fig4, node_id("S"))
+        tree.graft([node_id("S"), node_id("A"), node_id("D"), node_id("E")])
+        assert shr_direct(tree, node_id("D")) == 2
+
+    def test_figure4_shr_after_f_joins(self, fig4):
+        """Paper §3.2.3: SHR_{S,D} rises from 2 to 4 after F's join."""
+        tree = MulticastTree(fig4, node_id("S"))
+        tree.graft([node_id("S"), node_id("A"), node_id("D"), node_id("E")])
+        tree.graft([node_id("D"), node_id("F")])
+        assert shr_direct(tree, node_id("D")) == 4
+
+
+class TestEquivalence:
+    def test_direct_equals_incremental(self, fig1_tree):
+        table = shr_incremental(fig1_tree)
+        for node in fig1_tree.on_tree_nodes():
+            assert table[node] == shr_direct(fig1_tree, node)
+
+    def test_shr_table_alias(self, fig1_tree):
+        assert shr_table(fig1_tree) == shr_incremental(fig1_tree)
+
+
+class TestSubtreeCounts:
+    def test_counts(self, fig1_tree):
+        counts = subtree_member_counts(fig1_tree)
+        assert counts[node_id("S")] == 2
+        assert counts[node_id("A")] == 2
+        assert counts[node_id("C")] == 1
+
+    def test_interior_member_counts_itself(self, fig4):
+        tree = MulticastTree(fig4, node_id("S"))
+        tree.graft([node_id("S"), node_id("A"), node_id("D")])
+        tree.graft([node_id("D"), node_id("E")])
+        counts = subtree_member_counts(tree)
+        assert counts[node_id("D")] == 2  # D itself plus E
+
+    def test_link_utilisation(self, fig1_tree):
+        util = link_utilisation(fig1_tree)
+        assert util[(node_id("S"), node_id("A"))] == 2
+        assert util[(node_id("A"), node_id("C"))] == 1
+
+
+class TestAdjustedShr:
+    def test_excluding_own_contribution(self, fig4):
+        """Figure 5: adjusted comparison when E evaluates a reshape."""
+        tree = MulticastTree(fig4, node_id("S"))
+        tree.graft([node_id("S"), node_id("A"), node_id("D"), node_id("E")])
+        tree.graft([node_id("D"), node_id("F")])
+        tree.graft([node_id("S"), node_id("B"), node_id("G")])
+        # Raw values: SHR_D = 4, SHR_A = 2.
+        assert shr_direct(tree, node_id("D")) == 4
+        assert shr_direct(tree, node_id("A")) == 2
+        # As if E had left: D drops to 2, A drops to 1.
+        assert shr_excluding_subtree(tree, node_id("D"), node_id("E")) == 2
+        assert shr_excluding_subtree(tree, node_id("A"), node_id("E")) == 1
+
+    def test_excluding_disjoint_path_changes_nothing(self, fig4):
+        tree = MulticastTree(fig4, node_id("S"))
+        tree.graft([node_id("S"), node_id("A"), node_id("D"), node_id("E")])
+        tree.graft([node_id("S"), node_id("B"), node_id("G")])
+        # G's path shares nothing with B's branch... E's removal does not
+        # touch SHR of B (disjoint paths).
+        assert shr_excluding_subtree(
+            tree, node_id("B"), node_id("E")
+        ) == shr_direct(tree, node_id("B"))
+
+    def test_excluding_whole_subtree(self, fig4):
+        """Moving an interior node discounts its entire subtree."""
+        tree = MulticastTree(fig4, node_id("S"))
+        tree.graft([node_id("S"), node_id("A"), node_id("D"), node_id("E")])
+        tree.graft([node_id("D"), node_id("F")])
+        # D's subtree holds 2 members (E, F); path S-A-D overlaps S-A for A.
+        assert shr_excluding_subtree(tree, node_id("A"), node_id("D")) == 0

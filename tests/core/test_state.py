@@ -1,0 +1,112 @@
+"""Tests for distributed SMRP state maintenance and message accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NotOnTreeError
+from repro.graph.generators import node_id
+from repro.multicast.tree import MulticastTree
+from repro.core.shr import shr_table, subtree_member_counts
+from repro.core.state import StateManager
+
+
+@pytest.fixture
+def tree(fig4):
+    t = MulticastTree(fig4, node_id("S"))
+    t.graft([node_id("S"), node_id("A"), node_id("D"), node_id("E")])
+    return t
+
+
+class TestConsistency:
+    def test_initial_state_matches_tree(self, tree):
+        manager = StateManager(tree)
+        counts = subtree_member_counts(tree)
+        shr = shr_table(tree)
+        for node in tree.on_tree_nodes():
+            state = manager.state_of(node)
+            assert state.n_r == counts[node]
+            assert state.shr == shr[node]
+            assert state.consistent()
+
+    def test_interface_counts(self, tree):
+        tree.graft([node_id("D"), node_id("F")])
+        manager = StateManager(tree)
+        state = manager.state_of(node_id("D"))
+        assert state.n_per_interface == {node_id("E"): 1, node_id("F"): 1}
+
+    def test_off_tree_query_rejected(self, tree):
+        manager = StateManager(tree)
+        with pytest.raises(NotOnTreeError):
+            manager.shr(node_id("B"))
+
+    def test_invalid_mode_rejected(self, tree):
+        with pytest.raises(ConfigurationError):
+            StateManager(tree, mode="psychic")
+
+    def test_state_follows_graft_and_prune(self, tree):
+        manager = StateManager(tree)
+        tree.graft([node_id("D"), node_id("F")])
+        manager.notify_graft([node_id("D"), node_id("F")])
+        assert manager.shr(node_id("D")) == 4
+        tree.prune(node_id("F"))
+        manager.notify_prune(node_id("D"))
+        assert manager.shr(node_id("D")) == 2
+
+
+class TestConditionI:
+    def test_delta_tracks_upstream_growth(self, tree):
+        manager = StateManager(tree)
+        assert manager.condition_i_delta(node_id("E")) == 0
+        tree.graft([node_id("D"), node_id("F")])
+        manager.notify_graft([node_id("D"), node_id("F")])
+        # E's upstream D went from SHR 2 to 4.
+        assert manager.condition_i_delta(node_id("E")) == 2
+
+    def test_baseline_reset(self, tree):
+        manager = StateManager(tree)
+        tree.graft([node_id("D"), node_id("F")])
+        manager.notify_graft([node_id("D"), node_id("F")])
+        manager.record_reshape_baseline(node_id("E"))
+        assert manager.condition_i_delta(node_id("E")) == 0
+
+    def test_source_has_no_delta(self, tree):
+        manager = StateManager(tree)
+        assert manager.condition_i_delta(node_id("S")) == 0
+
+
+class TestMessageAccounting:
+    def test_eager_charges_pushes(self, tree):
+        manager = StateManager(tree, mode="eager")
+        tree.graft([node_id("D"), node_id("F")])
+        manager.notify_graft([node_id("D"), node_id("F")])
+        assert manager.counters.n_updates > 0
+        assert manager.counters.shr_pushes > 0
+        assert manager.counters.shr_pulls == 0
+
+    def test_deferred_charges_pulls_on_demand(self, tree):
+        manager = StateManager(tree, mode="deferred")
+        tree.graft([node_id("D"), node_id("F")])
+        manager.notify_graft([node_id("D"), node_id("F")])
+        assert manager.counters.shr_pushes == 0
+        pulls_before = manager.counters.shr_pulls
+        _ = manager.shr(node_id("E"))
+        assert manager.counters.shr_pulls > pulls_before
+
+    def test_deferred_values_still_correct(self, tree):
+        manager = StateManager(tree, mode="deferred")
+        tree.graft([node_id("D"), node_id("F")])
+        manager.notify_graft([node_id("D"), node_id("F")])
+        assert manager.shr_snapshot() == shr_table(tree)
+
+    def test_deferred_cheaper_under_rare_queries(self, tree):
+        """§3.3.2's point: amortizing SHR maintenance into joins wins when
+        queries are rarer than membership changes."""
+        eager = StateManager(tree, mode="eager")
+        deferred = StateManager(tree.copy(), mode="deferred")
+        # Several membership changes, zero queries.
+        for manager in (eager, deferred):
+            t = manager.tree
+            t.graft([node_id("D"), node_id("F")])
+            manager.notify_graft([node_id("D"), node_id("F")])
+            t.prune(node_id("F"))
+            manager.notify_prune(node_id("D"))
+        assert deferred.counters.total < eager.counters.total

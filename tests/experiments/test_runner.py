@@ -1,0 +1,56 @@
+"""Tests for the scenario runner (small N for speed)."""
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scenario(
+        ScenarioConfig(n=40, group_size=10, topology_seed=2, member_seed=7)
+    )
+
+
+class TestScenarioResult:
+    def test_all_members_measured(self, result):
+        assert len(result.measurements) == 10
+        assert sorted(m.member for m in result.measurements) == sorted(
+            result.members
+        )
+
+    def test_relative_metrics_well_formed(self, result):
+        for value in result.rd_relative:
+            assert -5.0 < value <= 1.0  # RD_rel is at most 1 by definition
+        assert len(result.delay_relative) == 10
+
+    def test_delay_penalty_non_negative(self, result):
+        """SMRP can never beat SPF on a member's delay (SPF is optimal)."""
+        for value in result.delay_relative:
+            assert value >= -1e-9
+
+    def test_cost_relative_defined(self, result):
+        assert result.cost_spf > 0
+        assert result.cost_smrp > 0
+        assert result.cost_relative == pytest.approx(
+            (result.cost_smrp - result.cost_spf) / result.cost_spf
+        )
+
+    def test_cross_strategies_recorded(self, result):
+        for m in result.measurements:
+            if m.rd_spf_local is not None and m.rd_spf_global is not None:
+                assert m.rd_spf_local <= m.rd_spf_global + 1e-9
+
+    def test_reproducible(self):
+        cfg = ScenarioConfig(n=40, group_size=10, topology_seed=2, member_seed=7)
+        a = run_scenario(cfg)
+        b = run_scenario(cfg)
+        assert a.rd_relative == b.rd_relative
+        assert a.cost_relative == b.cost_relative
+
+    def test_different_seeds_differ(self, result):
+        other = run_scenario(
+            ScenarioConfig(n=40, group_size=10, topology_seed=3, member_seed=8)
+        )
+        assert other.rd_relative != result.rd_relative

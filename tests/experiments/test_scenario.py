@@ -1,0 +1,45 @@
+"""Tests for scenario configuration and seeding."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import ScenarioConfig
+
+
+class TestScenarioConfig:
+    def test_defaults_match_paper(self):
+        cfg = ScenarioConfig()
+        assert cfg.n == 100
+        assert cfg.group_size == 30
+        assert cfg.alpha == 0.2
+        assert cfg.d_thresh == 0.3
+
+    def test_group_too_large_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(n=10, group_size=10)
+
+    def test_topology_reproducible(self):
+        cfg = ScenarioConfig(n=40, group_size=10, topology_seed=3)
+        a = cfg.build_topology()
+        b = cfg.build_topology()
+        assert [l.key for l in a.links()] == [l.key for l in b.links()]
+
+    def test_participants_reproducible(self):
+        cfg = ScenarioConfig(n=40, group_size=10, member_seed=5)
+        topo = cfg.build_topology()
+        assert cfg.pick_participants(topo) == cfg.pick_participants(topo)
+
+    def test_participants_exclude_source(self):
+        cfg = ScenarioConfig(n=40, group_size=12)
+        topo = cfg.build_topology()
+        source, members = cfg.pick_participants(topo)
+        assert source not in members
+        assert len(members) == 12
+
+    def test_with_seeds(self):
+        cfg = ScenarioConfig().with_seeds(7, 8)
+        assert (cfg.topology_seed, cfg.member_seed) == (7, 8)
+        assert cfg.n == 100  # other fields preserved
+
+    def test_describe(self):
+        assert "N_G=30" in ScenarioConfig().describe()

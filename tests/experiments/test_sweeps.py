@@ -1,0 +1,83 @@
+"""Tests for parameter sweeps and the figure drivers (reduced scale)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.fig7 import run_figure7
+from repro.experiments.fig8 import run_figure8
+from repro.experiments.fig9 import run_figure9
+from repro.experiments.fig10 import run_figure10
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.sweeps import run_sweep, scenario_grid
+
+
+class TestScenarioGrid:
+    def test_grid_size(self):
+        grid = scenario_grid(ScenarioConfig(), topologies=3, member_sets=4)
+        assert len(grid) == 12
+
+    def test_seeds_unique(self):
+        grid = scenario_grid(ScenarioConfig(), topologies=3, member_sets=4)
+        seeds = {(c.topology_seed, c.member_seed) for c in grid}
+        assert len(seeds) == 12
+
+    def test_same_grid_shares_topologies_across_points(self):
+        a = scenario_grid(ScenarioConfig(d_thresh=0.1), 2, 2)
+        b = scenario_grid(ScenarioConfig(d_thresh=0.4), 2, 2)
+        assert [c.topology_seed for c in a] == [c.topology_seed for c in b]
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario_grid(ScenarioConfig(), 0, 1)
+
+
+class TestRunSweep:
+    def test_sweep_aggregates(self):
+        points = run_sweep(
+            lambda d: ScenarioConfig(n=30, group_size=8, d_thresh=d),
+            values=[0.1, 0.4],
+            topologies=2,
+            member_sets=2,
+        )
+        assert len(points) == 2
+        for point in points:
+            assert len(point.scenarios) == 4
+            assert point.rd_relative.n > 0
+            assert point.average_degree > 1.0
+
+
+class TestFigureDrivers:
+    """Smoke tests at reduced scale; shape assertions live in benchmarks."""
+
+    def test_fig7_runs_and_renders(self):
+        # Small graphs need a denser alpha or every worst-case failure is
+        # a bridge and no member is recoverable.
+        result = run_figure7(topologies=2, n=30, group_size=8, alpha=0.6)
+        assert result.points
+        text = result.render()
+        assert "RD local" in text and "avg reduction" in text
+
+    def test_fig8_runs_and_renders(self):
+        result = run_figure8(
+            values=[0.1, 0.3], n=30, group_size=8, topologies=2, member_sets=2
+        )
+        assert len(result.points) == 2
+        assert result.point(0.3).rd_relative.n > 0
+        assert "D_thresh" in result.render()
+        with pytest.raises(KeyError):
+            result.point(0.9)
+
+    def test_fig9_reports_degrees(self):
+        result = run_figure9(
+            values=[0.2, 0.3], n=30, group_size=8, topologies=2, member_sets=2
+        )
+        degrees = [p.average_degree for p in result.points]
+        assert degrees[1] > degrees[0]  # larger alpha, denser graph
+        assert "avg degree" in result.render()
+
+    def test_fig10_group_sizes(self):
+        result = run_figure10(
+            values=[5, 10], n=30, topologies=2, member_sets=2
+        )
+        assert result.point(5).rd_relative.n < result.point(10).rd_relative.n
+        assert "N_G" in result.render()

@@ -1,0 +1,41 @@
+"""Tests for text-table rendering."""
+
+from repro.experiments.tables import format_percent, format_summary, format_table
+from repro.metrics.stats import summarize
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["a", "1"], ["long-name", "23"]],
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1, "all rows must align to the same width"
+
+    def test_separator_row(self):
+        table = format_table(["x"], [["1"]])
+        assert "-" in table.splitlines()[1]
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2
+
+    def test_cell_wider_than_header(self):
+        table = format_table(["h"], [["wide-cell-content"]])
+        header_line = table.splitlines()[0]
+        assert header_line.endswith("h")
+        assert len(header_line) == len("wide-cell-content")
+
+
+class TestFormatters:
+    def test_percent(self):
+        assert format_percent(0.2) == "+20.0%"
+        assert format_percent(-0.053) == "-5.3%"
+
+    def test_summary(self):
+        text = format_summary(summarize([0.1, 0.2, 0.3]))
+        assert text.startswith("+20.0%")
+        assert "±" in text

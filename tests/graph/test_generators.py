@@ -1,0 +1,124 @@
+"""Tests for deterministic topology fixtures, including the paper figures."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import (
+    figure1_topology,
+    figure4_topology,
+    grid_topology,
+    line_topology,
+    node_id,
+    ring_topology,
+    star_topology,
+)
+from repro.routing.spf import shortest_path
+
+
+class TestFigure1:
+    def test_structure(self):
+        topo = figure1_topology()
+        assert topo.num_nodes == 5
+        assert topo.num_links == 6
+        topo.validate()
+
+    def test_spf_tree_runs_through_a(self):
+        """Both members' shortest paths use A, as drawn in Figure 1(a)."""
+        topo = figure1_topology()
+        S, A, C, D = node_id("S"), node_id("A"), node_id("C"), node_id("D")
+        assert shortest_path(topo, S, C) == [S, A, C]
+        assert shortest_path(topo, S, D) == [S, A, D]
+
+    def test_detour_economics(self):
+        """Local detour D→C is shorter than global detour D→B→S (RD 2 vs 3)."""
+        topo = figure1_topology()
+        assert topo.delay(node_id("C"), node_id("D")) == 2.0
+        global_detour = topo.delay(node_id("D"), node_id("B")) + topo.delay(
+            node_id("B"), node_id("S")
+        )
+        assert global_detour == 3.0
+
+
+class TestFigure4:
+    def test_structure(self):
+        topo = figure4_topology()
+        assert topo.num_nodes == 8
+        topo.validate()
+
+    def test_e_spf_path(self):
+        topo = figure4_topology()
+        S, A, D, E = (node_id(x) for x in "SADE")
+        assert shortest_path(topo, E, S) == [E, D, A, S]
+
+    def test_g_shortest_route_runs_through_tree(self):
+        """G's true shortest path to S crosses D — the crux of the G join."""
+        topo = figure4_topology()
+        S, G = node_id("S"), node_id("G")
+        path = shortest_path(topo, G, S)
+        assert node_id("D") in path
+        assert topo.path_delay(path) == pytest.approx(2.8)
+
+    def test_f_bound_rejections(self):
+        """F's alternatives via B exceed the 1.3 × SPF bound."""
+        topo = figure4_topology()
+        S, F, B, G = node_id("S"), node_id("F"), node_id("B"), node_id("G")
+        spf = topo.path_delay(shortest_path(topo, F, S))
+        assert spf == pytest.approx(2.4)
+        bound = 1.3 * spf
+        via_b = topo.path_delay([F, B, S])
+        via_gb = topo.path_delay([F, G, B, S])
+        assert via_b > bound
+        assert via_gb > bound
+
+
+class TestNodeId:
+    def test_known_labels(self):
+        assert node_id("S") == 0
+        assert node_id("G") == 7
+
+    def test_unknown_label(self):
+        with pytest.raises(ConfigurationError):
+            node_id("Z")
+
+
+class TestParametricFamilies:
+    def test_line(self):
+        topo = line_topology(4)
+        assert topo.num_links == 3
+        assert list(topo.neighbors(0)) == [1]
+
+    def test_line_single_node(self):
+        assert line_topology(1).num_links == 0
+
+    def test_line_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            line_topology(0)
+
+    def test_ring(self):
+        topo = ring_topology(5)
+        assert topo.num_links == 5
+        assert all(topo.degree(n) == 2 for n in topo.nodes())
+
+    def test_ring_rejects_small(self):
+        with pytest.raises(ConfigurationError):
+            ring_topology(2)
+
+    def test_star(self):
+        topo = star_topology(6)
+        assert topo.degree(0) == 6
+        assert all(topo.degree(n) == 1 for n in range(1, 7))
+
+    def test_grid(self):
+        topo = grid_topology(3, 4)
+        assert topo.num_nodes == 12
+        # interior node degree 4, corner degree 2
+        assert topo.degree(5) == 4
+        assert topo.degree(0) == 2
+
+    def test_grid_positions(self):
+        topo = grid_topology(2, 2)
+        assert topo.position(3) == (1.0, 1.0)
+
+    def test_grid_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            grid_topology(0, 3)

@@ -1,0 +1,114 @@
+"""Tests for the N-level nested topology generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.nlevel import LevelSpec, n_level_topology
+
+
+@pytest.fixture(scope="module")
+def three_level():
+    return n_level_topology(
+        [
+            LevelSpec(size=4, fanout=2, alpha=0.9),
+            LevelSpec(size=5, fanout=2, alpha=0.8),
+            LevelSpec(size=6, fanout=0, alpha=0.7),
+        ],
+        seed=5,
+    )
+
+
+class TestSpecValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            n_level_topology([])
+
+    def test_rejects_nonzero_leaf_fanout(self):
+        with pytest.raises(ConfigurationError):
+            n_level_topology([LevelSpec(size=4, fanout=2)])
+
+    def test_rejects_zero_interior_fanout(self):
+        with pytest.raises(ConfigurationError):
+            n_level_topology(
+                [LevelSpec(size=4, fanout=0), LevelSpec(size=4, fanout=0)]
+            )
+
+    def test_rejects_tiny_domain(self):
+        with pytest.raises(ConfigurationError):
+            LevelSpec(size=1, fanout=0)
+
+
+class TestStructure:
+    def test_domain_counts(self, three_level):
+        # 1 root + 2 mid + 4 leaves.
+        assert len(three_level.domains) == 7
+        assert len(three_level.leaf_domains()) == 4
+        assert three_level.depth == 3
+
+    def test_node_counts(self, three_level):
+        assert three_level.topology.num_nodes == 4 + 2 * 5 + 4 * 6
+
+    def test_connected(self, three_level):
+        assert three_level.topology.is_connected()
+
+    def test_domains_partition_nodes(self, three_level):
+        seen: set[int] = set()
+        for domain in three_level.domains:
+            assert not (domain.nodes & seen)
+            seen |= domain.nodes
+        assert seen == set(three_level.topology.nodes())
+
+    def test_parent_child_mirror(self, three_level):
+        for domain in three_level.domains:
+            for child_id in domain.children:
+                assert three_level.domains[child_id].parent == domain.domain_id
+
+    def test_gateways_link_to_parent(self, three_level):
+        for domain in three_level.domains[1:]:
+            assert domain.gateway in domain.nodes
+            parent = three_level.domains[domain.parent]
+            for attachment in domain.attachments:
+                assert attachment in parent.nodes
+                assert three_level.topology.has_link(domain.gateway, attachment)
+
+    def test_gateway_redundancy(self, three_level):
+        for domain in three_level.domains[1:]:
+            assert len(domain.attachments) == 2
+
+    def test_root_has_no_gateway(self, three_level):
+        assert three_level.root.gateway is None
+        assert three_level.root.is_root
+
+
+class TestHierarchyQueries:
+    def test_domain_path(self, three_level):
+        leaf = three_level.leaf_domains()[0]
+        path = three_level.domain_path(leaf.domain_id)
+        assert path[0] == three_level.root.domain_id
+        assert path[-1] == leaf.domain_id
+        assert len(path) == 3
+
+    def test_lca_of_siblings(self, three_level):
+        mid = three_level.domains[three_level.root.children[0]]
+        a, b = mid.children
+        assert three_level.lowest_common_ancestor(a, b) == mid.domain_id
+
+    def test_lca_across_branches(self, three_level):
+        left = three_level.domains[three_level.root.children[0]].children[0]
+        right = three_level.domains[three_level.root.children[1]].children[0]
+        assert (
+            three_level.lowest_common_ancestor(left, right)
+            == three_level.root.domain_id
+        )
+
+    def test_lca_with_self(self, three_level):
+        leaf = three_level.leaf_domains()[0].domain_id
+        assert three_level.lowest_common_ancestor(leaf, leaf) == leaf
+
+    def test_reproducible(self):
+        specs = [LevelSpec(size=3, fanout=2, alpha=0.9), LevelSpec(size=4)]
+        a = n_level_topology(specs, seed=8)
+        b = n_level_topology(specs, seed=8)
+        assert [l.key for l in a.topology.links()] == [
+            l.key for l in b.topology.links()
+        ]

@@ -1,0 +1,70 @@
+"""Tests for node placement models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.placement import (
+    euclidean,
+    grid_jitter_placement,
+    max_pairwise_distance,
+    uniform_placement,
+)
+
+
+class TestUniformPlacement:
+    def test_count_and_bounds(self, rng):
+        pts = uniform_placement(50, rng, scale=10.0)
+        assert len(pts) == 50
+        assert all(0 <= x <= 10 and 0 <= y <= 10 for x, y in pts)
+
+    def test_zero_nodes(self, rng):
+        assert uniform_placement(0, rng) == []
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            uniform_placement(-1, rng)
+
+    def test_bad_scale_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            uniform_placement(5, rng, scale=0.0)
+
+    def test_deterministic_given_generator_state(self):
+        a = uniform_placement(10, np.random.default_rng(3))
+        b = uniform_placement(10, np.random.default_rng(3))
+        assert a == b
+
+
+class TestGridJitterPlacement:
+    def test_count_and_bounds(self, rng):
+        pts = grid_jitter_placement(30, rng, scale=6.0)
+        assert len(pts) == 30
+        assert all(-1 <= x <= 7 and -1 <= y <= 7 for x, y in pts)
+
+    def test_zero_jitter_is_exact_grid(self, rng):
+        pts = grid_jitter_placement(4, rng, scale=2.0, jitter=0.0)
+        assert sorted(pts) == [(0.5, 0.5), (0.5, 1.5), (1.5, 0.5), (1.5, 1.5)]
+
+    def test_minimum_spread(self, rng):
+        """Jittered grid points never coincide."""
+        pts = grid_jitter_placement(25, rng, scale=5.0, jitter=0.25)
+        for i, a in enumerate(pts):
+            for b in pts[i + 1 :]:
+                assert euclidean(a, b) > 0.0
+
+    def test_bad_jitter_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            grid_jitter_placement(4, rng, jitter=0.9)
+
+
+class TestDistances:
+    def test_euclidean(self):
+        assert euclidean((0.0, 0.0), (3.0, 4.0)) == 5.0
+
+    def test_max_pairwise(self):
+        pts = [(0.0, 0.0), (1.0, 0.0), (0.0, 2.0)]
+        assert max_pairwise_distance(pts) == pytest.approx(np.hypot(1, 2))
+
+    def test_max_pairwise_degenerate(self):
+        assert max_pairwise_distance([]) == 0.0
+        assert max_pairwise_distance([(1.0, 1.0)]) == 0.0

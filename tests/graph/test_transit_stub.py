@@ -1,0 +1,80 @@
+"""Tests for the transit-stub hierarchical topology generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.transit_stub import TransitStubConfig, transit_stub_topology
+
+
+@pytest.fixture(scope="module")
+def network():
+    return transit_stub_topology(TransitStubConfig(seed=5))
+
+
+class TestConfig:
+    def test_total_nodes(self):
+        cfg = TransitStubConfig(transit_nodes=4, stubs_per_transit=3, stub_size=8)
+        assert cfg.total_nodes == 4 * (1 + 3 * 8)
+
+    def test_rejects_single_transit(self):
+        with pytest.raises(ConfigurationError):
+            TransitStubConfig(transit_nodes=1)
+
+    def test_rejects_zero_stubs(self):
+        with pytest.raises(ConfigurationError):
+            TransitStubConfig(stubs_per_transit=0)
+
+    def test_rejects_tiny_stub(self):
+        with pytest.raises(ConfigurationError):
+            TransitStubConfig(stub_size=1)
+
+
+class TestStructure:
+    def test_node_count(self, network):
+        assert network.topology.num_nodes == network.config.total_nodes
+
+    def test_connected(self, network):
+        assert network.topology.is_connected()
+
+    def test_domain_count(self, network):
+        cfg = network.config
+        assert len(network.domains) == 1 + cfg.transit_nodes * cfg.stubs_per_transit
+        assert network.transit_domain.level == 0
+        assert all(d.level == 1 for d in network.stub_domains)
+
+    def test_domains_partition_nodes(self, network):
+        seen: set[int] = set()
+        for domain in network.domains:
+            assert not (domain.nodes & seen), "domains must be disjoint"
+            seen |= domain.nodes
+        assert seen == set(network.topology.nodes())
+
+    def test_domain_of_is_consistent(self, network):
+        for domain in network.domains:
+            for node in domain.nodes:
+                assert network.domain_of[node] == domain.domain_id
+
+    def test_every_stub_has_gateway_link(self, network):
+        for stub in network.stub_domains:
+            assert stub.gateway in stub.nodes
+            assert stub.attachment in network.transit_domain.nodes
+            assert network.topology.has_link(stub.gateway, stub.attachment)
+            assert network.topology.delay(
+                stub.gateway, stub.attachment
+            ) == network.config.gateway_delay
+
+    def test_stub_internal_links_stay_internal(self, network):
+        """The only link leaving a stub domain is its gateway link."""
+        for stub in network.stub_domains:
+            for link in network.topology.links():
+                inside = link.u in stub.nodes, link.v in stub.nodes
+                if inside == (True, False) or inside == (False, True):
+                    stub_end = link.u if inside[0] else link.v
+                    assert stub_end == stub.gateway
+
+    def test_reproducible(self):
+        a = transit_stub_topology(TransitStubConfig(seed=9))
+        b = transit_stub_topology(TransitStubConfig(seed=9))
+        assert [l.key for l in a.topology.links()] == [
+            l.key for l in b.topology.links()
+        ]

@@ -1,0 +1,120 @@
+"""Tests for the Waxman topology generator."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.waxman import (
+    WaxmanConfig,
+    calibrate_alpha_for_degree,
+    waxman_topology,
+)
+
+
+class TestConfigValidation:
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ConfigurationError):
+            WaxmanConfig(n=1, alpha=0.2)
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_rejects_bad_alpha(self, alpha):
+        with pytest.raises(ConfigurationError):
+            WaxmanConfig(n=10, alpha=alpha)
+
+    @pytest.mark.parametrize("beta", [0.0, 2.0])
+    def test_rejects_bad_beta(self, beta):
+        with pytest.raises(ConfigurationError):
+            WaxmanConfig(n=10, alpha=0.2, beta=beta)
+
+    def test_rejects_bad_delay_model(self):
+        with pytest.raises(ConfigurationError):
+            WaxmanConfig(n=10, alpha=0.2, delay_model="gaussian")
+
+
+class TestGeneration:
+    def test_reproducible_from_seed(self):
+        cfg = WaxmanConfig(n=40, alpha=0.25, beta=0.25, seed=7)
+        a = waxman_topology(cfg).topology
+        b = waxman_topology(cfg).topology
+        assert [l.key for l in a.links()] == [l.key for l in b.links()]
+        assert [l.delay for l in a.links()] == [l.delay for l in b.links()]
+
+    def test_different_seeds_differ(self):
+        a = waxman_topology(WaxmanConfig(n=40, alpha=0.25, seed=1)).topology
+        b = waxman_topology(WaxmanConfig(n=40, alpha=0.25, seed=2)).topology
+        assert [l.key for l in a.links()] != [l.key for l in b.links()]
+
+    def test_connected_after_repair(self):
+        # A sparse configuration that essentially always needs repair.
+        result = waxman_topology(
+            WaxmanConfig(n=60, alpha=0.1, beta=0.15, seed=3)
+        )
+        assert result.topology.is_connected()
+        if result.components_before_repair > 1:
+            assert result.repair_links == result.components_before_repair - 1
+
+    def test_repair_can_be_disabled(self):
+        result = waxman_topology(
+            WaxmanConfig(n=60, alpha=0.05, beta=0.1, seed=3, ensure_connected=False)
+        )
+        assert result.repair_links == 0
+
+    def test_alpha_increases_density(self):
+        sparse = waxman_topology(WaxmanConfig(n=80, alpha=0.1, seed=5))
+        dense = waxman_topology(WaxmanConfig(n=80, alpha=0.6, seed=5))
+        assert dense.average_degree > sparse.average_degree
+
+    def test_beta_increases_long_links(self):
+        """Larger beta admits longer links: mean link length grows."""
+
+        def mean_link_length(beta: float) -> float:
+            res = waxman_topology(
+                WaxmanConfig(n=80, alpha=0.3, beta=beta, seed=11)
+            )
+            lengths = [l.delay for l in res.topology.links()]
+            return sum(lengths) / len(lengths)
+
+        assert mean_link_length(0.9) > mean_link_length(0.15)
+
+    def test_distance_delay_model_matches_positions(self):
+        result = waxman_topology(WaxmanConfig(n=30, alpha=0.4, seed=9))
+        topo = result.topology
+        for link in topo.links():
+            pu = topo.position(link.u)
+            pv = topo.position(link.v)
+            dist = math.hypot(pu[0] - pv[0], pu[1] - pv[1])
+            assert link.delay == pytest.approx(max(dist, 1.0))
+
+    def test_uniform_delay_model_within_bounds(self):
+        cfg = WaxmanConfig(n=30, alpha=0.4, seed=9, delay_model="uniform")
+        topo = waxman_topology(cfg).topology
+        for link in topo.links():
+            assert cfg.min_delay <= link.delay <= cfg.scale
+
+    def test_all_nodes_have_positions(self):
+        topo = waxman_topology(WaxmanConfig(n=25, alpha=0.3, seed=2)).topology
+        assert all(topo.position(n) is not None for n in topo.nodes())
+        topo.validate()
+
+
+class TestCalibration:
+    def test_calibrated_alpha_hits_degree(self):
+        alpha = calibrate_alpha_for_degree(
+            5.0, n=100, beta=0.25, seeds=(0, 1), tolerance=0.5
+        )
+        degrees = [
+            waxman_topology(
+                WaxmanConfig(n=100, alpha=alpha, beta=0.25, seed=s)
+            ).average_degree
+            for s in (0, 1)
+        ]
+        assert abs(sum(degrees) / 2 - 5.0) <= 1.0
+
+    def test_unreachable_degree_rejected(self):
+        with pytest.raises(ConfigurationError):
+            calibrate_alpha_for_degree(90.0, n=20, beta=0.1, seeds=(0,))
+
+    def test_non_positive_degree_rejected(self):
+        with pytest.raises(ConfigurationError):
+            calibrate_alpha_for_degree(0.0)

@@ -1,0 +1,72 @@
+"""Cross-validation: the DES protocol and the graph engine build the same
+trees, and the DES's advertised SHR converges to ground truth.
+
+This is the key evidence that the fast graph-level engine used by the
+parameter sweeps faithfully represents the distributed protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.waxman import WaxmanConfig, waxman_topology
+from repro.core.protocol import SMRPConfig, SMRPProtocol
+from repro.core.shr import shr_table
+from repro.multicast.spf_protocol import SPFMulticastProtocol
+from repro.sim.protocols import SmrpSimulation, SpfSimulation
+
+
+def scenario(seed: int, n: int = 30, group: int = 6):
+    topology = waxman_topology(
+        WaxmanConfig(n=n, alpha=0.5, beta=0.4, seed=seed)
+    ).topology
+    rng = np.random.default_rng(seed + 1)
+    members = [int(m) for m in rng.choice(range(1, n), group, replace=False)]
+    return topology, members
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 7, 11])
+class TestSmrpEngines:
+    def test_same_tree(self, seed):
+        topology, members = scenario(seed)
+        # Joins must be fully sequential in the DES (a join selecting paths
+        # while another is in flight would read half-built SHR state), so
+        # space them beyond the network diameter.
+        sim = SmrpSimulation(topology, 0, d_thresh=0.3)
+        spacing = 60.0 * max(l.delay for l in topology.links())
+        for i, m in enumerate(members):
+            sim.schedule_join(spacing * (i + 1), m)
+        sim.run(until=spacing * (len(members) + 2))
+
+        graph = SMRPProtocol(
+            topology, 0, config=SMRPConfig(d_thresh=0.3, reshape_enabled=False)
+        )
+        graph.build(members)
+
+        des_tree = sim.extract_tree()
+        assert des_tree.tree_links() == graph.tree.tree_links()
+        assert des_tree.members == graph.tree.members
+
+    def test_des_shr_converges(self, seed):
+        topology, members = scenario(seed)
+        sim = SmrpSimulation(topology, 0, d_thresh=0.3)
+        spacing = 60.0 * max(l.delay for l in topology.links())
+        for i, m in enumerate(members):
+            sim.schedule_join(spacing * (i + 1), m)
+        sim.run(until=spacing * (len(members) + 4))
+        truth = shr_table(sim.extract_tree())
+        view = sim.shr_view()
+        for node, value in truth.items():
+            assert view[node] == value
+
+
+@pytest.mark.parametrize("seed", [1, 5, 9])
+class TestSpfEngines:
+    def test_same_tree(self, seed):
+        topology, members = scenario(seed)
+        sim = SpfSimulation(topology, 0)
+        spacing = 60.0 * max(l.delay for l in topology.links())
+        for i, m in enumerate(members):
+            sim.schedule_join(spacing * (i + 1), m)
+        sim.run(until=spacing * (len(members) + 2))
+        reference = SPFMulticastProtocol(topology, 0).build(members)
+        assert sim.extract_tree().tree_links() == reference.tree_links()

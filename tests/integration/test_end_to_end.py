@@ -1,0 +1,131 @@
+"""End-to-end integration: the full SMRP story on one random network.
+
+Builds both trees, injects the worst-case failure, recovers both ways,
+checks the paper's qualitative claims, then replays the same failure in
+the message-level simulator and watches service restoration happen in
+simulated time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.waxman import WaxmanConfig, waxman_topology
+from repro.core.protocol import SMRPConfig, SMRPProtocol
+from repro.core.recovery import (
+    estimate_restoration_latency,
+    global_detour_recovery,
+    local_detour_recovery,
+    repair_tree,
+    worst_case_failure,
+)
+from repro.errors import UnrecoverableFailureError
+from repro.multicast.spf_protocol import SPFMulticastProtocol
+from repro.multicast.validation import check_tree_invariants
+from repro.routing.link_state import ConvergenceModel
+from repro.sim.failures import FailureSchedule
+from repro.sim.protocols import SmrpSimulation
+
+
+@pytest.fixture(scope="module")
+def world():
+    topology = waxman_topology(
+        WaxmanConfig(n=60, alpha=0.35, beta=0.3, seed=77)
+    ).topology
+    rng = np.random.default_rng(78)
+    members = [int(m) for m in rng.choice(range(1, 60), 12, replace=False)]
+    smrp = SMRPProtocol(topology, 0, config=SMRPConfig(d_thresh=0.3))
+    smrp.build(members)
+    spf = SPFMulticastProtocol(topology, 0)
+    spf.build(members)
+    return topology, members, smrp, spf
+
+
+class TestFullStory:
+    def test_both_trees_serve_all_members(self, world):
+        _, members, smrp, spf = world
+        assert smrp.tree.members == frozenset(members)
+        assert spf.tree.members == frozenset(members)
+        check_tree_invariants(smrp.tree)
+        check_tree_invariants(spf.tree)
+
+    def test_smrp_reduces_sharing(self, world):
+        """The design goal: SMRP's worst SHR is no worse than SPF's."""
+        from repro.core.shr import shr_table
+
+        _, __, smrp, spf = world
+        assert max(shr_table(smrp.tree).values()) <= max(
+            shr_table(spf.tree).values()
+        )
+
+    def test_average_recovery_improves(self, world):
+        topology, members, smrp, spf = world
+        improvements = []
+        for member in members:
+            try:
+                rd_local = local_detour_recovery(
+                    topology, smrp.tree, member,
+                    worst_case_failure(smrp.tree, member),
+                ).recovery_distance
+                rd_global = global_detour_recovery(
+                    topology, spf.tree, member,
+                    worst_case_failure(spf.tree, member),
+                ).recovery_distance
+            except UnrecoverableFailureError:
+                continue
+            improvements.append((rd_global - rd_local) / rd_global)
+        assert improvements, "no recoverable member in the scenario"
+        assert sum(improvements) / len(improvements) > 0
+
+    def test_latency_model_prefers_local(self, world):
+        topology, members, smrp, spf = world
+        model = ConvergenceModel(detection_delay=30.0)
+        member = members[0]
+        f_smrp = worst_case_failure(smrp.tree, member)
+        f_spf = worst_case_failure(spf.tree, member)
+        local = local_detour_recovery(topology, smrp.tree, member, f_smrp)
+        global_ = global_detour_recovery(topology, spf.tree, member, f_spf)
+        t_local = estimate_restoration_latency(
+            topology, smrp.tree, local, f_smrp, convergence=model
+        )
+        t_global = estimate_restoration_latency(
+            topology, spf.tree, global_, f_spf, convergence=model
+        )
+        assert t_local < t_global
+
+    def test_full_repair_after_multi_failure(self, world):
+        topology, members, smrp, _ = world
+        member = members[0]
+        failure = worst_case_failure(smrp.tree, member)
+        report = repair_tree(topology, smrp.tree, failure, strategy="local")
+        check_tree_invariants(report.repaired_tree)
+        recovered = set(report.repaired_tree.members) | set(report.unrecoverable)
+        assert recovered == set(members)
+
+
+class TestDesReplay:
+    def test_failure_recovery_in_simulated_time(self, world):
+        topology, members, smrp, _ = world
+        sim = SmrpSimulation(topology, 0, d_thresh=0.3)
+        spacing = 40.0 * max(l.delay for l in topology.links())
+        for i, m in enumerate(members[:6]):
+            sim.schedule_join(spacing * (i + 1), m)
+        settle = spacing * 8
+        sim.run(until=settle)
+        tree = sim.extract_tree()
+        victim = members[0]
+        path = tree.path_from_source(victim)
+        FailureSchedule().fail_link_at(settle + 10.0, path[0], path[1]).arm(
+            sim.sim, sim.network
+        )
+        sim.run(until=settle + 40 * spacing)
+        final = sim.extract_tree()
+        # Every member that can be served is served.
+        assert final.is_member(victim) or not sim.recovery_records
+        if sim.recovery_records:
+            restored = [
+                r for r in sim.recovery_records if r.restored_at is not None
+            ]
+            assert restored, "no recovery completed"
+            for record in restored:
+                assert record.restoration_latency > 0
+        check_tree_invariants(final)

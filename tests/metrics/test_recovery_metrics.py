@@ -1,0 +1,55 @@
+"""Tests for worst-case recovery measurement."""
+
+import pytest
+
+from repro.errors import UnrecoverableFailureError
+from repro.graph.generators import node_id
+from repro.multicast.tree import MulticastTree
+from repro.metrics.recovery_metrics import (
+    worst_case_recovery,
+    worst_case_recovery_all,
+)
+
+
+@pytest.fixture
+def tree(fig1):
+    t = MulticastTree(fig1, node_id("S"))
+    t.graft([node_id("S"), node_id("A"), node_id("C")])
+    t.graft([node_id("A"), node_id("D")])
+    return t
+
+
+class TestWorstCase:
+    def test_fails_first_link_and_recovers(self, fig1, tree):
+        result = worst_case_recovery(fig1, tree, node_id("D"), strategy="local")
+        assert result.failure.link_failed(node_id("S"), node_id("A"))
+        assert result.recovered
+        assert result.recovery_distance > 0
+
+    def test_local_vs_global_distances(self, fig1, tree):
+        local = worst_case_recovery(fig1, tree, node_id("D"), strategy="local")
+        global_ = worst_case_recovery(fig1, tree, node_id("D"), strategy="global")
+        # On the same tree, local (min over targets) never loses.
+        assert local.recovery_distance <= global_.recovery_distance
+
+    def test_unrecoverable_member(self, line4):
+        t = MulticastTree(line4, 0)
+        t.graft([0, 1, 2, 3])
+        result = worst_case_recovery(line4, t, 3, strategy="local")
+        assert not result.recovered
+        with pytest.raises(UnrecoverableFailureError):
+            _ = result.recovery_distance
+
+    def test_all_members_measured(self, fig1, tree):
+        results = worst_case_recovery_all(fig1, tree, strategy="local")
+        assert set(results) == {node_id("C"), node_id("D")}
+        assert all(r.recovered for r in results.values())
+
+    def test_each_member_gets_own_failure(self, waxman50):
+        from repro.multicast.spf_protocol import SPFMulticastProtocol
+
+        tree = SPFMulticastProtocol(waxman50, 0).build([9, 22, 37])
+        results = worst_case_recovery_all(waxman50, tree, strategy="global")
+        for member, measurement in results.items():
+            first_link = tuple(tree.path_from_source(member)[:2])
+            assert measurement.failure.link_failed(*first_link)

@@ -1,0 +1,48 @@
+"""Tests for the paper's relative metrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.relative import (
+    relative_cost,
+    relative_delay,
+    relative_recovery_distance,
+)
+
+
+class TestRelativeRecoveryDistance:
+    def test_shorter_smrp_is_positive(self):
+        # Paper's example: 20% shorter recovery path.
+        assert relative_recovery_distance(10.0, 8.0) == pytest.approx(0.2)
+
+    def test_equal_is_zero(self):
+        assert relative_recovery_distance(5.0, 5.0) == 0.0
+
+    def test_longer_smrp_is_negative(self):
+        assert relative_recovery_distance(5.0, 6.0) == pytest.approx(-0.2)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_recovery_distance(0.0, 1.0)
+
+
+class TestRelativeDelay:
+    def test_penalty_is_positive(self):
+        # Paper's example: 5% higher end-to-end delay.
+        assert relative_delay(100.0, 105.0) == pytest.approx(0.05)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_delay(0.0, 1.0)
+
+
+class TestRelativeCost:
+    def test_penalty_is_positive(self):
+        assert relative_cost(200.0, 210.0) == pytest.approx(0.05)
+
+    def test_cheaper_smrp_is_negative(self):
+        assert relative_cost(200.0, 190.0) == pytest.approx(-0.05)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_cost(0.0, 1.0)

@@ -1,0 +1,67 @@
+"""Tests for summary statistics and confidence intervals."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.stats import Summary, confidence_interval_95, summarize
+
+
+class TestSummarize:
+    def test_mean_and_std(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == 2.5
+        assert s.std == pytest.approx(math.sqrt(5.0 / 3.0))
+        assert s.n == 4
+
+    def test_ci_contains_mean(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.ci_low < s.mean < s.ci_high
+
+    def test_ci_symmetric(self):
+        s = summarize([5.0, 7.0, 9.0, 11.0])
+        assert s.mean - s.ci_low == pytest.approx(s.ci_high - s.mean)
+
+    def test_single_sample_zero_width(self):
+        s = summarize([3.0])
+        assert (s.ci_low, s.ci_high) == (3.0, 3.0)
+        assert s.std == 0.0
+
+    def test_constant_sample_zero_width(self):
+        s = summarize([2.0] * 10)
+        assert s.ci_half_width == 0.0
+
+    def test_more_samples_shrink_ci(self):
+        small = summarize([1.0, 2.0, 3.0] * 3)
+        large = summarize([1.0, 2.0, 3.0] * 30)
+        assert large.ci_half_width < small.ci_half_width
+
+    def test_t_interval_wider_than_normal_for_small_n(self):
+        """With n=3, the t critical value (4.30) far exceeds z (1.96)."""
+        s = summarize([0.0, 1.0, 2.0])
+        normal_half = 1.96 * s.std / math.sqrt(3)
+        assert s.ci_half_width > normal_half
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([1.0, 2.0], confidence=1.5)
+
+    def test_confidence_interval_95_helper(self):
+        lo, hi = confidence_interval_95([1.0, 2.0, 3.0])
+        s = summarize([1.0, 2.0, 3.0])
+        assert (lo, hi) == (s.ci_low, s.ci_high)
+
+    def test_str_rendering(self):
+        text = str(summarize([1.0, 2.0, 3.0]))
+        assert "n=3" in text and "±" in text
+
+    def test_wider_confidence_widens_interval(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        s90 = summarize(data, confidence=0.90)
+        s99 = summarize(data, confidence=0.99)
+        assert s99.ci_half_width > s90.ci_half_width

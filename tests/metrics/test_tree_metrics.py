@@ -1,0 +1,89 @@
+"""Tests for tree-quality metrics."""
+
+import pytest
+
+from repro.errors import MulticastError
+from repro.graph.generators import node_id
+from repro.metrics.tree_metrics import (
+    average_delay,
+    delay_stretch,
+    max_delay,
+    member_delays,
+    tree_cost,
+)
+from repro.multicast.tree import MulticastTree
+from repro.routing.spf import dijkstra
+
+
+@pytest.fixture
+def tree(fig1):
+    t = MulticastTree(fig1, node_id("S"))
+    t.graft([node_id("S"), node_id("A"), node_id("C")])
+    t.graft([node_id("A"), node_id("D")])
+    return t
+
+
+class TestDelays:
+    def test_member_delays(self, tree):
+        delays = member_delays(tree)
+        assert delays == {node_id("C"): 2.0, node_id("D"): 2.0}
+
+    def test_average_delay(self, tree):
+        assert average_delay(tree) == 2.0
+
+    def test_max_delay(self, tree):
+        assert max_delay(tree) == 2.0
+
+    def test_empty_tree_rejected(self, fig1):
+        empty = MulticastTree(fig1, node_id("S"))
+        with pytest.raises(MulticastError):
+            average_delay(empty)
+        with pytest.raises(MulticastError):
+            max_delay(empty)
+
+
+class TestCost:
+    def test_tree_cost(self, tree):
+        assert tree_cost(tree) == 3.0
+
+    def test_cost_tracks_structure(self, tree):
+        tree.prune(node_id("D"))
+        assert tree_cost(tree) == 2.0
+
+
+class TestJitter:
+    def test_equal_delays_zero_jitter(self, tree):
+        from repro.metrics.tree_metrics import delay_jitter
+
+        assert delay_jitter(tree) == 0.0  # C and D both at delay 2
+
+    def test_jitter_reflects_spread(self, fig1):
+        from repro.metrics.tree_metrics import delay_jitter
+
+        t = MulticastTree(fig1, node_id("S"))
+        t.graft([node_id("S"), node_id("A"), node_id("C")])  # delay 2
+        t.graft([node_id("S"), node_id("B")])  # delay 2... B at 2
+        t.graft([node_id("B"), node_id("D")])  # delay 3
+        assert delay_jitter(t) == 1.0
+
+    def test_empty_tree_rejected(self, fig1):
+        from repro.errors import MulticastError
+        from repro.metrics.tree_metrics import delay_jitter
+
+        with pytest.raises(MulticastError):
+            delay_jitter(MulticastTree(fig1, node_id("S")))
+
+
+class TestStretch:
+    def test_spf_tree_has_unit_stretch(self, tree, fig1):
+        spf = dijkstra(fig1, node_id("S"))
+        stretch = delay_stretch(tree, spf.dist)
+        assert all(s == pytest.approx(1.0) for s in stretch.values())
+
+    def test_detour_tree_stretch(self, fig1):
+        t = MulticastTree(fig1, node_id("S"))
+        # D joins via the longer B route: delay 3 vs SPF 2.
+        t.graft([node_id("S"), node_id("B"), node_id("D")])
+        spf = dijkstra(fig1, node_id("S"))
+        stretch = delay_stretch(t, spf.dist)
+        assert stretch[node_id("D")] == pytest.approx(1.5)

@@ -1,0 +1,112 @@
+"""Tests for group membership workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multicast.group import (
+    GroupAction,
+    GroupEvent,
+    GroupWorkload,
+    random_member_set,
+)
+
+
+class TestRandomMemberSet:
+    def test_size_and_exclusion(self, waxman50, rng):
+        members = random_member_set(waxman50, 10, 20, rng)
+        assert len(members) == 20
+        assert 10 not in members
+        assert len(set(members)) == 20
+
+    def test_deterministic(self, waxman50):
+        a = random_member_set(waxman50, 0, 15, np.random.default_rng(9))
+        b = random_member_set(waxman50, 0, 15, np.random.default_rng(9))
+        assert a == b
+
+    def test_too_large_group_rejected(self, waxman50, rng):
+        with pytest.raises(ConfigurationError):
+            random_member_set(waxman50, 0, 50, rng)
+
+    def test_zero_group_rejected(self, waxman50, rng):
+        with pytest.raises(ConfigurationError):
+            random_member_set(waxman50, 0, 0, rng)
+
+
+class TestWorkload:
+    def test_events_sorted(self):
+        w = GroupWorkload()
+        w.add(GroupEvent(5.0, 1, GroupAction.JOIN))
+        w.add(GroupEvent(2.0, 2, GroupAction.JOIN))
+        assert [e.time for e in w] == [2.0, 5.0]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GroupEvent(-1.0, 0, GroupAction.JOIN)
+
+    def test_members_at(self):
+        w = GroupWorkload()
+        w.add(GroupEvent(1.0, 7, GroupAction.JOIN))
+        w.add(GroupEvent(3.0, 7, GroupAction.LEAVE))
+        w.add(GroupEvent(2.0, 8, GroupAction.JOIN))
+        assert w.members_at(0.5) == set()
+        assert w.members_at(2.0) == {7, 8}
+        assert w.members_at(10.0) == {8}
+
+    def test_static_joins(self):
+        w = GroupWorkload.static_joins([4, 9, 2], spacing=2.0)
+        assert [(e.time, e.node) for e in w] == [(0.0, 4), (2.0, 9), (4.0, 2)]
+        assert all(e.action is GroupAction.JOIN for e in w)
+
+    def test_static_joins_bad_spacing(self):
+        with pytest.raises(ConfigurationError):
+            GroupWorkload.static_joins([1], spacing=0.0)
+
+
+class TestChurn:
+    def test_events_within_duration(self, waxman50):
+        rng = np.random.default_rng(4)
+        w = GroupWorkload.churn(
+            waxman50, 0, rng, duration=200.0, mean_holding_time=30.0,
+            mean_interarrival=5.0,
+        )
+        assert len(w) > 10
+        assert all(0.0 <= e.time < 200.0 for e in w)
+
+    def test_joins_precede_leaves_per_node(self, waxman50):
+        rng = np.random.default_rng(4)
+        w = GroupWorkload.churn(
+            waxman50, 0, rng, duration=150.0, mean_holding_time=20.0,
+            mean_interarrival=4.0,
+        )
+        active: set[int] = set()
+        for event in w:
+            if event.action is GroupAction.JOIN:
+                assert event.node not in active
+                active.add(event.node)
+            else:
+                assert event.node in active
+                active.discard(event.node)
+
+    def test_source_never_joins(self, waxman50):
+        rng = np.random.default_rng(4)
+        w = GroupWorkload.churn(
+            waxman50, 0, rng, duration=300.0, mean_holding_time=20.0,
+            mean_interarrival=2.0,
+        )
+        assert all(e.node != 0 for e in w)
+
+    def test_initial_members(self, waxman50):
+        rng = np.random.default_rng(4)
+        w = GroupWorkload.churn(
+            waxman50, 0, rng, duration=100.0, mean_holding_time=10.0,
+            mean_interarrival=10.0, initial_members=[5, 6],
+        )
+        assert {5, 6} <= w.members_at(0.0)
+
+    def test_bad_parameters_rejected(self, waxman50, rng):
+        with pytest.raises(ConfigurationError):
+            GroupWorkload.churn(
+                waxman50, 0, rng, duration=0.0, mean_holding_time=1.0,
+                mean_interarrival=1.0,
+            )

@@ -1,0 +1,76 @@
+"""Tests for ASCII tree rendering."""
+
+from repro.graph.generators import FIGURE_NODES, node_id
+from repro.multicast.render import render_comparison, render_tree, tree_statistics
+from repro.multicast.tree import MulticastTree
+
+NAME = {v: k for k, v in FIGURE_NODES.items()}
+
+
+def fig1_tree(fig1):
+    tree = MulticastTree(fig1, node_id("S"))
+    tree.graft([node_id("S"), node_id("A"), node_id("C")])
+    tree.graft([node_id("A"), node_id("D")])
+    return tree
+
+
+class TestRenderTree:
+    def test_all_nodes_present(self, fig1):
+        tree = fig1_tree(fig1)
+        art = render_tree(tree, label=lambda n: NAME[n])
+        for label in ("S", "A", "C", "D"):
+            assert label in art
+
+    def test_members_starred(self, fig1):
+        tree = fig1_tree(fig1)
+        art = render_tree(tree, label=lambda n: NAME[n])
+        assert "C *" in art
+        assert "D *" in art
+        assert "A *" not in art  # relay
+
+    def test_root_first_line(self, fig1):
+        tree = fig1_tree(fig1)
+        art = render_tree(tree, label=lambda n: NAME[n])
+        assert art.splitlines()[0] == "S"
+
+    def test_structure_connectors(self, fig1):
+        tree = fig1_tree(fig1)
+        art = render_tree(tree)
+        assert "├── " in art  # first of two siblings
+        assert "└── " in art  # last child
+
+    def test_delays_shown(self, fig1):
+        tree = fig1_tree(fig1)
+        art = render_tree(tree, show_delays=True)
+        assert "(1)" in art
+
+    def test_single_node_tree(self, fig1):
+        tree = MulticastTree(fig1, node_id("S"))
+        assert render_tree(tree) == "0"
+
+    def test_line_count_matches_nodes(self, waxman50):
+        from repro.multicast.spf_protocol import SPFMulticastProtocol
+
+        tree = SPFMulticastProtocol(waxman50, 0).build([9, 22, 37, 44])
+        art = render_tree(tree)
+        assert len(art.splitlines()) == len(tree.on_tree_nodes())
+
+
+class TestComparison:
+    def test_side_by_side(self, fig1):
+        tree = fig1_tree(fig1)
+        other = MulticastTree(fig1, node_id("S"))
+        other.graft([node_id("S"), node_id("B"), node_id("D")])
+        art = render_comparison(tree, other, "SPF", "SMRP")
+        lines = art.splitlines()
+        assert "SPF" in lines[0] and "SMRP" in lines[0]
+        assert len(lines) >= 5
+
+
+class TestStatistics:
+    def test_summary_fields(self, fig1):
+        tree = fig1_tree(fig1)
+        text = tree_statistics(tree)
+        assert "members=2" in text
+        assert "links=3" in text
+        assert "max_SHR=3" in text

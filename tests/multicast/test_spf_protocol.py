@@ -1,0 +1,74 @@
+"""Tests for the SPF (PIM/MOSPF-style) baseline protocol."""
+
+import pytest
+
+from repro.errors import AlreadyMemberError, NotMemberError
+from repro.graph.generators import node_id
+from repro.multicast.spf_protocol import SPFMulticastProtocol
+from repro.multicast.validation import check_tree_invariants
+from repro.routing.spf import dijkstra
+
+
+class TestJoin:
+    def test_builds_figure1_tree(self, fig1):
+        """Figure 1(a): C and D both route through A."""
+        proto = SPFMulticastProtocol(fig1, node_id("S"))
+        proto.join(node_id("C"))
+        proto.join(node_id("D"))
+        assert proto.tree.tree_links() == {(0, 1), (1, 3), (1, 4)}
+
+    def test_join_returns_graft_path(self, fig1):
+        proto = SPFMulticastProtocol(fig1, node_id("S"))
+        path = proto.join(node_id("C"))
+        assert path == [node_id("S"), node_id("A"), node_id("C")]
+
+    def test_join_merges_at_first_on_tree_node(self, fig1):
+        proto = SPFMulticastProtocol(fig1, node_id("S"))
+        proto.join(node_id("C"))
+        path = proto.join(node_id("D"))
+        # D's SPF path to S is D-A-S; A is already on the tree.
+        assert path == [node_id("A"), node_id("D")]
+
+    def test_join_on_tree_relay(self, fig1):
+        proto = SPFMulticastProtocol(fig1, node_id("S"))
+        proto.join(node_id("C"))
+        path = proto.join(node_id("A"))  # already a relay
+        assert path == [node_id("A")]
+        assert proto.tree.is_member(node_id("A"))
+
+    def test_double_join_rejected(self, fig1):
+        proto = SPFMulticastProtocol(fig1, node_id("S"))
+        proto.join(node_id("C"))
+        with pytest.raises(AlreadyMemberError):
+            proto.join(node_id("C"))
+
+    def test_member_delay_is_spf_optimal(self, waxman50):
+        proto = SPFMulticastProtocol(waxman50, 0)
+        members = [7, 13, 25, 31, 44]
+        proto.build(members)
+        spf = dijkstra(waxman50, 0)
+        for m in members:
+            assert proto.tree.delay_from_source(m) == pytest.approx(spf.dist[m])
+
+
+class TestLeave:
+    def test_leave_prunes(self, fig1):
+        proto = SPFMulticastProtocol(fig1, node_id("S"))
+        proto.build([node_id("C"), node_id("D")])
+        removed = proto.leave(node_id("D"))
+        assert removed == [node_id("D")]
+        check_tree_invariants(proto.tree)
+
+    def test_leave_non_member_rejected(self, fig1):
+        proto = SPFMulticastProtocol(fig1, node_id("S"))
+        with pytest.raises(NotMemberError):
+            proto.leave(node_id("C"))
+
+    def test_join_leave_roundtrip_restores_empty_tree(self, waxman50):
+        proto = SPFMulticastProtocol(waxman50, 0)
+        members = [7, 13, 25]
+        proto.build(members)
+        for m in members:
+            proto.leave(m)
+        assert proto.tree.on_tree_nodes() == [0]
+        assert not proto.tree.members

@@ -1,0 +1,85 @@
+"""Tests for the Takahashi–Matsuyama cost-minimizing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlreadyMemberError, NoPathError, NotMemberError
+from repro.graph.generators import node_id
+from repro.graph.topology import Topology
+from repro.multicast.spf_protocol import SPFMulticastProtocol
+from repro.multicast.steiner_protocol import SteinerMulticastProtocol
+from repro.multicast.validation import check_tree_invariants
+from repro.routing.failure_view import FailureSet
+
+
+class TestJoins:
+    def test_first_join_is_cheapest_path(self, fig1):
+        proto = SteinerMulticastProtocol(fig1, node_id("S"))
+        path = proto.join(node_id("D"))
+        assert path == [node_id("S"), node_id("A"), node_id("D")]
+
+    def test_second_join_grafts_to_nearest_tree_point(self, fig1):
+        """C joins after D: TM grafts C to A (cost 1), same as SPF here;
+        then B joins and grafts to D (cost 1) instead of S (cost 2)."""
+        proto = SteinerMulticastProtocol(fig1, node_id("S"))
+        proto.join(node_id("D"))
+        proto.join(node_id("C"))
+        path = proto.join(node_id("B"))
+        assert path == [node_id("D"), node_id("B")]
+
+    def test_uses_cost_weight_not_delay(self):
+        topo = Topology()
+        for n in range(4):
+            topo.add_node(n)
+        # 0-1 cheap but slow; 0-2-1 fast but expensive.
+        topo.add_link(0, 1, delay=10.0, cost=1.0)
+        topo.add_link(0, 2, delay=1.0, cost=5.0)
+        topo.add_link(2, 1, delay=1.0, cost=5.0)
+        proto = SteinerMulticastProtocol(topo, 0)
+        assert proto.join(1) == [0, 1]
+
+    def test_double_join_rejected(self, fig1):
+        proto = SteinerMulticastProtocol(fig1, node_id("S"))
+        proto.join(node_id("D"))
+        with pytest.raises(AlreadyMemberError):
+            proto.join(node_id("D"))
+
+    def test_relay_becomes_member(self, fig1):
+        proto = SteinerMulticastProtocol(fig1, node_id("S"))
+        proto.join(node_id("D"))
+        assert proto.join(node_id("A")) == [node_id("A")]
+
+    def test_unreachable_join_raises(self, fig1):
+        proto = SteinerMulticastProtocol(fig1, node_id("S"))
+        isolation = FailureSet.nodes(node_id("A"), node_id("B"), node_id("C"))
+        with pytest.raises(NoPathError):
+            proto.join(node_id("D"), failures=isolation)
+
+    def test_leave(self, fig1):
+        proto = SteinerMulticastProtocol(fig1, node_id("S"))
+        proto.join(node_id("D"))
+        proto.leave(node_id("D"))
+        assert proto.tree.on_tree_nodes() == [node_id("S")]
+        with pytest.raises(NotMemberError):
+            proto.leave(node_id("D"))
+
+
+class TestCostMinimization:
+    def test_cheaper_than_spf_on_average(self, waxman50):
+        """TM's whole point: lower tree cost than SPF-based joins."""
+        rng = np.random.default_rng(3)
+        costs_tm, costs_spf = [], []
+        for trial in range(5):
+            members = [
+                int(m) for m in rng.choice(range(1, 50), 12, replace=False)
+            ]
+            tm = SteinerMulticastProtocol(waxman50, 0, self_check=False)
+            spf = SPFMulticastProtocol(waxman50, 0, self_check=False)
+            costs_tm.append(tm.build(members).tree_cost())
+            costs_spf.append(spf.build(members).tree_cost())
+        assert sum(costs_tm) < sum(costs_spf)
+
+    def test_invariants_hold(self, waxman50):
+        proto = SteinerMulticastProtocol(waxman50, 0)
+        proto.build([5, 17, 29, 33, 41])
+        check_tree_invariants(proto.tree)

@@ -1,0 +1,97 @@
+"""Property tests for the discrete-event protocol implementation.
+
+Random join/leave schedules (arbitrary interleavings, arbitrary spacing)
+must always leave the distributed state consistent: the extracted tree is
+valid, membership matches the surviving schedule, and — once the control
+plane quiesces — advertised SHR values equal the ground truth.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.waxman import WaxmanConfig, waxman_topology
+from repro.core.shr import shr_table
+from repro.multicast.validation import check_tree_invariants
+from repro.sim.protocols import SmrpSimulation
+
+
+def make_topology(seed: int):
+    return waxman_topology(
+        WaxmanConfig(n=18, alpha=0.6, beta=0.4, seed=seed)
+    ).topology
+
+
+@st.composite
+def schedules(draw):
+    seed = draw(st.integers(0, 50))
+    events = draw(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(1, 17)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    return seed, events
+
+
+class TestDesSchedules:
+    @settings(max_examples=15, deadline=None)
+    @given(schedules())
+    def test_tree_valid_and_membership_exact(self, case):
+        seed, events = case
+        topology = make_topology(seed)
+        sim = SmrpSimulation(topology, 0, d_thresh=0.5)
+        spacing = 60.0 * max(l.delay for l in topology.links())
+        expected: set[int] = set()
+        for index, (is_join, node) in enumerate(events):
+            at = spacing * (index + 1)
+            if is_join and node not in expected:
+                sim.schedule_join(at, node)
+                expected.add(node)
+            elif not is_join and node in expected:
+                sim.schedule_leave(at, node)
+                expected.discard(node)
+        sim.run(until=spacing * (len(events) + 4))
+        tree = sim.extract_tree()
+        check_tree_invariants(tree)
+        assert tree.members == frozenset(expected)
+
+    @settings(max_examples=10, deadline=None)
+    @given(schedules())
+    def test_advertised_shr_converges(self, case):
+        seed, events = case
+        topology = make_topology(seed)
+        sim = SmrpSimulation(topology, 0, d_thresh=0.5)
+        spacing = 60.0 * max(l.delay for l in topology.links())
+        members: set[int] = set()
+        for index, (is_join, node) in enumerate(events):
+            at = spacing * (index + 1)
+            if is_join and node not in members:
+                sim.schedule_join(at, node)
+                members.add(node)
+            elif not is_join and node in members:
+                sim.schedule_leave(at, node)
+                members.discard(node)
+        # Generous quiescence time: several advert periods past the last event.
+        sim.run(until=spacing * (len(events) + 8))
+        tree = sim.extract_tree()
+        truth = shr_table(tree)
+        view = sim.shr_view()
+        for node, value in truth.items():
+            assert view.get(node) == value
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 50), st.integers(2, 6))
+    def test_data_plane_lossless_without_failures(self, seed, n_members):
+        topology = make_topology(seed)
+        sim = SmrpSimulation(topology, 0, d_thresh=0.5)
+        spacing = 60.0 * max(l.delay for l in topology.links())
+        members = list(range(1, 1 + n_members))
+        for index, m in enumerate(members):
+            sim.schedule_join(spacing * (index + 1), m)
+        sim.start_data(period=spacing / 10.0)
+        sim.run(until=spacing * (len(members) + 6))
+        for m in members:
+            log = sim.deliveries.get(m, [])
+            assert log, f"member {m} never received data"
+            missing, _ = sim.disruption(m)
+            assert missing == 0

@@ -1,0 +1,135 @@
+"""Tests for Suurballe/Bhandari link-disjoint path pairs."""
+
+import pytest
+
+from repro.errors import NoPathError, TopologyError
+from repro.graph.generators import node_id, ring_topology
+from repro.graph.topology import Topology
+from repro.routing.disjoint import link_disjoint_paths
+from repro.routing.failure_view import FailureSet
+
+
+@pytest.fixture
+def trap():
+    """The classic Suurballe trap: the shortest path blocks the naive
+    second path; only rerouting the first path yields a disjoint pair.
+
+    0 -1- 1 -1- 3
+    0 -2- 2 -2- 3,  1 -0.5- 2
+    Shortest 0→3 is 0-1-3 (2).  Removing its links leaves 0-2-3 (4), so a
+    greedy two-pass works here; the interesting case adds the cheap 1-2
+    bridge making the shortest path 0-1-2-3 in a variant.
+    """
+    topo = Topology("trap")
+    for n in range(4):
+        topo.add_node(n)
+    topo.add_link(0, 1, delay=1.0)
+    topo.add_link(1, 3, delay=1.0)
+    topo.add_link(0, 2, delay=2.0)
+    topo.add_link(2, 3, delay=2.0)
+    topo.add_link(1, 2, delay=0.5)
+    return topo
+
+
+class TestDisjointPairs:
+    def test_simple_ring(self):
+        ring = ring_topology(6)
+        pair = link_disjoint_paths(ring, 0, 3)
+        assert pair.shared_links() == set()
+        assert pair.primary == (0, 1, 2, 3)
+        assert pair.backup == (0, 5, 4, 3)
+        assert pair.total_delay == 6.0
+
+    def test_trap_graph(self, trap):
+        pair = link_disjoint_paths(trap, 0, 3)
+        assert pair.shared_links() == set()
+        assert pair.primary_delay <= pair.backup_delay
+        # Optimal pair: 0-1-3 (2) and 0-2-3 (4): total 6.
+        assert pair.total_delay == pytest.approx(6.0)
+
+    def test_suurballe_rerouting_needed(self):
+        """Shortest path hogs links both pairs need; the algorithm must
+        reroute it through the reverse-arc trick."""
+        topo = Topology("reroute")
+        for n in range(6):
+            topo.add_node(n)
+        # Shortest: 0-2-3-5 (3).  Greedy removal would then leave only
+        # 0-1-4-5 if it exists... construct so that the optimal pair is
+        # 0-2-4-5 and 0-1-3-5, sharing nothing with each other but both
+        # crossing the shortest path's middle link 2-3 region.
+        topo.add_link(0, 2, delay=1.0)
+        topo.add_link(2, 3, delay=1.0)
+        topo.add_link(3, 5, delay=1.0)
+        topo.add_link(0, 1, delay=2.0)
+        topo.add_link(1, 3, delay=2.0)
+        topo.add_link(2, 4, delay=2.0)
+        topo.add_link(4, 5, delay=2.0)
+        pair = link_disjoint_paths(topo, 0, 5)
+        assert pair.shared_links() == set()
+        paths = {pair.primary, pair.backup}
+        assert paths == {(0, 2, 4, 5), (0, 1, 3, 5)}
+
+    def test_total_delay_is_minimal(self, trap):
+        """Cross-check minimal total against brute force on a tiny graph."""
+        import itertools
+
+        pair = link_disjoint_paths(trap, 0, 3)
+
+        # Brute force all simple-path pairs.
+        def simple_paths(topo, s, t, path=None):
+            path = path or [s]
+            if path[-1] == t:
+                yield list(path)
+                return
+            for nxt in topo.neighbors(path[-1]):
+                if nxt not in path:
+                    path.append(nxt)
+                    yield from simple_paths(topo, s, t, path)
+                    path.pop()
+
+        best = float("inf")
+        all_paths = list(simple_paths(trap, 0, 3))
+        for p1, p2 in itertools.combinations(all_paths, 2):
+            links1 = {tuple(sorted(e)) for e in zip(p1, p1[1:])}
+            links2 = {tuple(sorted(e)) for e in zip(p2, p2[1:])}
+            if links1 & links2:
+                continue
+            best = min(best, trap.path_delay(p1) + trap.path_delay(p2))
+        assert pair.total_delay == pytest.approx(best)
+
+    def test_bridge_graph_has_no_pair(self, line4):
+        with pytest.raises(NoPathError):
+            link_disjoint_paths(line4, 0, 3)
+
+    def test_figure1_pair_for_d(self, fig1):
+        pair = link_disjoint_paths(fig1, node_id("S"), node_id("D"))
+        assert pair.shared_links() == set()
+        assert pair.primary == (node_id("S"), node_id("A"), node_id("D"))
+
+    def test_respects_failures(self, fig1):
+        failure = FailureSet.links((node_id("S"), node_id("A")))
+        # Without S-A, S only has one exit (S-B): no disjoint pair to D.
+        with pytest.raises(NoPathError):
+            link_disjoint_paths(fig1, node_id("S"), node_id("D"), failures=failure)
+
+    def test_same_endpoints_rejected(self, fig1):
+        with pytest.raises(TopologyError):
+            link_disjoint_paths(fig1, 0, 0)
+
+    def test_unknown_endpoint_rejected(self, fig1):
+        with pytest.raises(TopologyError):
+            link_disjoint_paths(fig1, 0, 99)
+
+    def test_random_graphs_pairs_are_disjoint(self, waxman50):
+        found = 0
+        for target in (10, 20, 30, 40):
+            try:
+                pair = link_disjoint_paths(waxman50, 0, target)
+            except NoPathError:
+                continue
+            found += 1
+            assert pair.shared_links() == set()
+            assert pair.primary[0] == 0 and pair.primary[-1] == target
+            assert pair.backup[0] == 0 and pair.backup[-1] == target
+            assert pair.primary_delay <= pair.backup_delay
+        assert found > 0

@@ -1,0 +1,75 @@
+"""Tests for FailureSet semantics."""
+
+from repro.routing.failure_view import NO_FAILURES, FailureSet
+
+
+class TestConstruction:
+    def test_links_factory_canonicalizes(self):
+        failures = FailureSet.links((5, 2))
+        assert failures.link_failed(2, 5)
+        assert failures.link_failed(5, 2)
+
+    def test_nodes_factory(self):
+        failures = FailureSet.nodes(3, 7)
+        assert failures.node_failed(3)
+        assert not failures.node_failed(4)
+
+    def test_empty(self):
+        assert NO_FAILURES.is_empty
+        assert not FailureSet.links((0, 1)).is_empty
+
+
+class TestUsability:
+    def test_failed_link_unusable(self):
+        failures = FailureSet.links((0, 1))
+        assert not failures.link_usable(0, 1)
+        assert failures.link_usable(1, 2)
+
+    def test_failed_node_kills_incident_links(self):
+        failures = FailureSet.nodes(1)
+        assert not failures.link_usable(0, 1)
+        assert not failures.link_usable(1, 2)
+        assert failures.link_usable(0, 2)
+
+    def test_path_affected_by_link(self):
+        failures = FailureSet.links((1, 2))
+        assert failures.path_affected([0, 1, 2, 3])
+        assert not failures.path_affected([0, 1])
+
+    def test_path_affected_by_node(self):
+        failures = FailureSet.nodes(2)
+        assert failures.path_affected([0, 1, 2])
+        assert not failures.path_affected([0, 1])
+
+    def test_empty_path_unaffected(self):
+        assert not FailureSet.nodes(1).path_affected([])
+
+
+class TestAlgebra:
+    def test_union(self):
+        combined = FailureSet.links((0, 1)).union(FailureSet.nodes(5))
+        assert combined.link_failed(0, 1)
+        assert combined.node_failed(5)
+
+    def test_union_is_non_destructive(self):
+        a = FailureSet.links((0, 1))
+        b = FailureSet.links((2, 3))
+        a.union(b)
+        assert not a.link_failed(2, 3)
+
+    def test_immutability_via_hash(self):
+        # frozen dataclass with frozensets: usable as dict keys
+        a = FailureSet.links((0, 1))
+        b = FailureSet.links((0, 1))
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_iteration_sorted(self):
+        failures = FailureSet.links((9, 8), (1, 2)).union(FailureSet.nodes(7, 3))
+        assert list(failures.iter_failed_links()) == [(1, 2), (8, 9)]
+        assert list(failures.iter_failed_nodes()) == [3, 7]
+
+    def test_describe(self):
+        assert NO_FAILURES.describe() == "no failures"
+        text = FailureSet.links((0, 1)).union(FailureSet.nodes(4)).describe()
+        assert "0-1" in text and "4" in text

@@ -1,0 +1,69 @@
+"""Tests for Yen's k-shortest loopless paths."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NoPathError
+from repro.graph.topology import Topology
+from repro.routing.failure_view import FailureSet
+from repro.routing.ksp import k_shortest_paths
+
+
+@pytest.fixture
+def diamond():
+    """0-1-3 (2), 0-2-3 (3), 0-3 direct (4)."""
+    topo = Topology("diamond")
+    for n in range(4):
+        topo.add_node(n)
+    topo.add_link(0, 1, delay=1.0)
+    topo.add_link(1, 3, delay=1.0)
+    topo.add_link(0, 2, delay=1.5)
+    topo.add_link(2, 3, delay=1.5)
+    topo.add_link(0, 3, delay=4.0)
+    return topo
+
+
+class TestKsp:
+    def test_first_path_is_shortest(self, diamond):
+        paths = k_shortest_paths(diamond, 0, 3, k=1)
+        assert paths == [[0, 1, 3]]
+
+    def test_three_distinct_paths_in_order(self, diamond):
+        paths = k_shortest_paths(diamond, 0, 3, k=3)
+        assert paths == [[0, 1, 3], [0, 2, 3], [0, 3]]
+
+    def test_lengths_nondecreasing(self, diamond):
+        paths = k_shortest_paths(diamond, 0, 3, k=3)
+        lengths = [diamond.path_delay(p) for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_fewer_paths_than_k(self, diamond):
+        paths = k_shortest_paths(diamond, 0, 3, k=10)
+        assert len(paths) == 3  # the graph only has three loopless routes
+
+    def test_paths_are_loopless(self, waxman50):
+        for path in k_shortest_paths(waxman50, 0, 30, k=5):
+            assert len(path) == len(set(path))
+
+    def test_paths_are_distinct(self, waxman50):
+        paths = k_shortest_paths(waxman50, 2, 41, k=6)
+        assert len({tuple(p) for p in paths}) == len(paths)
+
+    def test_respects_failures(self, diamond):
+        paths = k_shortest_paths(
+            diamond, 0, 3, k=3, failures=FailureSet.links((0, 1))
+        )
+        assert [0, 1, 3] not in paths
+        assert paths[0] == [0, 2, 3]
+
+    def test_disconnected_raises(self, line4):
+        with pytest.raises(NoPathError):
+            k_shortest_paths(line4, 0, 3, k=2, failures=FailureSet.links((1, 2)))
+
+    def test_bad_k_rejected(self, diamond):
+        with pytest.raises(ConfigurationError):
+            k_shortest_paths(diamond, 0, 3, k=0)
+
+    def test_single_node_graph(self):
+        topo = Topology()
+        topo.add_node(0)
+        assert k_shortest_paths(topo, 0, 0, k=2) == [[0]]

@@ -1,0 +1,59 @@
+"""Tests for routing tables."""
+
+import pytest
+
+from repro.errors import NoPathError
+from repro.routing.failure_view import FailureSet
+from repro.routing.tables import build_all_tables, build_routing_table
+
+
+class TestRoutingTable:
+    def test_next_hops_match_spf(self, fig1):
+        table = build_routing_table(fig1, 0)
+        assert table.next_hop(4) == 1  # S reaches D via A
+        assert table.next_hop(2) == 2  # direct to B
+
+    def test_distance(self, fig1):
+        table = build_routing_table(fig1, 0)
+        assert table.distance(4) == 2.0
+        assert table.distance(0) == 0.0
+
+    def test_unreachable_destination(self, line4):
+        table = build_routing_table(line4, 0, failures=FailureSet.links((1, 2)))
+        assert table.has_route(1)
+        assert not table.has_route(3)
+        with pytest.raises(NoPathError):
+            table.next_hop(3)
+
+    def test_next_hop_to_self_rejected(self, fig1):
+        table = build_routing_table(fig1, 0)
+        with pytest.raises(NoPathError):
+            table.next_hop(0)
+
+    def test_destinations_sorted(self, fig1):
+        table = build_routing_table(fig1, 3)
+        assert table.destinations() == sorted(table.destinations())
+
+    def test_failure_changes_next_hop(self, fig1):
+        before = build_routing_table(fig1, 4)
+        after = build_routing_table(fig1, 4, failures=FailureSet.links((1, 4)))
+        assert before.next_hop(0) == 1
+        assert after.next_hop(0) == 2
+
+
+class TestAllTables:
+    def test_covers_live_nodes(self, fig1):
+        tables = build_all_tables(fig1)
+        assert set(tables) == set(fig1.nodes())
+
+    def test_failed_node_has_no_table(self, fig1):
+        tables = build_all_tables(fig1, failures=FailureSet.nodes(1))
+        assert 1 not in tables
+        # Other nodes route around the dead node.
+        assert tables[4].next_hop(0) == 2
+
+    def test_symmetric_distances(self, waxman50):
+        """Undirected links: distance(a→b) == distance(b→a)."""
+        tables = build_all_tables(waxman50)
+        for a, b in [(0, 10), (5, 31), (12, 49)]:
+            assert tables[a].distance(b) == pytest.approx(tables[b].distance(a))

@@ -1,0 +1,88 @@
+"""Tests for periodic and watchdog timers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.events import PeriodicTimer, WatchdogTimer
+
+
+class TestPeriodicTimer:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 2.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.run(until=7.0)
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        assert not timer.running
+
+    def test_double_start_is_idempotent(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        timer.start()
+        sim.run(until=1.5)
+        assert ticks == [1.0]
+
+    def test_callback_can_stop_timer(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                timer.stop()
+
+        timer = PeriodicTimer(sim, 1.0, tick)
+        timer.start()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(SimulationError):
+            PeriodicTimer(Simulator(), 0.0, lambda: None)
+
+
+class TestWatchdogTimer:
+    def test_fires_without_kicks(self):
+        sim = Simulator()
+        expirations = []
+        dog = WatchdogTimer(sim, 5.0, lambda: expirations.append(sim.now))
+        dog.kick()
+        sim.run(until=20.0)
+        assert expirations == [5.0]
+
+    def test_kicks_postpone_expiry(self):
+        sim = Simulator()
+        expirations = []
+        dog = WatchdogTimer(sim, 5.0, lambda: expirations.append(sim.now))
+        dog.kick()
+        for t in (2.0, 4.0, 6.0):
+            sim.schedule_at(t, dog.kick)
+        sim.run(until=20.0)
+        assert expirations == [11.0]  # last kick at 6.0 + timeout 5.0
+
+    def test_disarm_prevents_expiry(self):
+        sim = Simulator()
+        expirations = []
+        dog = WatchdogTimer(sim, 5.0, lambda: expirations.append(sim.now))
+        dog.kick()
+        sim.schedule_at(1.0, dog.disarm)
+        sim.run(until=20.0)
+        assert expirations == []
+        assert not dog.armed
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            WatchdogTimer(Simulator(), -1.0, lambda: None)

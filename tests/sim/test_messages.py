@@ -1,0 +1,68 @@
+"""Tests for the control-message vocabulary."""
+
+from repro.sim.messages import (
+    HopByHopAck,
+    HopByHopJoin,
+    JoinAck,
+    JoinReq,
+    LeaveReq,
+    Lsa,
+    Message,
+    Prune,
+    Refresh,
+    ShrAdvert,
+    ShrQuery,
+    ShrResponse,
+)
+
+
+class TestMessageBasics:
+    def test_unique_ids(self):
+        a = Refresh(hop_src=0, hop_dst=1)
+        b = Refresh(hop_src=0, hop_dst=1)
+        assert a.msg_id != b.msg_id
+
+    def test_kind_is_class_name(self):
+        assert JoinReq(hop_src=0, hop_dst=1).kind == "JoinReq"
+        assert Lsa(hop_src=0, hop_dst=1).kind == "Lsa"
+
+    def test_messages_are_frozen(self):
+        msg = Refresh(hop_src=0, hop_dst=1)
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            msg.hop_src = 5  # type: ignore[misc]
+
+    def test_all_types_are_messages(self):
+        for cls in (
+            JoinReq, JoinAck, LeaveReq, Refresh, ShrAdvert, ShrQuery,
+            ShrResponse, Prune, Lsa, HopByHopJoin, HopByHopAck,
+        ):
+            assert issubclass(cls, Message)
+
+
+class TestPayloads:
+    def test_join_req_path(self):
+        msg = JoinReq(hop_src=5, hop_dst=4, joiner=5, path=(5, 4, 0))
+        assert msg.path == (5, 4, 0)
+        assert msg.member
+
+    def test_hop_by_hop_trail(self):
+        msg = HopByHopJoin(hop_src=5, hop_dst=4, joiner=5, target=0,
+                           visited=(5,))
+        assert msg.visited == (5,)
+        ack = HopByHopAck(hop_src=0, hop_dst=4, joiner=5, merge_node=0,
+                          trail=(5, 4, 0))
+        assert ack.trail[-1] == 0
+
+    def test_refresh_carries_subtree_count(self):
+        assert Refresh(hop_src=1, hop_dst=0, subtree_members=3).subtree_members == 3
+
+    def test_advert_carries_shr(self):
+        assert ShrAdvert(hop_src=0, hop_dst=1, shr_upstream=4).shr_upstream == 4
+
+    def test_lsa_names_link(self):
+        msg = Lsa(hop_src=2, hop_dst=3, failed_u=0, failed_v=1)
+        assert (msg.failed_u, msg.failed_v) == (0, 1)

@@ -1,0 +1,134 @@
+"""Tests for the simulated network (delivery, delays, failures)."""
+
+import pytest
+
+from repro.errors import SimulationError, TopologyError
+from repro.sim.engine import Simulator
+from repro.sim.messages import Refresh
+from repro.sim.network import SimNetwork
+from repro.sim.node import SimNode
+
+
+class Sink(SimNode):
+    """A node that records every Refresh it receives."""
+
+    def __init__(self, node_id, network):
+        super().__init__(node_id, network)
+        self.inbox = []
+        self.on(Refresh, lambda m: self.inbox.append((self.sim.now, m)))
+
+
+@pytest.fixture
+def net(line4):
+    sim = Simulator()
+    network = SimNetwork(sim, line4)
+    nodes = {n: Sink(n, network) for n in line4.nodes()}
+    return sim, network, nodes
+
+
+class TestDelivery:
+    def test_message_arrives_after_link_delay(self, net):
+        sim, network, nodes = net
+        nodes[0].send(Refresh(hop_src=0, hop_dst=1))
+        sim.run()
+        assert len(nodes[1].inbox) == 1
+        arrival, _ = nodes[1].inbox[0]
+        assert arrival == 1.0  # line topology delay
+
+    def test_stats_track_kinds(self, net):
+        sim, network, nodes = net
+        nodes[0].send(Refresh(hop_src=0, hop_dst=1))
+        sim.run()
+        assert network.stats.sent == 1
+        assert network.stats.delivered == 1
+        assert network.stats.by_kind == {"Refresh": 1}
+
+    def test_send_requires_matching_source(self, net):
+        _, __, nodes = net
+        with pytest.raises(SimulationError):
+            nodes[0].send(Refresh(hop_src=1, hop_dst=2))
+
+    def test_transmit_requires_link(self, net):
+        sim, network, nodes = net
+        with pytest.raises(TopologyError):
+            nodes[0].send(Refresh(hop_src=0, hop_dst=3))  # 0-3 not adjacent
+
+    def test_unhandled_message_type_raises(self, line4):
+        from repro.sim.messages import Prune
+
+        sim = Simulator()
+        network = SimNetwork(sim, line4)
+        nodes = {n: Sink(n, network) for n in line4.nodes()}
+        nodes[0].send(Prune(hop_src=0, hop_dst=1, pruned=0))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestFailures:
+    def test_failed_link_loses_messages(self, net):
+        sim, network, nodes = net
+        network.fail_link(0, 1)
+        nodes[0].send(Refresh(hop_src=0, hop_dst=1))
+        sim.run()
+        assert nodes[1].inbox == []
+        assert network.stats.lost_link_failed == 1
+
+    def test_in_flight_message_lost_when_link_fails(self, net):
+        sim, network, nodes = net
+        nodes[0].send(Refresh(hop_src=0, hop_dst=1))  # arrives at t=1
+        sim.schedule(0.5, lambda: network.fail_link(0, 1))
+        sim.run()
+        assert nodes[1].inbox == []
+
+    def test_failed_node_neither_sends_nor_receives(self, net):
+        sim, network, nodes = net
+        network.fail_node(1)
+        nodes[0].send(Refresh(hop_src=0, hop_dst=1))
+        nodes[1].send(Refresh(hop_src=1, hop_dst=2))
+        sim.run()
+        assert nodes[1].inbox == []
+        assert nodes[2].inbox == []
+        assert network.stats.lost_node_failed == 2
+
+    def test_dead_receiver_ignores_delivery(self, net):
+        sim, network, nodes = net
+        nodes[0].send(Refresh(hop_src=0, hop_dst=1))
+        sim.schedule(0.5, lambda: network.fail_node(1))
+        sim.run()
+        assert nodes[1].inbox == []
+
+    def test_repair_all(self, net):
+        sim, network, nodes = net
+        network.fail_link(0, 1)
+        network.repair_all()
+        assert network.current_failures.is_empty
+        nodes[0].send(Refresh(hop_src=0, hop_dst=1))
+        sim.run()
+        assert len(nodes[1].inbox) == 1
+
+    def test_fail_unknown_component_rejected(self, net):
+        _, network, __ = net
+        with pytest.raises(TopologyError):
+            network.fail_link(0, 3)
+        with pytest.raises(TopologyError):
+            network.fail_node(99)
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self, line4):
+        sim = Simulator()
+        network = SimNetwork(sim, line4)
+        Sink(0, network)
+        with pytest.raises(SimulationError):
+            Sink(0, network)
+
+    def test_unknown_node_rejected(self, line4):
+        network = SimNetwork(Simulator(), line4)
+        with pytest.raises(TopologyError):
+            Sink(99, network)
+
+    def test_node_lookup(self, net):
+        _, network, nodes = net
+        assert network.node(2) is nodes[2]
+        with pytest.raises(SimulationError):
+            network.node(77)

@@ -1,0 +1,119 @@
+"""Tests for the message-level PIM-over-OSPF baseline (LSA + rejoin)."""
+
+import pytest
+
+from repro.graph.generators import figure1_topology, node_id
+from repro.multicast.validation import check_tree_invariants
+from repro.sim.failures import FailureSchedule
+from repro.sim.protocols import SmrpSimulation
+from repro.sim.rejoin import RejoinSimNode, SpfRejoinSimulation
+
+
+def build_fig1_baseline():
+    topo = figure1_topology()
+    sim = SpfRejoinSimulation(topo, node_id("S"))
+    sim.schedule_join(10.0, node_id("C"))
+    sim.schedule_join(20.0, node_id("D"))
+    return topo, sim
+
+
+class TestLsaFlooding:
+    def test_every_router_learns_the_failure(self):
+        topo, sim = build_fig1_baseline()
+        FailureSchedule().fail_link_at(100.0, node_id("A"), node_id("D")).arm(
+            sim.sim, sim.network
+        )
+        sim.run(until=400.0)
+        for node_id_, node in sim.nodes.items():
+            assert isinstance(node, RejoinSimNode)
+            assert node.lsdb.known_failures.link_failed(
+                node_id("A"), node_id("D")
+            ), f"router {node_id_} never converged"
+
+    def test_lsa_arrival_order_respects_distance(self):
+        topo, sim = build_fig1_baseline()
+        FailureSchedule().fail_link_at(100.0, node_id("A"), node_id("D")).arm(
+            sim.sim, sim.network
+        )
+        sim.run(until=400.0)
+        # D originates; its direct neighbors hear before the far side.
+        arrivals = sim.lsa_arrivals
+        assert arrivals[node_id("B")] <= arrivals[node_id("S")] + 2.0
+
+    def test_no_failure_no_lsas(self):
+        _, sim = build_fig1_baseline()
+        sim.run(until=300.0)
+        assert sim.network.stats.by_kind.get("Lsa", 0) == 0
+
+
+class TestRejoin:
+    def test_service_restored_via_reconverged_path(self):
+        topo, sim = build_fig1_baseline()
+        FailureSchedule().fail_link_at(100.0, node_id("A"), node_id("D")).arm(
+            sim.sim, sim.network
+        )
+        sim.run(until=500.0)
+        tree = sim.extract_tree()
+        assert tree.is_member(node_id("D"))
+        # D's new path is the re-converged SPF route via B (Figure 1b).
+        assert tree.path_from_source(node_id("D")) == [
+            node_id("S"),
+            node_id("B"),
+            node_id("D"),
+        ]
+        check_tree_invariants(tree)
+
+    def test_restoration_recorded(self):
+        topo, sim = build_fig1_baseline()
+        FailureSchedule().fail_link_at(100.0, node_id("A"), node_id("D")).arm(
+            sim.sim, sim.network
+        )
+        sim.run(until=500.0)
+        restored = [r for r in sim.recovery_records if r.restored_at is not None]
+        assert restored
+        assert all(r.restoration_latency > 0 for r in restored)
+
+    def test_unaffected_member_undisturbed(self):
+        topo, sim = build_fig1_baseline()
+        FailureSchedule().fail_link_at(100.0, node_id("A"), node_id("D")).arm(
+            sim.sim, sim.network
+        )
+        sim.run(until=500.0)
+        tree = sim.extract_tree()
+        assert tree.path_from_source(node_id("C")) == [
+            node_id("S"),
+            node_id("A"),
+            node_id("C"),
+        ]
+
+    def test_rejoin_slower_than_local_detour(self, waxman50):
+        """The paper's headline, measured in simulated time: the baseline
+        waits for flooding + consistent tables; SMRP's local detour does
+        not."""
+        members = [7, 19, 28, 35]
+        results = {}
+        for name, sim_cls, kwargs in (
+            ("baseline", SpfRejoinSimulation, {}),
+            ("smrp", SmrpSimulation, {"d_thresh": 0.3}),
+        ):
+            sim = sim_cls(waxman50, 0, **kwargs)
+            spacing = 50.0 * max(l.delay for l in waxman50.links())
+            for i, m in enumerate(members):
+                sim.schedule_join(spacing * (i + 1), m)
+            settle = spacing * (len(members) + 2)
+            sim.run(until=settle)
+            tree = sim.extract_tree()
+            victim_path = tree.path_from_source(members[0])
+            FailureSchedule().fail_link_at(
+                settle + 1.0, victim_path[0], victim_path[1]
+            ).arm(sim.sim, sim.network)
+            sim.run(until=settle + 100 * spacing)
+            restored = [
+                r.restoration_latency
+                for r in sim.recovery_records
+                if r.restored_at is not None
+            ]
+            if not restored:
+                pytest.skip(f"{name}: failure not recoverable in this layout")
+            results[name] = min(restored)
+        assert results["smrp"] < results["baseline"]

@@ -1,0 +1,64 @@
+"""Tests for Condition-II reshaping in the message-level simulator."""
+
+import pytest
+
+from repro.graph.generators import node_id
+from repro.multicast.validation import check_tree_invariants
+from repro.sim.protocols import SmrpSimulation
+
+
+class TestDesReshaping:
+    def test_figure5_reshape_over_messages(self, fig4):
+        """The Figure 5 switch emerges from the timer-driven re-selection:
+        after E, G, F join, E moves from under D to the A-C branch."""
+        sim = SmrpSimulation(fig4, node_id("S"), d_thresh=0.3)
+        for i, m in enumerate(("E", "G", "F")):
+            sim.schedule_join(20.0 + 30.0 * i, node_id(m))
+        sim.run(until=150.0)
+        assert sim.extract_tree().parent(node_id("E")) == node_id("D")
+
+        sim.enable_reshaping(period=40.0)
+        sim.run(until=400.0)
+        tree = sim.extract_tree()
+        assert sim.reshapes_performed >= 1
+        assert tree.parent(node_id("E")) == node_id("C")
+        assert tree.parent(node_id("C")) == node_id("A")
+        check_tree_invariants(tree)
+
+    def test_old_branch_cleaned_after_switch(self, fig4):
+        sim = SmrpSimulation(fig4, node_id("S"), d_thresh=0.3)
+        for i, m in enumerate(("E", "G", "F")):
+            sim.schedule_join(20.0 + 30.0 * i, node_id(m))
+        sim.enable_reshaping(period=40.0)
+        sim.run(until=500.0)
+        tree = sim.extract_tree()
+        # D keeps serving F but must no longer list E downstream.
+        d_node = sim.nodes[node_id("D")]
+        assert node_id("E") not in d_node.downstream
+        assert tree.is_member(node_id("F"))
+        check_tree_invariants(tree)
+
+    def test_reshaping_settles(self, fig4):
+        """No oscillation: after the first switch the tree is stable."""
+        sim = SmrpSimulation(fig4, node_id("S"), d_thresh=0.3)
+        for i, m in enumerate(("E", "G", "F")):
+            sim.schedule_join(20.0 + 30.0 * i, node_id(m))
+        sim.enable_reshaping(period=40.0)
+        sim.run(until=400.0)
+        count_after_settling = sim.reshapes_performed
+        links = sim.extract_tree().tree_links()
+        sim.run(until=1200.0)
+        assert sim.reshapes_performed == count_after_settling
+        assert sim.extract_tree().tree_links() == links
+
+    def test_members_stay_served_throughout(self, waxman50):
+        sim = SmrpSimulation(waxman50, 0, d_thresh=0.4)
+        members = [7, 19, 28, 35, 42]
+        spacing = 50.0 * max(l.delay for l in waxman50.links())
+        for i, m in enumerate(members):
+            sim.schedule_join(spacing * (i + 1), m)
+        sim.enable_reshaping(period=4 * spacing)
+        sim.run(until=spacing * 30)
+        tree = sim.extract_tree()
+        assert tree.members == frozenset(members)
+        check_tree_invariants(tree)

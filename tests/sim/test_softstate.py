@@ -1,0 +1,79 @@
+"""Tests for soft-state tables."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.softstate import SoftStateTable
+
+
+@pytest.fixture
+def table():
+    sim = Simulator()
+    expired = []
+    table = SoftStateTable(sim, lifetime=10.0, on_expire=expired.append)
+    return sim, table, expired
+
+
+class TestRefresh:
+    def test_creates_and_renews(self, table):
+        sim, tbl, _ = table
+        tbl.refresh(5, subtree_members=2)
+        assert 5 in tbl
+        assert tbl.entry(5).subtree_members == 2
+        sim.run(until=8.0)
+        tbl.refresh(5, subtree_members=3)
+        assert tbl.entry(5).expires_at == 18.0
+
+    def test_total_subtree_members(self, table):
+        _, tbl, __ = table
+        tbl.refresh(1, subtree_members=2)
+        tbl.refresh(2, subtree_members=3)
+        assert tbl.total_subtree_members() == 5
+
+    def test_neighbors_sorted(self, table):
+        _, tbl, __ = table
+        tbl.refresh(9)
+        tbl.refresh(3)
+        assert tbl.neighbors() == [3, 9]
+
+    def test_remove(self, table):
+        _, tbl, __ = table
+        tbl.refresh(4)
+        tbl.remove(4)
+        assert 4 not in tbl
+        tbl.remove(4)  # idempotent
+
+
+class TestExpiry:
+    def test_expires_after_lifetime(self, table):
+        sim, tbl, expired = table
+        tbl.refresh(7)
+        sim.run(until=10.0)
+        reaped = tbl.expire()
+        assert [e.neighbor for e in reaped] == [7]
+        assert [e.neighbor for e in expired] == [7]
+        assert len(tbl) == 0
+
+    def test_refresh_prevents_expiry(self, table):
+        sim, tbl, expired = table
+        tbl.refresh(7)
+        sim.run(until=9.0)
+        tbl.refresh(7)
+        sim.run(until=12.0)
+        assert tbl.expire() == []
+        assert expired == []
+
+    def test_partial_expiry(self, table):
+        sim, tbl, _ = table
+        tbl.refresh(1)
+        sim.run(until=6.0)
+        tbl.refresh(2)
+        sim.run(until=11.0)
+        reaped = tbl.expire()
+        assert [e.neighbor for e in reaped] == [1]
+        assert 2 in tbl
+
+    def test_bad_lifetime_rejected(self):
+        with pytest.raises(SimulationError):
+            SoftStateTable(Simulator(), lifetime=0.0, on_expire=lambda e: None)

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_figure_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--figure", "11"])
+
+
+class TestInfo:
+    def test_lists_components(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.core" in out
+        assert "DSN 2005" in out
+
+
+class TestScenario:
+    def test_runs_small_scenario(self, capsys):
+        code = main([
+            "scenario", "--n", "30", "--group-size", "6",
+            "--alpha", "0.6", "--topology-seed", "2", "--member-seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RD SPF" in out and "RD SMRP" in out
+        assert "Cost_relative" in out
+
+    def test_query_mode_flag(self, capsys):
+        code = main([
+            "scenario", "--n", "30", "--group-size", "5",
+            "--alpha", "0.6", "--knowledge", "query", "--no-reshape",
+        ])
+        assert code == 0
+        assert "scenario:" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_join_only(self, capsys):
+        code = main(["simulate", "--n", "20", "--members", "3", "--seed", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "join latency" in out
+        assert "JoinReq" in out
+
+    def test_with_failure(self, capsys):
+        code = main([
+            "simulate", "--n", "20", "--members", "3", "--seed", "4",
+            "--fail-worst",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "injected failure" in out
+
+
+class TestFigures:
+    def test_single_quick_figure(self, capsys):
+        code = main(["figures", "--quick", "--figure", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out

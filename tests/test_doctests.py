@@ -1,0 +1,42 @@
+"""Run the doctests embedded in public-API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.graph.topology
+import repro.sim.engine
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.graph.topology, repro.sim.engine],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    failures, attempted = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    ).failed, doctest.testmod(module, verbose=False).attempted
+    assert attempted > 0, f"{module.__name__} lost its doctests"
+    assert failures == 0
+
+
+def test_protocol_docstring_example():
+    """The SMRPProtocol class docstring example, executed literally."""
+    from repro.graph import figure4_topology
+    from repro.graph.generators import node_id
+    from repro.core.protocol import SMRPProtocol
+
+    proto = SMRPProtocol(figure4_topology(), source=node_id("S"))
+    proto.join(node_id("E"))
+    assert proto.shr_values()[node_id("D")] == 2
+
+
+def test_package_docstring_example():
+    """The repro package quickstart, executed literally."""
+    from repro import SMRPProtocol, SMRPConfig, waxman_topology, WaxmanConfig
+
+    net = waxman_topology(WaxmanConfig(n=50, alpha=0.25, seed=7)).topology
+    proto = SMRPProtocol(net, source=0, config=SMRPConfig(d_thresh=0.3))
+    tree = proto.build([5, 12, 23, 31, 44])
+    assert sorted(tree.members) == [5, 12, 23, 31, 44]

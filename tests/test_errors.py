@@ -1,0 +1,70 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AlreadyMemberError,
+    ConfigurationError,
+    JoinRejectedError,
+    MulticastError,
+    NoPathError,
+    NotMemberError,
+    NotOnTreeError,
+    RecoveryError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+    UnrecoverableFailureError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_class",
+        [
+            TopologyError,
+            RoutingError,
+            MulticastError,
+            RecoveryError,
+            SimulationError,
+            ConfigurationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_class):
+        assert issubclass(exc_class, ReproError)
+
+    def test_no_path_is_routing_error(self):
+        assert issubclass(NoPathError, RoutingError)
+
+    def test_membership_errors_are_multicast_errors(self):
+        for exc_class in (NotOnTreeError, AlreadyMemberError, NotMemberError,
+                          JoinRejectedError):
+            assert issubclass(exc_class, MulticastError)
+
+    def test_unrecoverable_is_recovery_error(self):
+        assert issubclass(UnrecoverableFailureError, RecoveryError)
+
+
+class TestPayloads:
+    def test_no_path_carries_endpoints(self):
+        err = NoPathError(3, 7, reason="partitioned")
+        assert err.source == 3 and err.target == 7
+        assert "partitioned" in str(err)
+
+    def test_not_on_tree_names_node(self):
+        assert "42" in str(NotOnTreeError(42))
+
+    def test_join_rejected_carries_reason(self):
+        err = JoinRejectedError(5, "no candidate within bound")
+        assert err.node == 5
+        assert "bound" in str(err)
+
+    def test_unrecoverable_names_member(self):
+        err = UnrecoverableFailureError(9, "source dead")
+        assert err.member == 9
+        assert "source dead" in str(err)
+
+    def test_catching_family_with_base(self):
+        with pytest.raises(ReproError):
+            raise NoPathError(0, 1)

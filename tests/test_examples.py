@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a refactor that breaks one should
+fail CI.  Each runs in a subprocess with the repository's environment.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+@pytest.mark.parametrize(
+    "script, expected",
+    [
+        ("quickstart.py", "SMRP shortens this member's recovery path"),
+        ("paper_walkthrough.py", "reshaped onto the A-C branch"),
+        ("video_conference.py", "conference ends"),
+        ("hierarchical_recovery.py", "repaired strictly inside"),
+        ("des_protocol_demo.py", "restored at"),
+        ("protection_vs_reaction.py", "design point"),
+    ],
+)
+def test_example_runs(script, expected):
+    result = run_example(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout
+
+
+def test_reproduce_figures_single_quick():
+    result = run_example("reproduce_figures.py", "--quick", "--figure", "7")
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "below y=x" in result.stdout
