@@ -50,6 +50,7 @@ from repro.core import (
     repair_tree,
     worst_case_failure,
 )
+from repro.obs import NULL_OBS, Observability
 
 __version__ = "1.0.0"
 
@@ -84,5 +85,7 @@ __all__ = [
     "global_detour_recovery",
     "repair_tree",
     "worst_case_failure",
+    "Observability",
+    "NULL_OBS",
     "__version__",
 ]

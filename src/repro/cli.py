@@ -10,13 +10,20 @@ Commands
 ``simulate``
     Run the message-level simulator on a random topology, optionally
     injecting a worst-case failure, and print the event summary.
+``obs``
+    Render a previously captured observability run report.
 ``info``
     Version and component inventory.
+
+The run-producing commands accept ``--obs-out PATH`` to capture a
+structured run report (metric counters, span timings, event accounting)
+as JSON; ``repro obs report PATH`` renders it afterwards.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -35,6 +42,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="reduced grid (4x2 scenarios per point)")
     figures.add_argument("--figure", type=int, choices=[7, 8, 9, 10],
                          help="only this figure")
+    figures.add_argument("--obs-out", metavar="PATH",
+                         help="write an observability run report (JSON)")
 
     scenario = sub.add_parser("scenario", help="run one seeded scenario")
     scenario.add_argument("--n", type=int, default=100)
@@ -46,6 +55,8 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--knowledge", choices=["full", "query"],
                           default="full")
     scenario.add_argument("--no-reshape", action="store_true")
+    scenario.add_argument("--obs-out", metavar="PATH",
+                          help="write an observability run report (JSON)")
 
     simulate = sub.add_parser("simulate", help="message-level simulation")
     simulate.add_argument("--n", type=int, default=40)
@@ -54,6 +65,15 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--d-thresh", type=float, default=0.3)
     simulate.add_argument("--fail-worst", action="store_true",
                           help="inject the first member's worst-case failure")
+    simulate.add_argument("--obs-out", metavar="PATH",
+                          help="write an observability run report (JSON)")
+
+    obs = sub.add_parser("obs", help="observability run artifacts")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="render a run report captured with --obs-out"
+    )
+    obs_report.add_argument("path", help="run report JSON file")
 
     sub.add_parser("info", help="version and component inventory")
     return parser
@@ -65,9 +85,36 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figures": _cmd_figures,
         "scenario": _cmd_scenario,
         "simulate": _cmd_simulate,
+        "obs": _cmd_obs,
         "info": _cmd_info,
     }
     return handlers[args.command](args)
+
+
+def _make_obs(args: argparse.Namespace):
+    """An enabled Observability when ``--obs-out`` was given, else None."""
+    if getattr(args, "obs_out", None) is None:
+        return None
+    # Fail fast on an unwritable destination rather than after the run.
+    parent = os.path.dirname(os.path.abspath(args.obs_out))
+    if not os.path.isdir(parent):
+        print(
+            f"repro: error: --obs-out directory does not exist: {parent}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    from repro.obs import Observability
+
+    return Observability()
+
+
+def _write_obs_report(args: argparse.Namespace, obs, meta: dict) -> None:
+    if obs is None:
+        return
+    from repro.obs import write_run_report
+
+    write_run_report(obs.run_report(meta=meta), args.obs_out)
+    print(f"\nobservability report written to {args.obs_out}")
 
 
 # ----------------------------------------------------------------------
@@ -79,17 +126,27 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments.fig9 import run_figure9
     from repro.experiments.fig10 import run_figure10
 
+    obs = _make_obs(args)
     topologies, member_sets = (4, 2) if args.quick else (10, 10)
     runs = {
-        7: lambda: run_figure7(topologies=5),
-        8: lambda: run_figure8(topologies=topologies, member_sets=member_sets),
-        9: lambda: run_figure9(topologies=topologies, member_sets=member_sets),
-        10: lambda: run_figure10(topologies=topologies, member_sets=member_sets),
+        7: lambda: run_figure7(topologies=5, obs=obs),
+        8: lambda: run_figure8(topologies=topologies, member_sets=member_sets,
+                               obs=obs),
+        9: lambda: run_figure9(topologies=topologies, member_sets=member_sets,
+                               obs=obs),
+        10: lambda: run_figure10(topologies=topologies,
+                                 member_sets=member_sets, obs=obs),
     }
-    for figure in [args.figure] if args.figure else [7, 8, 9, 10]:
+    figures_run = [args.figure] if args.figure else [7, 8, 9, 10]
+    for figure in figures_run:
         print(f"--- Figure {figure} ---")
         print(runs[figure]().render())
         print()
+    _write_obs_report(args, obs, {
+        "command": "figures",
+        "figures": figures_run,
+        "quick": bool(args.quick),
+    })
     return 0
 
 
@@ -109,7 +166,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         knowledge=args.knowledge,
         reshape_enabled=not args.no_reshape,
     )
-    result = run_scenario(config)
+    obs = _make_obs(args)
+    result = run_scenario(config, obs=obs)
     print(f"scenario: {config.describe()}")
     print(f"source {result.source}, avg degree "
           f"{result.average_degree:.2f}, reshapes {result.smrp_reshapes}, "
@@ -132,6 +190,10 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     print(f"Cost_relative {result.cost_relative:+.4f}")
     if result.unrecoverable_members:
         print(f"unrecoverable members: {result.unrecoverable_members}")
+    _write_obs_report(args, obs, {
+        "command": "scenario",
+        "config": config.describe(),
+    })
     return 0
 
 
@@ -149,7 +211,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         int(m)
         for m in rng.choice(range(1, args.n), args.members, replace=False)
     ]
-    sim = SmrpSimulation(topology, 0, d_thresh=args.d_thresh)
+    obs = _make_obs(args)
+    sim = SmrpSimulation(topology, 0, d_thresh=args.d_thresh, obs=obs)
     spacing = 50.0 * max(l.delay for l in topology.links())
     for i, m in enumerate(members):
         sim.schedule_join(spacing * (i + 1), m)
@@ -177,6 +240,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             print(f"  node {record.detector}: detected at "
                   f"t={record.detected_at:.1f}, {status}")
     print(f"\nmessages: {sim.network.stats.by_kind}")
+    _write_obs_report(args, obs, {
+        "command": "simulate",
+        "n": args.n,
+        "members": args.members,
+        "seed": args.seed,
+        "d_thresh": args.d_thresh,
+        "fail_worst": bool(args.fail_worst),
+    })
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.obs import load_run_report, render_run_report
+
+    try:
+        report = load_run_report(args.path)
+    except FileNotFoundError:
+        print(f"repro: error: no such file: {args.path}", file=sys.stderr)
+        return 1
+    except (ConfigurationError, json.JSONDecodeError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
+    print(render_run_report(report))
     return 0
 
 
@@ -192,6 +281,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.sim", "discrete-event simulator + distributed protocol"),
         ("repro.metrics", "RD/delay/cost metrics and confidence intervals"),
         ("repro.experiments", "figure drivers and parameter sweeps"),
+        ("repro.obs", "metrics registry, span profiling, run reports"),
     ]
     for name, description in components:
         print(f"  {name:20} {description}")

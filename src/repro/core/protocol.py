@@ -24,6 +24,7 @@ from repro.errors import (
 from repro.graph.topology import NodeId, Topology
 from repro.multicast.tree import MulticastTree
 from repro.multicast.validation import check_tree_invariants
+from repro.obs import NULL_OBS, Observability
 from repro.core.candidates import enumerate_candidates
 from repro.core.join import PathSelection, select_path
 from repro.core.leave import LeaveOutcome, process_leave
@@ -128,13 +129,35 @@ class SMRPProtocol:
         topology: Topology,
         source: NodeId,
         config: SMRPConfig | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.topology = topology
         self.source = source
         self.config = config or SMRPConfig()
+        self.obs = obs if obs is not None else NULL_OBS
         self.tree = MulticastTree(topology, source)
-        self.state = StateManager(self.tree, mode=self.config.state_mode)
+        self.state = StateManager(
+            self.tree, mode=self.config.state_mode, obs=self.obs
+        )
         self.stats = ProtocolStats()
+        # Disabled registries hand out shared no-op instruments, so these
+        # stay unconditional single calls on every path below.
+        metrics = self.obs.metrics
+        self._c_joins = metrics.counter("smrp.joins")
+        self._c_fallback_joins = metrics.counter("smrp.fallback_joins")
+        self._c_leaves = metrics.counter("smrp.leaves")
+        self._c_reshape_evals = metrics.counter("smrp.reshape_evaluations")
+        self._c_reshapes = metrics.counter("smrp.reshapes_performed")
+        self._c_query_messages = metrics.counter("smrp.query_messages")
+        self._c_query_hops = metrics.counter("smrp.query_hops")
+        self._c_join_hops = metrics.counter("smrp.join_signaling_hops")
+        self._c_leave_hops = metrics.counter("smrp.leave_signaling_hops")
+        # Per-message-type transmission counts (the §4.4 overhead figure):
+        # at the graph level each signaling hop is one control message
+        # crossing one link, so the hop counts double as message counts.
+        self._c_msg_join = metrics.counter("smrp.msg.Join_Req")
+        self._c_msg_leave = metrics.counter("smrp.msg.Leave_Req")
+        self._c_msg_query = metrics.counter("smrp.msg.Query")
 
     # ------------------------------------------------------------------
     # Membership
@@ -147,56 +170,69 @@ class SMRPProtocol:
         receiver)."""
         if self.tree.is_member(member):
             raise AlreadyMemberError(member)
-        self.stats.joins += 1
-        if self.tree.is_on_tree(member):
-            self.tree.add_member(member)
-            self.state.notify_graft([member])
+        with self.obs.span("smrp.join"):
+            self.stats.joins += 1
+            self._c_joins.inc()
+            if self.tree.is_on_tree(member):
+                self.tree.add_member(member)
+                self.state.notify_graft([member])
+                self._after_membership_change()
+                return None
+
+            shr_values = self.state.shr_snapshot()
+            if self.config.knowledge == "query":
+                candidates, query_stats = enumerate_candidates_query(
+                    self.topology, self.tree, member, shr_values, failures=failures
+                )
+                self.stats.query_messages += query_stats.queries_sent
+                self.stats.query_hops += query_stats.query_hops
+                self._c_query_messages.inc(query_stats.queries_sent)
+                self._c_query_hops.inc(query_stats.query_hops)
+                self._c_msg_query.inc(query_stats.queries_sent)
+            else:
+                candidates = enumerate_candidates(
+                    self.topology, self.tree, member, shr_values, failures=failures
+                )
+            spf = dijkstra(self.topology, member, weight="delay", failures=failures)
+            selection = select_path(
+                candidates,
+                spf.distance(self.source),
+                self.config.d_thresh,
+                allow_fallback=self.config.allow_fallback,
+            )
+            if selection.fallback:
+                self.stats.fallback_joins += 1
+                self._c_fallback_joins.inc()
+
+            graft = list(selection.candidate.graft_path)
+            self.tree.graft(graft)
+            self.state.notify_graft(graft)
+            self.stats.join_signaling_hops += len(graft) - 1
+            self._c_join_hops.inc(len(graft) - 1)
+            self._c_msg_join.inc(len(graft) - 1)
             self._after_membership_change()
-            return None
-
-        shr_values = self.state.shr_snapshot()
-        if self.config.knowledge == "query":
-            candidates, query_stats = enumerate_candidates_query(
-                self.topology, self.tree, member, shr_values, failures=failures
-            )
-            self.stats.query_messages += query_stats.queries_sent
-            self.stats.query_hops += query_stats.query_hops
-        else:
-            candidates = enumerate_candidates(
-                self.topology, self.tree, member, shr_values, failures=failures
-            )
-        spf = dijkstra(self.topology, member, weight="delay", failures=failures)
-        selection = select_path(
-            candidates,
-            spf.distance(self.source),
-            self.config.d_thresh,
-            allow_fallback=self.config.allow_fallback,
-        )
-        if selection.fallback:
-            self.stats.fallback_joins += 1
-
-        graft = list(selection.candidate.graft_path)
-        self.tree.graft(graft)
-        self.state.notify_graft(graft)
-        self.stats.join_signaling_hops += len(graft) - 1
-        self._after_membership_change()
-        return selection
+            return selection
 
     def leave(self, member: NodeId) -> LeaveOutcome:
         """Process a member departure (``Leave_Req`` walk, §3.2.2)."""
         if not self.tree.is_member(member):
             raise NotMemberError(member)
-        self.stats.leaves += 1
-        outcome = process_leave(self.tree, member)
-        self.state.notify_prune(outcome.stopped_at)
-        self.stats.leave_signaling_hops += outcome.hops_travelled
-        self._after_membership_change()
-        return outcome
+        with self.obs.span("smrp.leave"):
+            self.stats.leaves += 1
+            self._c_leaves.inc()
+            outcome = process_leave(self.tree, member)
+            self.state.notify_prune(outcome.stopped_at)
+            self.stats.leave_signaling_hops += outcome.hops_travelled
+            self._c_leave_hops.inc(outcome.hops_travelled)
+            self._c_msg_leave.inc(outcome.hops_travelled)
+            self._after_membership_change()
+            return outcome
 
     def build(self, members: list[NodeId]) -> MulticastTree:
         """Join a member list in order; returns the tree."""
-        for member in members:
-            self.join(member)
+        with self.obs.span("smrp.build"):
+            for member in members:
+                self.join(member)
         return self.tree
 
     # ------------------------------------------------------------------
@@ -247,15 +283,18 @@ class SMRPProtocol:
         if not self.tree.is_on_tree(node) or node == self.source:
             return None
         self.stats.reshape_evaluations += 1
-        decision = evaluate_reshape(
-            self.topology, self.tree, node, self.config.d_thresh
-        )
-        if decision.performed:
-            apply_reshape(self.tree, decision)
-            self.state.notify_move(node)
-            self.stats.reshapes_performed += 1
-            if self.config.self_check:
-                check_tree_invariants(self.tree)
+        self._c_reshape_evals.inc()
+        with self.obs.span("smrp.reshape"):
+            decision = evaluate_reshape(
+                self.topology, self.tree, node, self.config.d_thresh
+            )
+            if decision.performed:
+                apply_reshape(self.tree, decision)
+                self.state.notify_move(node)
+                self.stats.reshapes_performed += 1
+                self._c_reshapes.inc()
+                if self.config.self_check:
+                    check_tree_invariants(self.tree)
         # The reshaping process ran: record the fresh upstream SHR as the
         # new Condition-I baseline whether or not the node moved.
         self.state.record_reshape_baseline(node)
@@ -271,7 +310,10 @@ class SMRPProtocol:
     # ------------------------------------------------------------------
     def recover(self, member: NodeId, failures: FailureSet) -> RecoveryResult:
         """Local-detour restoration of ``member`` (measurement only)."""
-        return local_detour_recovery(self.topology, self.tree, member, failures)
+        with self.obs.span("smrp.recover"):
+            return local_detour_recovery(
+                self.topology, self.tree, member, failures, obs=self.obs
+            )
 
     def shr_values(self) -> dict[NodeId, int]:
         """Current ``SHR_{S,R}`` for every on-tree node."""

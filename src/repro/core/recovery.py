@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from repro.errors import RecoveryError, UnrecoverableFailureError
 from repro.graph.topology import Edge, NodeId, Topology, edge_key
 from repro.multicast.tree import MulticastTree
+from repro.obs import NULL_OBS, Observability
 from repro.routing.failure_view import FailureSet
 from repro.routing.link_state import ConvergenceModel
 from repro.routing.spf import dijkstra
@@ -90,6 +91,7 @@ def local_detour_recovery(
     tree: MulticastTree,
     member: NodeId,
     failures: FailureSet,
+    obs: Observability | None = None,
 ) -> RecoveryResult:
     """Measure the local-detour restoration of ``member`` under ``failures``.
 
@@ -99,21 +101,27 @@ def local_detour_recovery(
     is truncated at the first contact (the restoration path may not cross
     the surviving tree — those links are already in service).
     """
+    obs = obs if obs is not None else NULL_OBS
+    obs.counter("recovery.local.attempts").inc()
     surviving = tree.surviving_component(failures)
     if not surviving:
+        obs.counter("recovery.local.unrecoverable").inc()
         raise UnrecoverableFailureError(member, "the source itself has failed")
     if member in surviving:
+        obs.counter("recovery.local.already_connected").inc()
         return _already_connected(tree, member, "local")
 
     paths = dijkstra(topology, member, weight="delay", failures=failures)
     reachable = [node for node in surviving if node in paths.dist]
     if not reachable:
+        obs.counter("recovery.local.unrecoverable").inc()
         raise UnrecoverableFailureError(
             member, f"no non-faulty path to the surviving tree ({failures.describe()})"
         )
     target = min(reachable, key=lambda node: (paths.dist[node], node))
     detour = _truncate_at_first_contact(paths.path_to(target), surviving)
     attach = detour[-1]
+    obs.histogram("recovery.local.hops").observe(len(detour) - 1)
     return RecoveryResult(
         member=member,
         strategy="local",
@@ -131,6 +139,7 @@ def global_detour_recovery(
     tree: MulticastTree,
     member: NodeId,
     failures: FailureSet,
+    obs: Observability | None = None,
 ) -> RecoveryResult:
     """Measure the SPF re-join restoration of ``member`` under ``failures``.
 
@@ -139,20 +148,26 @@ def global_detour_recovery(
     the failed components withdrawn; the re-join travels that path and
     grafts at the first surviving on-tree router it meets.
     """
+    obs = obs if obs is not None else NULL_OBS
+    obs.counter("recovery.global.attempts").inc()
     surviving = tree.surviving_component(failures)
     if not surviving:
+        obs.counter("recovery.global.unrecoverable").inc()
         raise UnrecoverableFailureError(member, "the source itself has failed")
     if member in surviving:
+        obs.counter("recovery.global.already_connected").inc()
         return _already_connected(tree, member, "global")
 
     paths = dijkstra(topology, member, weight="delay", failures=failures)
     if tree.source not in paths.dist:
+        obs.counter("recovery.global.unrecoverable").inc()
         raise UnrecoverableFailureError(
             member, f"source unreachable after re-convergence ({failures.describe()})"
         )
     rejoin = paths.path_to(tree.source)
     detour = _truncate_at_first_contact(rejoin, surviving)
     attach = detour[-1]
+    obs.histogram("recovery.global.hops").observe(len(detour) - 1)
     return RecoveryResult(
         member=member,
         strategy="global",
@@ -214,6 +229,7 @@ def repair_tree(
     tree: MulticastTree,
     failures: FailureSet,
     strategy: str = "local",
+    obs: Observability | None = None,
 ) -> TreeRepairReport:
     """Restore every disconnected member; returns the repaired tree.
 
@@ -230,41 +246,45 @@ def repair_tree(
     if failures.node_failed(tree.source):
         raise UnrecoverableFailureError(tree.source, "the source itself has failed")
 
-    repaired = _surviving_subtree(tree, failures)
-    report = TreeRepairReport(repaired_tree=repaired, strategy=strategy)
-    pending = [
-        m
-        for m in tree.disconnected_members(failures)
-        if not failures.node_failed(m)
-    ]
-    report.unrecoverable.extend(
-        m for m in tree.disconnected_members(failures) if failures.node_failed(m)
-    )
+    obs = obs if obs is not None else NULL_OBS
+    with obs.span("recovery.repair_tree"):
+        repaired = _surviving_subtree(tree, failures)
+        report = TreeRepairReport(repaired_tree=repaired, strategy=strategy)
+        pending = [
+            m
+            for m in tree.disconnected_members(failures)
+            if not failures.node_failed(m)
+        ]
+        report.unrecoverable.extend(
+            m for m in tree.disconnected_members(failures) if failures.node_failed(m)
+        )
 
-    while pending:
-        recovery_fn = (
-            local_detour_recovery if strategy == "local" else global_detour_recovery
-        )
-        options: list[tuple[float, NodeId, RecoveryResult]] = []
-        for member in pending:
-            try:
-                result = recovery_fn(topology, repaired, member, failures)
-            except UnrecoverableFailureError:
-                continue
-            options.append((result.recovery_distance, member, result))
-        if not options:
-            report.unrecoverable.extend(sorted(pending))
-            break
-        if strategy == "local":
-            options.sort(key=lambda item: (item[0], item[1]))
-        chosen_distance, chosen_member, chosen = options[0]
-        graft = list(reversed(chosen.restoration_path))
-        repaired.graft(graft)
-        report.recoveries.append(chosen)
-        report.new_links.update(
-            edge_key(u, v) for u, v in zip(graft, graft[1:])
-        )
-        pending.remove(chosen_member)
+        while pending:
+            recovery_fn = (
+                local_detour_recovery if strategy == "local" else global_detour_recovery
+            )
+            options: list[tuple[float, NodeId, RecoveryResult]] = []
+            for member in pending:
+                try:
+                    result = recovery_fn(topology, repaired, member, failures)
+                except UnrecoverableFailureError:
+                    continue
+                options.append((result.recovery_distance, member, result))
+            if not options:
+                report.unrecoverable.extend(sorted(pending))
+                break
+            if strategy == "local":
+                options.sort(key=lambda item: (item[0], item[1]))
+            chosen_distance, chosen_member, chosen = options[0]
+            graft = list(reversed(chosen.restoration_path))
+            repaired.graft(graft)
+            report.recoveries.append(chosen)
+            report.new_links.update(
+                edge_key(u, v) for u, v in zip(graft, graft[1:])
+            )
+            pending.remove(chosen_member)
+        obs.counter("recovery.repair.members_restored").inc(len(report.recoveries))
+        obs.counter("recovery.repair.unrecoverable").inc(len(report.unrecoverable))
     return report
 
 

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from repro.errors import NotOnTreeError, ConfigurationError
 from repro.graph.topology import NodeId
 from repro.multicast.tree import MulticastTree
+from repro.obs import NULL_OBS, Observability
 from repro.core.shr import shr_incremental, subtree_member_counts
 
 
@@ -87,12 +88,21 @@ class StateManager:
         ``"eager"`` or ``"deferred"`` (see module docstring).
     """
 
-    def __init__(self, tree: MulticastTree, mode: str = "eager") -> None:
+    def __init__(
+        self,
+        tree: MulticastTree,
+        mode: str = "eager",
+        obs: Observability | None = None,
+    ) -> None:
         if mode not in ("eager", "deferred"):
             raise ConfigurationError(f"unknown state mode {mode!r}")
         self.tree = tree
         self.mode = mode
         self.counters = MessageCounters()
+        obs = obs if obs is not None else NULL_OBS
+        self._c_n_updates = obs.counter("smrp.state.n_updates")
+        self._c_shr_pushes = obs.counter("smrp.state.shr_pushes")
+        self._c_shr_pulls = obs.counter("smrp.state.shr_pulls")
         self.states: dict[NodeId, SmrpNodeState] = {}
         self._shr_dirty = True
         self.rebuild()
@@ -144,8 +154,11 @@ class StateManager:
         merge = graft_path[0]
         depth = len(self.tree.path_from_source(merge)) - 1
         self.counters.n_updates += depth
+        self._c_n_updates.inc(depth)
         if self.mode == "eager":
-            self.counters.shr_pushes += self._changed_subtree_size(merge)
+            pushed = self._changed_subtree_size(merge)
+            self.counters.shr_pushes += pushed
+            self._c_shr_pushes.inc(pushed)
             self.rebuild()
         else:
             self._shr_dirty = True
@@ -155,8 +168,11 @@ class StateManager:
         """Account for a leave whose ``Leave_Req`` stopped at ``pruned_from``."""
         depth = len(self.tree.path_from_source(pruned_from)) - 1
         self.counters.n_updates += depth
+        self._c_n_updates.inc(depth)
         if self.mode == "eager":
-            self.counters.shr_pushes += self._changed_subtree_size(pruned_from)
+            pushed = self._changed_subtree_size(pruned_from)
+            self.counters.shr_pushes += pushed
+            self._c_shr_pushes.inc(pushed)
             self.rebuild()
         else:
             self._shr_dirty = True
@@ -173,8 +189,11 @@ class StateManager:
         anchor = parent if parent is not None else mover
         depth = len(self.tree.path_from_source(anchor)) - 1
         self.counters.n_updates += 2 * depth
+        self._c_n_updates.inc(2 * depth)
         if self.mode == "eager":
-            self.counters.shr_pushes += self._changed_subtree_size(anchor)
+            pushed = self._changed_subtree_size(anchor)
+            self.counters.shr_pushes += pushed
+            self._c_shr_pushes.inc(pushed)
             self.rebuild()
         else:
             self._shr_dirty = True
@@ -199,7 +218,9 @@ class StateManager:
             raise NotOnTreeError(node)
         if self._shr_dirty:
             if self.mode == "deferred":
-                self.counters.shr_pulls += len(self.tree.path_from_source(node)) - 1
+                pulled = len(self.tree.path_from_source(node)) - 1
+                self.counters.shr_pulls += pulled
+                self._c_shr_pulls.inc(pulled)
             self._refresh_shr()
         return self.states[node].shr
 
@@ -211,7 +232,9 @@ class StateManager:
         """
         if self._shr_dirty:
             if self.mode == "deferred":
-                self.counters.shr_pulls += max(len(self.states) - 1, 0)
+                pulled = max(len(self.states) - 1, 0)
+                self.counters.shr_pulls += pulled
+                self._c_shr_pulls.inc(pulled)
             self._refresh_shr()
         return {node: st.shr for node, st in self.states.items()}
 

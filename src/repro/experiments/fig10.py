@@ -55,6 +55,7 @@ def run_figure10(
     topologies: int = 10,
     member_sets: int = 10,
     seed_offset: int = 0,
+    obs=None,
 ) -> Figure10Result:
     """Reproduce Figure 10's series over the group size."""
     sweep = run_sweep(
@@ -65,5 +66,6 @@ def run_figure10(
         topologies=topologies,
         member_sets=member_sets,
         seed_offset=seed_offset,
+        obs=obs,
     )
     return Figure10Result(points=sweep)

@@ -91,6 +91,7 @@ def run_figure7(
     alpha: float = 0.2,
     d_thresh: float = 0.3,
     seed_offset: int = 0,
+    obs=None,
 ) -> Figure7Result:
     """Reproduce Figure 7's scatter data."""
     result = Figure7Result()
@@ -103,7 +104,7 @@ def run_figure7(
             topology_seed=seed_offset + t,
             member_seed=seed_offset + 5000 + t,
         )
-        scenario = run_scenario(config)
+        scenario = run_scenario(config, obs=obs)
         for m in scenario.measurements:
             if not m.comparable:
                 continue

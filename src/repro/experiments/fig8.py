@@ -59,6 +59,7 @@ def run_figure8(
     topologies: int = 10,
     member_sets: int = 10,
     seed_offset: int = 0,
+    obs=None,
 ) -> Figure8Result:
     """Reproduce Figure 8's three series."""
     sweep = run_sweep(
@@ -69,5 +70,6 @@ def run_figure8(
         topologies=topologies,
         member_sets=member_sets,
         seed_offset=seed_offset,
+        obs=obs,
     )
     return Figure8Result(points=sweep)

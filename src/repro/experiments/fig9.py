@@ -58,6 +58,7 @@ def run_figure9(
     topologies: int = 10,
     member_sets: int = 10,
     seed_offset: int = 0,
+    obs=None,
 ) -> Figure9Result:
     """Reproduce Figure 9's series over α."""
     sweep = run_sweep(
@@ -68,5 +69,6 @@ def run_figure9(
         topologies=topologies,
         member_sets=member_sets,
         seed_offset=seed_offset,
+        obs=obs,
     )
     return Figure9Result(points=sweep)

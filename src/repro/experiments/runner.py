@@ -32,6 +32,7 @@ from repro.metrics.relative import (
 )
 from repro.multicast.spf_protocol import SPFMulticastProtocol
 from repro.multicast.tree import MulticastTree
+from repro.obs import NULL_OBS, Observability
 from repro.experiments.scenario import ScenarioConfig
 
 
@@ -54,6 +55,16 @@ class MemberMeasurement:
             self.rd_spf_global is not None
             and self.rd_smrp_local is not None
             and self.rd_spf_global > 0
+        )
+
+    def __repr__(self) -> str:
+        def fmt(value: float | None) -> str:
+            return f"{value:.1f}" if value is not None else "—"
+
+        return (
+            f"<MemberMeasurement {self.member}: "
+            f"RD spf={fmt(self.rd_spf_global)} smrp={fmt(self.rd_smrp_local)}, "
+            f"delay spf={self.delay_spf:.1f} smrp={self.delay_smrp:.1f}>"
         )
 
 
@@ -99,26 +110,60 @@ class ScenarioResult:
     def unrecoverable_members(self) -> int:
         return sum(1 for m in self.measurements if not m.comparable)
 
+    def summary(self) -> str:
+        """One-line digest: member count, costs, and the headline metrics."""
+        parts = [
+            f"{len(self.members)} members",
+            f"cost spf={self.cost_spf:.1f} smrp={self.cost_smrp:.1f} "
+            f"({self.cost_relative:+.1%})",
+        ]
+        rd = self.rd_relative
+        if rd:
+            parts.append(f"RD_rel mean {sum(rd) / len(rd):+.1%} (n={len(rd)})")
+        delays = self.delay_relative
+        if delays:
+            parts.append(f"D_rel mean {sum(delays) / len(delays):+.1%}")
+        if self.smrp_reshapes:
+            parts.append(f"{self.smrp_reshapes} reshapes")
+        if self.unrecoverable_members:
+            parts.append(f"{self.unrecoverable_members} unrecoverable")
+        return ", ".join(parts)
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Execute one scenario end to end."""
-    topology = config.build_topology()
-    source, members = config.pick_participants(topology)
+    def __repr__(self) -> str:
+        return f"<ScenarioResult {self.config.describe()}: {self.summary()}>"
 
-    spf = SPFMulticastProtocol(topology, source, self_check=False)
-    spf_tree = spf.build(members)
 
-    smrp = SMRPProtocol(
-        topology,
-        source,
-        config=SMRPConfig(
-            d_thresh=config.d_thresh,
-            reshape_enabled=config.reshape_enabled,
-            knowledge=config.knowledge,
-            self_check=False,
-        ),
-    )
-    smrp_tree = smrp.build(members)
+def run_scenario(
+    config: ScenarioConfig, obs: Observability | None = None
+) -> ScenarioResult:
+    """Execute one scenario end to end.
+
+    Passing an enabled :class:`~repro.obs.Observability` yields span
+    timings for each stage (topology, both tree builds, measurement),
+    the SMRP engine's counters, and recovery-path hop histograms.
+    """
+    obs = obs if obs is not None else NULL_OBS
+    with obs.span("scenario.topology"):
+        topology = config.build_topology()
+        source, members = config.pick_participants(topology)
+
+    with obs.span("scenario.build.spf"):
+        spf = SPFMulticastProtocol(topology, source, self_check=False)
+        spf_tree = spf.build(members)
+
+    with obs.span("scenario.build.smrp"):
+        smrp = SMRPProtocol(
+            topology,
+            source,
+            config=SMRPConfig(
+                d_thresh=config.d_thresh,
+                reshape_enabled=config.reshape_enabled,
+                knowledge=config.knowledge,
+                self_check=False,
+            ),
+            obs=obs,
+        )
+        smrp_tree = smrp.build(members)
 
     result = ScenarioResult(
         config=config,
@@ -130,10 +175,13 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         smrp_fallback_joins=smrp.stats.fallback_joins,
         smrp_reshapes=smrp.stats.reshapes_performed,
     )
-    for member in members:
-        result.measurements.append(
-            _measure_member(topology, spf_tree, smrp_tree, member)
-        )
+    with obs.span("scenario.measure"):
+        for member in members:
+            result.measurements.append(
+                _measure_member(topology, spf_tree, smrp_tree, member, obs=obs)
+            )
+    obs.counter("scenario.runs").inc()
+    obs.emit("scenario_result", config=config.describe(), summary=result.summary())
     return result
 
 
@@ -142,10 +190,15 @@ def _measure_member(
     spf_tree: MulticastTree,
     smrp_tree: MulticastTree,
     member: NodeId,
+    obs: Observability | None = None,
 ) -> MemberMeasurement:
-    spf_global = worst_case_recovery(topology, spf_tree, member, strategy="global")
+    spf_global = worst_case_recovery(
+        topology, spf_tree, member, strategy="global", obs=obs
+    )
     spf_local = worst_case_recovery(topology, spf_tree, member, strategy="local")
-    smrp_local = worst_case_recovery(topology, smrp_tree, member, strategy="local")
+    smrp_local = worst_case_recovery(
+        topology, smrp_tree, member, strategy="local", obs=obs
+    )
     smrp_global = worst_case_recovery(topology, smrp_tree, member, strategy="global")
 
     def rd(measurement) -> float | None:

@@ -13,6 +13,7 @@ from typing import Callable
 
 from repro.errors import ConfigurationError
 from repro.metrics.stats import Summary, summarize
+from repro.obs import NULL_OBS, Observability
 from repro.experiments.runner import ScenarioResult, run_scenario
 from repro.experiments.scenario import ScenarioConfig
 
@@ -79,13 +80,20 @@ def run_sweep(
     topologies: int = 10,
     member_sets: int = 10,
     seed_offset: int = 0,
+    obs: Observability | None = None,
 ) -> list[SweepPoint]:
-    """Evaluate ``label_fn(value)`` over the seeding grid for each value."""
+    """Evaluate ``label_fn(value)`` over the seeding grid for each value.
+
+    A provided ``obs`` is shared by every scenario, so counters and span
+    timings aggregate over the whole sweep.
+    """
+    obs = obs if obs is not None else NULL_OBS
     points: list[SweepPoint] = []
     for value in values:
         base = label_fn(value)
         point = SweepPoint(label=f"{value:g}", parameter=value)
-        for config in scenario_grid(base, topologies, member_sets, seed_offset):
-            point.scenarios.append(run_scenario(config))
+        with obs.span(f"sweep.point.{value:g}"):
+            for config in scenario_grid(base, topologies, member_sets, seed_offset):
+                point.scenarios.append(run_scenario(config, obs=obs))
         points.append(point)
     return points

@@ -21,6 +21,7 @@ from repro.core.recovery import (
     local_detour_recovery,
     worst_case_failure,
 )
+from repro.obs import Observability
 from repro.routing.failure_view import FailureSet
 
 
@@ -48,6 +49,7 @@ def worst_case_recovery(
     tree: MulticastTree,
     member: NodeId,
     strategy: str,
+    obs: Observability | None = None,
 ) -> MemberRecovery:
     """Fail the member's source-incident link and measure its recovery."""
     failure = worst_case_failure(tree, member)
@@ -55,7 +57,7 @@ def worst_case_recovery(
         local_detour_recovery if strategy == "local" else global_detour_recovery
     )
     try:
-        result = recovery_fn(topology, tree, member, failure)
+        result = recovery_fn(topology, tree, member, failure, obs=obs)
     except UnrecoverableFailureError:
         return MemberRecovery(member=member, failure=failure, result=None)
     return MemberRecovery(member=member, failure=failure, result=result)
@@ -65,6 +67,7 @@ def worst_case_recovery_all(
     topology: Topology,
     tree: MulticastTree,
     strategy: str,
+    obs: Observability | None = None,
 ) -> dict[NodeId, MemberRecovery]:
     """Worst-case recovery for every member, each in its own scenario.
 
@@ -74,6 +77,6 @@ def worst_case_recovery_all(
     measurement; ``already_connected`` results carry ``RD = 0``.
     """
     return {
-        member: worst_case_recovery(topology, tree, member, strategy)
+        member: worst_case_recovery(topology, tree, member, strategy, obs=obs)
         for member in sorted(tree.members)
     }

@@ -1,0 +1,107 @@
+"""Observability: metrics, span profiling, and structured run artifacts.
+
+The paper's evaluation is entirely empirical — recovery latency, message
+overhead (§4.4), tree cost — so this package makes those quantities
+first-class measured outputs of any run instead of ad-hoc return values:
+
+- :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms;
+- :class:`SpanProfiler` — hierarchical ``perf_counter`` timing tree;
+- :class:`EventLog` — bounded structured events, exportable as JSONL;
+- run reports — one JSON document per run (``repro obs report`` renders it).
+
+The :class:`Observability` facade bundles the three and is what the
+instrumented layers accept (``obs=`` keyword).  Passing nothing means the
+module-level :data:`NULL_OBS` is used: every instrument is a shared no-op
+object, so disabled instrumentation costs one attribute access and an
+empty call per event — nothing measurable on the hot paths
+(``benchmarks/test_micro_obs_overhead.py`` guards this).
+
+Examples
+--------
+>>> obs = Observability()
+>>> with obs.span("demo.work"):
+...     obs.counter("demo.widgets").inc(3)
+>>> obs.metrics.counters("demo.")
+{'demo.widgets': 3}
+>>> report = obs.run_report(meta={"title": "demo"})
+>>> report["metrics"]["counters"]["demo.widgets"]
+3
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import DEFAULT_MAX_EVENTS, EventLog, load_jsonl, read_jsonl
+from repro.obs.export import (
+    REPORT_VERSION,
+    build_run_report,
+    load_run_report,
+    render_run_report,
+    write_run_report,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import SpanNode, SpanProfiler
+
+
+class Observability:
+    """Facade bundling a registry, a span profiler, and an event log."""
+
+    __slots__ = ("enabled", "metrics", "spans", "events")
+
+    def __init__(
+        self, enabled: bool = True, max_events: int | None = DEFAULT_MAX_EVENTS
+    ) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.spans = SpanProfiler(enabled=enabled)
+        self.events = EventLog(enabled=enabled, max_records=max_events)
+
+    # -- delegation shorthands ------------------------------------------
+    def counter(self, name: str):
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str):
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str, bounds=DEFAULT_BUCKETS):
+        return self.metrics.histogram(name, bounds)
+
+    def span(self, name: str):
+        return self.spans.span(name)
+
+    def emit(self, kind: str, **fields) -> None:
+        self.events.emit(kind, **fields)
+
+    def run_report(self, meta: dict | None = None) -> dict:
+        return build_run_report(self, meta)
+
+
+#: Shared disabled instance; ``obs or NULL_OBS`` is the idiom for optional
+#: instrumentation parameters.
+NULL_OBS = Observability(enabled=False)
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "SpanProfiler",
+    "SpanNode",
+    "EventLog",
+    "DEFAULT_MAX_EVENTS",
+    "read_jsonl",
+    "load_jsonl",
+    "REPORT_VERSION",
+    "build_run_report",
+    "write_run_report",
+    "load_run_report",
+    "render_run_report",
+]

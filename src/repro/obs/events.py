@@ -1,0 +1,77 @@
+"""The structured event stream: an in-memory log exportable as JSONL.
+
+Where :class:`~repro.obs.registry.MetricsRegistry` keeps *aggregates*,
+the event log keeps *individual occurrences* with arbitrary structured
+fields — suitable for post-hoc analysis of a single run (``jq`` over a
+``.jsonl`` file, or :func:`read_jsonl` back into dicts).
+
+The log is bounded by default so instrumenting a long DES run cannot grow
+memory without limit; the oldest events are dropped first and the drop
+count is retained.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+#: Default cap on retained events (drop-oldest beyond this).
+DEFAULT_MAX_EVENTS = 100_000
+
+
+class EventLog:
+    """Append-only structured events with drop-oldest bounding."""
+
+    def __init__(
+        self, enabled: bool = True, max_records: int | None = DEFAULT_MAX_EVENTS
+    ) -> None:
+        if max_records is not None and max_records < 1:
+            raise ConfigurationError("max_records must be positive or None")
+        self.enabled = enabled
+        self.max_records = max_records
+        self.dropped = 0
+        self._records: deque[dict] = deque(maxlen=max_records)
+
+    def emit(self, kind: str, **fields) -> None:
+        """Record one event; ``kind`` names the event type."""
+        if not self.enabled:
+            return
+        if (
+            self.max_records is not None
+            and len(self._records) == self.max_records
+        ):
+            self.dropped += 1  # deque evicts the oldest on append
+        record = {"kind": kind}
+        record.update(fields)
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._records)
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line (empty string for an empty log)."""
+        return "\n".join(
+            json.dumps(r, sort_keys=True, default=str) for r in self._records
+        )
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            text = self.to_jsonl()
+            if text:
+                fh.write(text + "\n")
+
+
+def read_jsonl(text: str) -> list[dict]:
+    """Parse JSONL text back into event dicts (inverse of ``to_jsonl``)."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def load_jsonl(path: str) -> list[dict]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return read_jsonl(fh.read())

@@ -1,0 +1,127 @@
+"""Run reports: one JSON document summarizing an observed run.
+
+A run report bundles the metrics snapshot, the span timing tree, and the
+event-log accounting under a caller-supplied ``meta`` block.  It is the
+interchange format between the experiment runner (``--obs-out run.json``)
+and the CLI renderer (``repro obs report run.json``), and what benchmarks
+assert against instead of re-deriving counts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+
+#: Schema marker so future readers can evolve the format compatibly.
+REPORT_VERSION = 1
+
+
+def build_run_report(obs: "Observability", meta: dict | None = None) -> dict:
+    """Assemble the JSON-serializable run report for ``obs``."""
+    return {
+        "version": REPORT_VERSION,
+        "meta": dict(meta or {}),
+        "metrics": obs.metrics.snapshot(),
+        "spans": obs.spans.report(),
+        "events": {"recorded": len(obs.events), "dropped": obs.events.dropped},
+    }
+
+
+def write_run_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_run_report(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    if not isinstance(report, dict) or "metrics" not in report:
+        raise ConfigurationError(f"{path} is not a repro run report")
+    return report
+
+
+def render_run_report(report: dict) -> str:
+    """Human-readable rendering of a run report (the CLI's output)."""
+    lines: list[str] = []
+    meta = report.get("meta", {})
+    title = meta.get("title", "run report")
+    lines.append(f"== {title} ==")
+    for key in sorted(k for k in meta if k != "title"):
+        lines.append(f"  {key}: {meta[key]}")
+
+    metrics = report.get("metrics", {})
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]}")
+
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        width = max(len(n) for n in gauges)
+        for name in sorted(gauges):
+            g = gauges[name]
+            lines.append(
+                f"  {name:<{width}}  {g['value']:g} (high-water {g['high_water']:g})"
+            )
+
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            h = histograms[name]
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            lines.append(
+                f"  {name}: n={h['count']} mean={mean:.3f} "
+                f"min={h['min']} max={h['max']}"
+            )
+            lower = None
+            for bound, count in zip(h["bounds"], h["counts"]):
+                if count:
+                    label = (
+                        f"<= {bound:g}" if lower is None
+                        else f"({lower:g}, {bound:g}]"
+                    )
+                    lines.append(f"    {label:>12}  {count}")
+                lower = bound
+            overflow = h["counts"][len(h["bounds"])]
+            if overflow:
+                lines.append(f"    {'> ' + format(h['bounds'][-1], 'g'):>12}  {overflow}")
+
+    spans = report.get("spans", {})
+    if spans.get("children"):
+        lines.append("")
+        lines.append("spans (calls, total seconds):")
+        lines.extend(_render_span_tree(spans, depth=0))
+
+    events = report.get("events", {})
+    if events:
+        lines.append("")
+        lines.append(
+            f"events: {events.get('recorded', 0)} recorded, "
+            f"{events.get('dropped', 0)} dropped"
+        )
+    return "\n".join(lines)
+
+
+def _render_span_tree(node: dict, depth: int) -> list[str]:
+    lines = []
+    for child in node.get("children", []):
+        indent = "  " * (depth + 1)
+        lines.append(
+            f"{indent}{child['name']}: {child['calls']} calls, "
+            f"{child['total_s']:.6f}s total, {child['self_s']:.6f}s self"
+        )
+        lines.extend(_render_span_tree(child, depth + 1))
+    return lines

@@ -1,0 +1,220 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Everything here is dependency-free and built for two regimes:
+
+- **enabled** — instruments are plain mutable objects updated in place;
+  reading them back (``snapshot``) is cheap and allocation happens only
+  at registration time, never on the hot path;
+- **disabled** — the registry hands out *shared no-op instruments*, so
+  instrumented code keeps a single unconditional method call per event
+  and pays no branching, formatting, or allocation cost.
+
+Names are dotted strings (``"sim.engine.events_fired"``); per-message-type
+series append the type as a final segment (``"sim.msg.sent.JoinReq"``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+#: Default histogram bucket upper bounds, tuned for hop counts and other
+#: small integer quantities the evaluation reports (§4.3/§4.4).
+DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value; the high-water mark is kept alongside."""
+
+    __slots__ = ("name", "value", "high_water")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value}, hwm={self.high_water})"
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``bounds`` are inclusive upper edges.
+
+    An observation lands in the first bucket whose bound is >= the value;
+    anything beyond the last bound goes to the overflow bucket, so
+    ``len(counts) == len(bounds) + 1`` and no observation is ever lost.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ConfigurationError(
+                f"histogram {name!r} needs ascending non-empty bounds, got {bounds!r}"
+            )
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3f})"
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Creates and owns instruments; disabled registries hand out no-ops.
+
+    Examples
+    --------
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("smrp.joins").inc()
+    >>> reg.counter("smrp.joins").value
+    1
+    >>> MetricsRegistry(enabled=False).counter("smrp.joins").inc()  # no-op
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Registration (idempotent: same name returns the same instrument)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER  # type: ignore[return-value]
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_free(name, self._gauges, self._histograms)
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE  # type: ignore[return-value]
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_free(name, self._counters, self._histograms)
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM  # type: ignore[return-value]
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_free(name, self._counters, self._gauges)
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        elif instrument.bounds != tuple(float(b) for b in bounds):
+            raise ConfigurationError(
+                f"histogram {name!r} re-registered with different bounds"
+            )
+        return instrument
+
+    @staticmethod
+    def _check_free(name: str, *families: dict) -> None:
+        if any(name in family for family in families):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as a different type"
+            )
+
+    # ------------------------------------------------------------------
+    # Reading back
+    # ------------------------------------------------------------------
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        """Counter values, optionally restricted to a dotted prefix."""
+        return {
+            name: c.value
+            for name, c in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {
+                n: {"value": g.value, "high_water": g.high_water}
+                for n, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                n: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }

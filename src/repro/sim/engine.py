@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import SimulationError
+from repro.obs import Observability
 
 
 @dataclass(order=True)
@@ -62,12 +63,23 @@ class Simulator:
     [1.0, 5.0]
     """
 
-    def __init__(self, max_events: int = 10_000_000) -> None:
+    def __init__(
+        self, max_events: int = 10_000_000, obs: Observability | None = None
+    ) -> None:
         self.now = 0.0
         self.events_processed = 0
         self._queue: list[_ScheduledEvent] = []
         self._seq = itertools.count()
         self._max_events = max_events
+        # A single attribute check keeps the per-event cost of disabled
+        # observability at one branch; instruments are bound once here.
+        self._obs = obs if obs is not None and obs.enabled else None
+        if self._obs is not None:
+            metrics = self._obs.metrics
+            self._c_scheduled = metrics.counter("sim.engine.events_scheduled")
+            self._c_fired = metrics.counter("sim.engine.events_fired")
+            self._c_cancelled = metrics.counter("sim.engine.events_cancelled")
+            self._g_queue = metrics.gauge("sim.engine.queue_depth")
 
     def schedule(self, delay: float, action: Callable[[], None]) -> EventHandle:
         """Run ``action`` after ``delay`` simulated time units."""
@@ -83,6 +95,9 @@ class Simulator:
             )
         event = _ScheduledEvent(time=time, seq=next(self._seq), action=action)
         heapq.heappush(self._queue, event)
+        if self._obs is not None:
+            self._c_scheduled.inc()
+            self._g_queue.set(len(self._queue))
         return EventHandle(event)
 
     def run(self, until: float | None = None) -> None:
@@ -98,9 +113,13 @@ class Simulator:
                 break
             heapq.heappop(self._queue)
             if event.cancelled:
+                if self._obs is not None:
+                    self._c_cancelled.inc()
                 continue
             self.now = event.time
             self.events_processed += 1
+            if self._obs is not None:
+                self._c_fired.inc()
             if self.events_processed > self._max_events:
                 raise SimulationError(
                     f"exceeded {self._max_events} events; likely a runaway "

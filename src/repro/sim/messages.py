@@ -10,7 +10,7 @@ protocol installs per-hop soft state as the request advances (§3.2.2).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.graph.topology import NodeId
 
@@ -150,6 +150,45 @@ class HopByHopAck(Message):
     joiner: NodeId = -1
     merge_node: NodeId = -1
     trail: tuple[NodeId, ...] = ()
+
+
+#: Fixed per-hop framing: link header plus the src/dst/id triple every
+#: message carries (comparable to an IP + small control header).
+_HEADER_BYTES = 20
+
+_PAYLOAD_FIELDS: dict[type, tuple[str, ...]] = {}
+
+
+def wire_bytes(message: Message) -> int:
+    """Bytes-equivalent size of one control message on one link.
+
+    The paper's §4.4 overhead metric counts control traffic; comparing
+    message *counts* alone hides that a ``Join_Req`` carrying a recorded
+    path is heavier than a two-field ``Prune``.  This estimator charges a
+    fixed per-hop header plus 4 bytes per node id, 8 per float, 4 per int
+    and 1 per flag in the payload — a stable, implementation-independent
+    proxy for wire size.
+    """
+    names = _PAYLOAD_FIELDS.get(type(message))
+    if names is None:
+        names = tuple(
+            f.name
+            for f in fields(message)
+            if f.name not in ("hop_src", "hop_dst", "msg_id")
+        )
+        _PAYLOAD_FIELDS[type(message)] = names
+    size = _HEADER_BYTES
+    for name in names:
+        value = getattr(message, name)
+        if isinstance(value, bool):
+            size += 1
+        elif isinstance(value, int):
+            size += 4
+        elif isinstance(value, float):
+            size += 8
+        elif isinstance(value, tuple):
+            size += 4 * len(value)
+    return size
 
 
 @dataclass(frozen=True)

@@ -17,9 +17,10 @@ from typing import Callable, TYPE_CHECKING
 
 from repro.errors import SimulationError, TopologyError
 from repro.graph.topology import Edge, NodeId, Topology, edge_key
+from repro.obs import Counter, Observability
 from repro.routing.failure_view import FailureSet
 from repro.sim.engine import Simulator
-from repro.sim.messages import Message
+from repro.sim.messages import Message, wire_bytes
 from repro.sim.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -40,7 +41,13 @@ class NetworkStats:
 class SimNetwork:
     """Delivers messages between registered nodes with link delays."""
 
-    def __init__(self, sim: Simulator, topology: Topology, trace: Trace | None = None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        trace: Trace | None = None,
+        obs: Observability | None = None,
+    ) -> None:
         self.sim = sim
         self.topology = topology
         self.trace = trace
@@ -50,6 +57,14 @@ class SimNetwork:
         self._failed_nodes: set[NodeId] = set()
         #: When the most recent failure was injected (None: never).
         self.last_failure_at: float | None = None
+        self._obs = obs if obs is not None and obs.enabled else None
+        #: kind -> (sent counter, bytes counter), bound lazily per kind so
+        #: the transmit hot path is two dict lookups when enabled.
+        self._kind_meters: dict[str, tuple[Counter, Counter]] = {}
+        if self._obs is not None:
+            metrics = self._obs.metrics
+            self._c_delivered = metrics.counter("sim.msg.delivered")
+            self._c_lost = metrics.counter("sim.msg.lost")
 
     # ------------------------------------------------------------------
     # Registration and failure state
@@ -109,13 +124,28 @@ class SimNetwork:
             raise TopologyError(f"no link {edge_key(u, v)} for message {message.kind}")
         self.stats.sent += 1
         self.stats.by_kind[message.kind] = self.stats.by_kind.get(message.kind, 0) + 1
+        if self._obs is not None:
+            meters = self._kind_meters.get(message.kind)
+            if meters is None:
+                metrics = self._obs.metrics
+                meters = (
+                    metrics.counter(f"sim.msg.sent.{message.kind}"),
+                    metrics.counter(f"sim.msg.bytes.{message.kind}"),
+                )
+                self._kind_meters[message.kind] = meters
+            meters[0].inc()
+            meters[1].inc(wire_bytes(message))
         if self.trace is not None:
             self.trace.record(self.sim.now, "send", u, message.kind, detail=f"to {v}")
         if u in self._failed_nodes:
             self.stats.lost_node_failed += 1
+            if self._obs is not None:
+                self._c_lost.inc()
             return
         if edge_key(u, v) in self._failed_links:
             self.stats.lost_link_failed += 1
+            if self._obs is not None:
+                self._c_lost.inc()
             return
         delay = self.topology.delay(u, v)
         self.sim.schedule(delay, lambda: self._deliver(message))
@@ -126,14 +156,20 @@ class SimNetwork:
         # while the message was in flight loses it.
         if v in self._failed_nodes or message.hop_src in self._failed_nodes:
             self.stats.lost_node_failed += 1
+            if self._obs is not None:
+                self._c_lost.inc()
             return
         if edge_key(message.hop_src, v) in self._failed_links:
             self.stats.lost_link_failed += 1
+            if self._obs is not None:
+                self._c_lost.inc()
             return
         receiver = self._nodes.get(v)
         if receiver is None:
             raise SimulationError(f"message for unregistered node {v}")
         self.stats.delivered += 1
+        if self._obs is not None:
+            self._c_delivered.inc()
         if self.trace is not None:
             self.trace.record(
                 self.sim.now, "recv", v, message.kind, detail=f"from {message.hop_src}"

@@ -34,6 +34,7 @@ from repro.graph.topology import NodeId, Topology
 from repro.multicast.tree import MulticastTree
 from repro.core.candidates import Candidate, enumerate_candidates
 from repro.core.join import select_path
+from repro.obs import NULL_OBS, Observability
 from repro.routing.failure_view import FailureSet
 from repro.routing.spf import dijkstra, dijkstra_with_barriers
 from repro.sim.engine import Simulator
@@ -474,13 +475,20 @@ class _BaseSimulation:
         source: NodeId,
         timers: SimTimers | None = None,
         trace: Trace | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.topology = topology
         self.source = source
         self.timers = timers or SimTimers.for_topology(topology)
-        self.sim = Simulator()
+        self.obs = obs if obs is not None else NULL_OBS
+        self.sim = Simulator(obs=obs)
         self.trace = trace if trace is not None else Trace()
-        self.network = SimNetwork(self.sim, topology, trace=self.trace)
+        self.network = SimNetwork(self.sim, topology, trace=self.trace, obs=obs)
+        metrics = self.obs.metrics
+        self._c_detections = metrics.counter("sim.recovery.detections")
+        self._c_unrecoverable = metrics.counter("sim.recovery.unrecoverable")
+        self._c_restored = metrics.counter("sim.recovery.restored")
+        self._h_detour_hops = metrics.histogram("sim.recovery.detour_hops")
         self.nodes: dict[NodeId, MulticastSimNode] = {
             node: self.node_class(node, self.network, self)
             for node in topology.nodes()
@@ -583,6 +591,13 @@ class _BaseSimulation:
             if record.detector == node and record.restored_at is None:
                 if record.detected_at is not None:
                     record.restored_at = self.sim.now
+                    self._c_restored.inc()
+                    self.obs.emit(
+                        "recovery_restored",
+                        node=node,
+                        at=self.sim.now,
+                        latency=record.restoration_latency,
+                    )
 
     def _reaches_source(self, node: NodeId) -> bool:
         """True when the node's upstream chain reaches the source over
@@ -621,39 +636,50 @@ class _BaseSimulation:
             detected_at=self.sim.now,
         )
         self.recovery_records.append(record)
-        known_failures = self.network.current_failures
-        # The node states still hold the pre-failure upstream pointers (the
-        # detector included), so the extracted tree IS the last-known tree.
-        known_tree = self.extract_tree()
-        detached = known_tree.subtree_nodes(detector) if (
-            known_tree.is_on_tree(detector)
-        ) else {detector}
-        surviving = known_tree.surviving_component(known_failures)
-        barriers = set(known_tree.on_tree_nodes())
-        paths = dijkstra_with_barriers(
-            self.topology,
-            detector,
-            barriers=barriers - {detector},
-            failures=known_failures.union(
-                FailureSet(failed_nodes=frozenset(detached - {detector}))
-            ),
-        )
-        reachable = [n for n in surviving if n in paths.dist and n != detector]
-        if not reachable:
-            # This subtree root cannot reach the surviving tree itself
-            # (e.g. its only exits run through its own descendants).  It
-            # falls silent; descendants' watchdogs will expire and they
-            # recover on their own — the member-driven recovery of §3.1.
-            if self.trace is not None:
-                self.trace.record(
-                    self.sim.now, "failure", detector, "unrecoverable"
-                )
-            self.nodes[detector].mark_disconnected()
-            return
-        target = min(reachable, key=lambda n: (paths.dist[n], n))
-        toward = paths.path_to(target)
-        detour = tuple(toward)
+        self._c_detections.inc()
+        with self.obs.span("sim.recovery.detour"):
+            known_failures = self.network.current_failures
+            # The node states still hold the pre-failure upstream pointers
+            # (the detector included), so the extracted tree IS the
+            # last-known tree.
+            known_tree = self.extract_tree()
+            detached = known_tree.subtree_nodes(detector) if (
+                known_tree.is_on_tree(detector)
+            ) else {detector}
+            surviving = known_tree.surviving_component(known_failures)
+            barriers = set(known_tree.on_tree_nodes())
+            paths = dijkstra_with_barriers(
+                self.topology,
+                detector,
+                barriers=barriers - {detector},
+                failures=known_failures.union(
+                    FailureSet(failed_nodes=frozenset(detached - {detector}))
+                ),
+            )
+            reachable = [n for n in surviving if n in paths.dist and n != detector]
+            if not reachable:
+                # This subtree root cannot reach the surviving tree itself
+                # (e.g. its only exits run through its own descendants).  It
+                # falls silent; descendants' watchdogs will expire and they
+                # recover on their own — the member-driven recovery of §3.1.
+                if self.trace is not None:
+                    self.trace.record(
+                        self.sim.now, "failure", detector, "unrecoverable"
+                    )
+                self._c_unrecoverable.inc()
+                self.nodes[detector].mark_disconnected()
+                return
+            target = min(reachable, key=lambda n: (paths.dist[n], n))
+            toward = paths.path_to(target)
+            detour = tuple(toward)
         record.detour = detour
+        self._h_detour_hops.observe(len(detour) - 1)
+        self.obs.emit(
+            "recovery_detour",
+            node=detector,
+            at=self.sim.now,
+            hops=len(detour) - 1,
+        )
         node = self.nodes[detector]
         node.force_new_upstream(detour)
 
@@ -702,7 +728,8 @@ class _BaseSimulation:
             node.is_member = True
             self.complete_join(member, self.sim.now)
             return
-        path = self.select_join_path(member)
+        with self.obs.span("sim.join.select_path"):
+            path = self.select_join_path(member)
         self.join_records[member].path = path
         node.start_join(path)
 
@@ -737,8 +764,9 @@ class SmrpSimulation(_BaseSimulation):
         d_thresh: float = 0.3,
         timers: SimTimers | None = None,
         trace: Trace | None = None,
+        obs: Observability | None = None,
     ) -> None:
-        super().__init__(topology, source, timers=timers, trace=trace)
+        super().__init__(topology, source, timers=timers, trace=trace, obs=obs)
         self.d_thresh = d_thresh
         self.reshapes_performed = 0
         self._reshape_timer: PeriodicTimer | None = None

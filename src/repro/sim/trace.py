@@ -3,14 +3,24 @@
 A :class:`Trace` is an append-only log of timestamped records; tests and
 examples filter it to verify protocol behaviour ("the join reached the
 source", "recovery completed at t=…") without poking at node internals.
+
+Filtering accepts either keyword equality filters (``category=``,
+``node=``, ``event=``) or an arbitrary predicate callable over the
+record; ``count`` tallies matches without materialising them.  A trace
+may be bounded with ``max_records``: once full, the oldest records are
+dropped and ``dropped`` counts how many were discarded.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator
+from itertools import islice
+from typing import Callable, Iterator
 
 from repro.graph.topology import NodeId
+
+Predicate = Callable[["TraceRecord"], bool]
 
 
 @dataclass(frozen=True)
@@ -30,23 +40,51 @@ class TraceRecord:
 
 @dataclass
 class Trace:
-    """Append-only simulation log."""
+    """Append-only simulation log, optionally bounded (drop-oldest)."""
 
-    records: list[TraceRecord] = field(default_factory=list)
+    records: deque[TraceRecord] = field(default_factory=deque)
     enabled: bool = True
+    max_records: int | None = None
+    dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_records is not None and self.max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {self.max_records}")
+        # Accept a plain list (the historical field type) and rebuild the
+        # bounded deque so maxlen is enforced from the start.
+        if not isinstance(self.records, deque) or (
+            self.records.maxlen != self.max_records
+        ):
+            self.records = deque(self.records, maxlen=self.max_records)
 
     def record(
         self, time: float, category: str, node: NodeId, event: str, detail: str = ""
     ) -> None:
         if self.enabled:
+            if (
+                self.max_records is not None
+                and len(self.records) == self.max_records
+            ):
+                self.dropped += 1
             self.records.append(TraceRecord(time, category, node, event, detail))
 
     def filter(
         self,
+        predicate: Predicate | str | None = None,
+        *,
         category: str | None = None,
         node: NodeId | None = None,
         event: str | None = None,
     ) -> Iterator[TraceRecord]:
+        """Records matching a predicate and/or keyword equality filters.
+
+        The first positional argument may be a callable predicate over the
+        record, or (for backward compatibility) a category string.
+        """
+        if predicate is not None and not callable(predicate):
+            if category is not None:
+                raise TypeError("category given both positionally and by keyword")
+            category, predicate = predicate, None
         for rec in self.records:
             if category is not None and rec.category != category:
                 continue
@@ -54,20 +92,42 @@ class Trace:
                 continue
             if event is not None and rec.event != event:
                 continue
+            if predicate is not None and not predicate(rec):
+                continue
             yield rec
 
     def first(
         self,
+        predicate: Predicate | str | None = None,
+        *,
         category: str | None = None,
         node: NodeId | None = None,
         event: str | None = None,
     ) -> TraceRecord | None:
-        return next(self.filter(category=category, node=node, event=event), None)
+        return next(
+            self.filter(predicate, category=category, node=node, event=event),
+            None,
+        )
+
+    def count(
+        self,
+        predicate: Predicate | str | None = None,
+        *,
+        category: str | None = None,
+        node: NodeId | None = None,
+        event: str | None = None,
+    ) -> int:
+        return sum(
+            1
+            for _ in self.filter(
+                predicate, category=category, node=node, event=event
+            )
+        )
 
     def __len__(self) -> int:
         return len(self.records)
 
     def dump(self, limit: int | None = None) -> str:
         """Multi-line rendering, for examples and debugging."""
-        rows = self.records if limit is None else self.records[:limit]
+        rows = self.records if limit is None else islice(self.records, limit)
         return "\n".join(str(rec) for rec in rows)

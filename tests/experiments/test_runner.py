@@ -54,3 +54,67 @@ class TestScenarioResult:
             ScenarioConfig(n=40, group_size=10, topology_seed=3, member_seed=8)
         )
         assert other.rd_relative != result.rd_relative
+
+
+class TestSummaries:
+    def test_scenario_summary_one_line(self, result):
+        text = result.summary()
+        assert "\n" not in text
+        assert "10 members" in text
+        assert f"cost spf={result.cost_spf:.1f}" in text
+
+    def test_scenario_repr_embeds_config_and_summary(self, result):
+        text = repr(result)
+        assert text.startswith("<ScenarioResult ")
+        assert result.config.describe() in text
+        assert result.summary() in text
+
+    def test_member_measurement_repr(self, result):
+        m = result.measurements[0]
+        text = repr(m)
+        assert text.startswith(f"<MemberMeasurement {m.member}:")
+        assert f"delay spf={m.delay_spf:.1f}" in text
+
+    def test_member_measurement_repr_handles_unrecoverable(self):
+        from repro.experiments.runner import MemberMeasurement
+
+        m = MemberMeasurement(
+            member=5,
+            rd_spf_global=None,
+            rd_smrp_local=None,
+            rd_spf_local=None,
+            rd_smrp_global=None,
+            delay_spf=2.0,
+            delay_smrp=2.5,
+        )
+        assert "RD spf=— smrp=—" in repr(m)
+
+
+class TestObservedScenario:
+    def test_obs_counters_match_result(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        cfg = ScenarioConfig(n=40, group_size=10, topology_seed=2, member_seed=7)
+        result = run_scenario(cfg, obs=obs)
+        counters = obs.metrics.counters()
+        assert counters["scenario.runs"] == 1
+        assert counters["smrp.joins"] == len(result.members)
+        assert counters["smrp.reshapes_performed"] == result.smrp_reshapes
+        assert counters["smrp.fallback_joins"] == result.smrp_fallback_joins
+        # Each member triggers one local (SMRP) and one global (SPF) attempt.
+        assert counters["recovery.local.attempts"] == len(result.members)
+        assert counters["recovery.global.attempts"] == len(result.members)
+        # Per-message-type counts mirror the signaling-hop accounting.
+        assert counters["smrp.msg.Join_Req"] == counters[
+            "smrp.join_signaling_hops"
+        ]
+        spans = obs.spans.totals()
+        for name in (
+            "scenario.topology",
+            "scenario.build.spf",
+            "scenario.build.smrp",
+            "scenario.measure",
+        ):
+            assert spans[name][0] == 1
+        assert len(obs.events) == 1  # the scenario_result event

@@ -1,0 +1,116 @@
+"""MetricsRegistry semantics: instruments, idempotence, disabled no-ops."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.registry import _NULL_COUNTER, _NULL_GAUGE, _NULL_HISTOGRAM
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = MetricsRegistry().counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_same_name_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+
+    def test_counters_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.msg.sent.JoinReq").inc(3)
+        reg.counter("sim.msg.sent.JoinAck").inc(2)
+        reg.counter("smrp.joins").inc()
+        assert reg.counters("sim.msg.sent.") == {
+            "sim.msg.sent.JoinAck": 2,
+            "sim.msg.sent.JoinReq": 3,
+        }
+        assert len(reg.counters()) == 3
+
+
+class TestGauge:
+    def test_set_tracks_high_water(self):
+        g = MetricsRegistry().gauge("queue")
+        g.set(3)
+        g.set(10)
+        g.set(4)
+        assert g.value == 4
+        assert g.high_water == 10
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        h = Histogram("hops", bounds=(1, 2, 4))
+        for v in [1, 1, 2, 3, 4, 5, 100]:
+            h.observe(v)
+        # counts: <=1, (1,2], (2,4], overflow
+        assert h.counts == [2, 1, 2, 2]
+        assert h.count == 7
+        assert h.min == 1
+        assert h.max == 100
+        assert h.mean == pytest.approx(116 / 7)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", bounds=())
+        with pytest.raises(ConfigurationError):
+            Histogram("h", bounds=(3, 1, 2))
+
+    def test_reregistration_with_different_bounds_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1, 2))
+        assert reg.histogram("h", bounds=(1, 2)) is reg.histogram("h", bounds=(1, 2))
+        with pytest.raises(ConfigurationError):
+            reg.histogram("h", bounds=(1, 2, 3))
+
+    def test_default_buckets(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.bounds == tuple(float(b) for b in DEFAULT_BUCKETS)
+
+
+class TestNameCollisions:
+    def test_cross_type_name_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+        with pytest.raises(ConfigurationError):
+            reg.histogram("x")
+        reg.gauge("y")
+        with pytest.raises(ConfigurationError):
+            reg.counter("y")
+
+
+class TestDisabled:
+    def test_disabled_registry_hands_out_shared_noops(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is _NULL_COUNTER
+        assert reg.gauge("b") is _NULL_GAUGE
+        assert reg.histogram("c") is _NULL_HISTOGRAM
+
+    def test_noop_instruments_record_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("a").inc(10)
+        reg.gauge("b").set(5)
+        reg.histogram("c").observe(1)
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", bounds=(1, 2)).observe(2)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"]["g"] == {"value": 1.5, "high_water": 1.5}
+        assert snap["histograms"]["h"]["counts"] == [0, 1, 0]
+        assert snap["histograms"]["h"]["sum"] == 2.0
+        json.dumps(snap)  # must be serializable as-is

@@ -1,0 +1,82 @@
+"""SpanProfiler: nesting, aggregation, and the disabled no-op path."""
+
+from repro.obs import SpanProfiler
+from repro.obs.spans import _NULL_SPAN
+
+
+def test_nested_spans_form_a_tree():
+    prof = SpanProfiler()
+    with prof.span("outer"):
+        with prof.span("inner"):
+            pass
+        with prof.span("inner"):
+            pass
+    report = prof.report()
+    (outer,) = report["children"]
+    assert outer["name"] == "outer"
+    assert outer["calls"] == 1
+    (inner,) = outer["children"]
+    assert inner["name"] == "inner"
+    assert inner["calls"] == 2
+    # Parent total covers the children; self time excludes them.
+    assert outer["total_s"] >= inner["total_s"]
+    assert abs(outer["self_s"] - (outer["total_s"] - inner["total_s"])) < 1e-12
+
+
+def test_sibling_spans_do_not_nest():
+    prof = SpanProfiler()
+    with prof.span("a"):
+        pass
+    with prof.span("b"):
+        pass
+    names = sorted(c["name"] for c in prof.report()["children"])
+    assert names == ["a", "b"]
+
+
+def test_recursive_span_reuses_node_per_depth():
+    prof = SpanProfiler()
+
+    def work(depth):
+        with prof.span("rec"):
+            if depth:
+                work(depth - 1)
+
+    work(2)
+    # Three activations total, spread over three depths of the tree.
+    calls, total = prof.totals()["rec"]
+    assert calls == 3
+    assert total > 0
+
+
+def test_totals_aggregates_across_depths():
+    prof = SpanProfiler()
+    with prof.span("x"):
+        with prof.span("y"):
+            pass
+    with prof.span("y"):
+        pass
+    assert prof.totals()["y"][0] == 2
+    assert prof.totals()["x"][0] == 1
+
+
+def test_exception_inside_span_still_closes_it():
+    prof = SpanProfiler()
+    try:
+        with prof.span("boom"):
+            raise RuntimeError("x")
+    except RuntimeError:
+        pass
+    assert prof.totals()["boom"][0] == 1
+    # The stack unwound back to the root: a new span is a top-level child.
+    with prof.span("after"):
+        pass
+    assert sorted(c["name"] for c in prof.report()["children"]) == ["after", "boom"]
+
+
+def test_disabled_profiler_returns_shared_null_span():
+    prof = SpanProfiler(enabled=False)
+    assert prof.span("anything") is _NULL_SPAN
+    with prof.span("anything"):
+        pass
+    assert prof.report()["children"] == []
+    assert prof.totals() == {}

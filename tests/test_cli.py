@@ -71,3 +71,59 @@ class TestFigures:
         assert code == 0
         out = capsys.readouterr().out
         assert "Figure 7" in out
+
+
+class TestObs:
+    def test_report_requires_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "report"])
+
+    def test_scenario_obs_out_then_report(self, capsys, tmp_path):
+        path = str(tmp_path / "run.json")
+        code = main([
+            "scenario", "--n", "30", "--group-size", "6",
+            "--alpha", "0.6", "--topology-seed", "2", "--member-seed", "3",
+            "--obs-out", path,
+        ])
+        assert code == 0
+        assert path in capsys.readouterr().out
+
+        assert main(["obs", "report", path]) == 0
+        out = capsys.readouterr().out
+        assert "== run report ==" in out
+        assert "command: scenario" in out
+        assert "smrp.joins" in out
+        assert "scenario.build.smrp" in out
+
+    def test_simulate_obs_out_then_report(self, capsys, tmp_path):
+        path = str(tmp_path / "sim.json")
+        code = main([
+            "simulate", "--n", "20", "--members", "3", "--seed", "4",
+            "--obs-out", path,
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+        assert main(["obs", "report", path]) == 0
+        out = capsys.readouterr().out
+        assert "sim.engine.events_fired" in out
+        assert "sim.msg.sent.JoinReq" in out
+        assert "sim.engine.queue_depth" in out
+
+    def test_report_rejects_non_report_json(self, capsys, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{}")
+        assert main(["obs", "report", str(path)]) == 1
+        assert "not a repro run report" in capsys.readouterr().err
+
+    def test_report_missing_file(self, capsys):
+        assert main(["obs", "report", "/nonexistent/run.json"]) == 1
+        assert "no such file" in capsys.readouterr().err
+
+    def test_obs_out_rejects_missing_directory(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "scenario", "--n", "30", "--group-size", "6",
+                "--obs-out", "/nonexistent-dir/run.json",
+            ])
+        assert "--obs-out directory does not exist" in capsys.readouterr().err

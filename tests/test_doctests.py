@@ -5,12 +5,21 @@ import doctest
 import pytest
 
 import repro.graph.topology
+import repro.obs
+import repro.obs.registry
+import repro.obs.spans
 import repro.sim.engine
 
 
 @pytest.mark.parametrize(
     "module",
-    [repro.graph.topology, repro.sim.engine],
+    [
+        repro.graph.topology,
+        repro.sim.engine,
+        repro.obs,
+        repro.obs.registry,
+        repro.obs.spans,
+    ],
     ids=lambda m: m.__name__,
 )
 def test_module_doctests(module):
