@@ -16,6 +16,10 @@ Quickstart
 >>> tree = proto.build([5, 12, 23, 31, 44])
 >>> sorted(tree.members)
 [5, 12, 23, 31, 44]
+
+For running experiments (scenarios, sweeps, the paper's figures) use the
+high-level facade :mod:`repro.api` — declarative ``ExperimentSpec`` plus
+serial or process-parallel executors.
 """
 
 from repro.errors import (
@@ -52,7 +56,17 @@ from repro.core import (
 )
 from repro.obs import NULL_OBS, Observability
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def __getattr__(name: str):
+    # ``repro.api`` pulls in the whole experiment harness; load it lazily
+    # so ``import repro`` stays cheap for protocol-only users.
+    if name == "api":
+        import repro.api as api
+
+        return api
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ReproError",

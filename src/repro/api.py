@@ -1,0 +1,173 @@
+"""The stable high-level API: declare an experiment, choose an executor, run.
+
+This facade is the supported entry point for running the reproduction's
+experiments programmatically; the CLI is a thin wrapper over it, and the
+deep module paths (``repro.experiments.fig8`` …) remain available for
+fine-grained access.
+
+Three verbs cover the harness:
+
+- :func:`run_scenario` — one fully seeded scenario (both trees, worst-case
+  failures, the paper's metrics);
+- :func:`run_sweep` — a declarative :class:`ExperimentSpec` expanded over
+  its seeding grid into :class:`~repro.experiments.sweeps.SweepPoint`
+  aggregates;
+- :func:`build_figure` — any of the paper's Figures 7–10 as a rendered
+  result object.
+
+Each accepts ``jobs`` (worker process count) or an explicit ``executor``;
+``jobs > 1`` fans scenario work units out over a ``ProcessPoolExecutor``
+with results merged deterministically in seed order, so parallel runs are
+byte-identical to serial ones.
+
+Examples
+--------
+>>> from repro.api import ExperimentSpec, run_sweep
+>>> spec = ExperimentSpec(n=30, group_size=8, sweep_parameter="d_thresh",
+...                       sweep_values=(0.1, 0.3), topologies=2, member_sets=2)
+>>> points = run_sweep(spec)
+>>> [p.label for p in points]
+['0.1', '0.3']
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.experiments.exec.cache import SubstrateCache
+from repro.experiments.exec.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.experiments.exec.spec import ExperimentSpec
+from repro.experiments.runner import ScenarioResult
+from repro.experiments.runner import run_scenario as _run_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.sweeps import SweepPoint, run_spec_sweep
+
+__all__ = [
+    "Executor",
+    "ExperimentSpec",
+    "ParallelExecutor",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "SerialExecutor",
+    "SubstrateCache",
+    "SweepPoint",
+    "build_figure",
+    "make_executor",
+    "run_scenario",
+    "run_sweep",
+]
+
+#: Figure driver registry: canonical name -> (module, runner attribute).
+_FIGURES = {
+    "fig7": ("repro.experiments.fig7", "run_figure7"),
+    "fig8": ("repro.experiments.fig8", "run_figure8"),
+    "fig9": ("repro.experiments.fig9", "run_figure9"),
+    "fig10": ("repro.experiments.fig10", "run_figure10"),
+}
+
+
+def _resolve_executor(
+    executor: Executor | None, jobs: int
+) -> tuple[Executor, bool]:
+    """``(executor, owned)`` from the facade's convenience parameters."""
+    if executor is not None:
+        if jobs != 1:
+            raise ConfigurationError(
+                "pass either an executor or jobs, not both"
+            )
+        return executor, False
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if jobs > 1:
+        return ParallelExecutor(jobs=jobs), True
+    return SerialExecutor(), True
+
+
+def run_scenario(
+    config: ScenarioConfig | None = None,
+    *,
+    obs=None,
+    cache: SubstrateCache | None = None,
+    **params,
+) -> ScenarioResult:
+    """Run one scenario: both trees, worst-case failures, all metrics.
+
+    Either pass a ready :class:`ScenarioConfig`, or its fields as
+    keywords (``run_scenario(n=50, group_size=10)``).  ``cache`` lets
+    consecutive calls share generated topologies and SPF state.
+    """
+    if config is None:
+        config = ScenarioConfig(**params)
+    elif params:
+        raise ConfigurationError(
+            "pass either a ScenarioConfig or its fields as keywords, not both"
+        )
+    return _run_scenario(config, obs=obs, cache=cache)
+
+
+def run_sweep(
+    spec: ExperimentSpec | dict,
+    *,
+    executor: Executor | None = None,
+    jobs: int = 1,
+    obs=None,
+) -> list[SweepPoint]:
+    """Expand a declarative spec over its seeding grid and aggregate.
+
+    ``spec`` may be an :class:`ExperimentSpec` or its ``to_dict`` form.
+    Parallelism: pass ``jobs > 1`` for a transient process pool, or a
+    ready :class:`Executor` (which stays open — callers own its
+    lifecycle).
+    """
+    if isinstance(spec, dict):
+        spec = ExperimentSpec.from_dict(spec)
+    executor, owned = _resolve_executor(executor, jobs)
+    try:
+        return run_spec_sweep(spec, executor=executor, obs=obs)
+    finally:
+        if owned:
+            executor.close()
+
+
+def build_figure(
+    figure: int | str,
+    *,
+    quick: bool = False,
+    executor: Executor | None = None,
+    jobs: int = 1,
+    obs=None,
+    **overrides,
+):
+    """Run one of the paper's figure drivers and return its result object.
+
+    ``figure`` is 7–10 (or ``"fig8"``-style names); the returned result
+    has a ``render()`` method producing the text table.  ``quick``
+    shrinks the seeding grid to 4×2 scenarios per sweep point (the CLI's
+    ``--quick``); any figure-driver keyword (``values``, ``n``,
+    ``topologies``, …) can be overridden explicitly and wins over
+    ``quick``.
+    """
+    import importlib
+
+    name = figure if isinstance(figure, str) else f"fig{figure}"
+    if name not in _FIGURES:
+        raise ConfigurationError(
+            f"unknown figure {figure!r}; expected one of "
+            f"{sorted(_FIGURES)} (or 7-10)"
+        )
+    module_name, attr = _FIGURES[name]
+    runner = getattr(importlib.import_module(module_name), attr)
+    kwargs = dict(overrides)
+    if quick and name != "fig7":
+        kwargs.setdefault("topologies", 4)
+        kwargs.setdefault("member_sets", 2)
+    executor, owned = _resolve_executor(executor, jobs)
+    try:
+        return runner(obs=obs, executor=executor, **kwargs)
+    finally:
+        if owned:
+            executor.close()

@@ -18,6 +18,18 @@ Commands
 The run-producing commands accept ``--obs-out PATH`` to capture a
 structured run report (metric counters, span timings, event accounting)
 as JSON; ``repro obs report PATH`` renders it afterwards.
+
+Parallel execution
+------------------
+``figures``, ``scenario``, and ``simulate`` accept ``--jobs N`` and
+``--executor {serial,process}``.  ``--jobs N`` with ``N > 1`` fans
+scenario work units out over a process pool (implying
+``--executor process``); results are merged deterministically in seed
+order, so parallel output is byte-identical to serial output.
+``--jobs`` below 1 is rejected, as is ``--executor serial`` combined
+with ``--jobs`` above 1.  A ``simulate`` run is a single discrete-event
+work unit, so it gains nothing from ``--jobs`` — the flags are accepted
+for consistency and validated the same way.
 """
 
 from __future__ import annotations
@@ -28,6 +40,18 @@ import sys
 from typing import Sequence
 
 import numpy as np
+
+
+def _add_executor_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (N > 1 implies --executor process)",
+    )
+    parser.add_argument(
+        "--executor", choices=["serial", "process"],
+        help="how scenario work units run (default: serial, "
+             "or process when --jobs > 1)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="only this figure")
     figures.add_argument("--obs-out", metavar="PATH",
                          help="write an observability run report (JSON)")
+    _add_executor_args(figures)
 
     scenario = sub.add_parser("scenario", help="run one seeded scenario")
     scenario.add_argument("--n", type=int, default=100)
@@ -57,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--no-reshape", action="store_true")
     scenario.add_argument("--obs-out", metavar="PATH",
                           help="write an observability run report (JSON)")
+    _add_executor_args(scenario)
 
     simulate = sub.add_parser("simulate", help="message-level simulation")
     simulate.add_argument("--n", type=int, default=40)
@@ -67,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="inject the first member's worst-case failure")
     simulate.add_argument("--obs-out", metavar="PATH",
                           help="write an observability run report (JSON)")
+    _add_executor_args(simulate)
 
     obs = sub.add_parser("obs", help="observability run artifacts")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -108,6 +135,26 @@ def _make_obs(args: argparse.Namespace):
     return Observability()
 
 
+def _make_executor(args: argparse.Namespace):
+    """Build the executor requested by ``--jobs`` / ``--executor``.
+
+    Exits with status 2 (usage error) on invalid combinations: ``--jobs``
+    below 1, an explicit ``--executor serial`` with ``--jobs`` above 1.
+    """
+    from repro.errors import ConfigurationError
+    from repro.experiments.exec.executor import make_executor
+
+    jobs = getattr(args, "jobs", 1)
+    kind = getattr(args, "executor", None)
+    if kind is None:
+        kind = "process" if jobs > 1 else "serial"
+    try:
+        return make_executor(kind, jobs=jobs)
+    except ConfigurationError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _write_obs_report(args: argparse.Namespace, obs, meta: dict) -> None:
     if obs is None:
         return
@@ -127,31 +174,35 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments.fig10 import run_figure10
 
     obs = _make_obs(args)
+    executor = _make_executor(args)
     topologies, member_sets = (4, 2) if args.quick else (10, 10)
     runs = {
-        7: lambda: run_figure7(topologies=5, obs=obs),
+        7: lambda: run_figure7(topologies=5, obs=obs, executor=executor),
         8: lambda: run_figure8(topologies=topologies, member_sets=member_sets,
-                               obs=obs),
+                               obs=obs, executor=executor),
         9: lambda: run_figure9(topologies=topologies, member_sets=member_sets,
-                               obs=obs),
+                               obs=obs, executor=executor),
         10: lambda: run_figure10(topologies=topologies,
-                                 member_sets=member_sets, obs=obs),
+                                 member_sets=member_sets, obs=obs,
+                                 executor=executor),
     }
     figures_run = [args.figure] if args.figure else [7, 8, 9, 10]
-    for figure in figures_run:
-        print(f"--- Figure {figure} ---")
-        print(runs[figure]().render())
-        print()
+    with executor:
+        for figure in figures_run:
+            print(f"--- Figure {figure} ---")
+            print(runs[figure]().render())
+            print()
     _write_obs_report(args, obs, {
         "command": "figures",
         "figures": figures_run,
         "quick": bool(args.quick),
+        "executor": executor.kind,
+        "jobs": args.jobs,
     })
     return 0
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import run_scenario
     from repro.experiments.scenario import ScenarioConfig
     from repro.experiments.tables import format_table
     from repro.metrics.stats import summarize
@@ -167,7 +218,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         reshape_enabled=not args.no_reshape,
     )
     obs = _make_obs(args)
-    result = run_scenario(config, obs=obs)
+    with _make_executor(args) as executor:
+        result, = executor.map_scenarios([config], obs=obs)
     print(f"scenario: {config.describe()}")
     print(f"source {result.source}, avg degree "
           f"{result.average_degree:.2f}, reshapes {result.smrp_reshapes}, "
@@ -193,6 +245,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     _write_obs_report(args, obs, {
         "command": "scenario",
         "config": config.describe(),
+        "jobs": args.jobs,
     })
     return 0
 
@@ -202,6 +255,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.core.recovery import worst_case_failure
     from repro.sim.failures import FailureSchedule
     from repro.sim.protocols import SmrpSimulation
+
+    # One DES run is a single work unit; the executor flags are validated
+    # for CLI consistency but a pool would sit idle.
+    _make_executor(args).close()
+    if args.jobs > 1:
+        print("note: simulate is a single work unit; --jobs has no effect")
 
     topology = waxman_topology(
         WaxmanConfig(n=args.n, alpha=0.4, beta=0.3, seed=args.seed)
@@ -281,10 +340,16 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.sim", "discrete-event simulator + distributed protocol"),
         ("repro.metrics", "RD/delay/cost metrics and confidence intervals"),
         ("repro.experiments", "figure drivers and parameter sweeps"),
+        ("repro.experiments.exec", "ExperimentSpec, executors, substrate cache"),
         ("repro.obs", "metrics registry, span profiling, run reports"),
+        ("repro.api", "stable facade: run_scenario / run_sweep / build_figure"),
     ]
     for name, description in components:
-        print(f"  {name:20} {description}")
+        print(f"  {name:24} {description}")
+    print("\nparallel execution: figures/scenario/simulate accept "
+          "--jobs N and --executor {serial,process};\n"
+          "  --jobs N > 1 fans scenarios over a process pool with "
+          "deterministic seed-order merging.")
     return 0
 
 

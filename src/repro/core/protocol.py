@@ -33,6 +33,7 @@ from repro.core.recovery import RecoveryResult, local_detour_recovery
 from repro.core.reshape import ReshapeDecision, apply_reshape, evaluate_reshape
 from repro.core.state import StateManager
 from repro.routing.failure_view import NO_FAILURES, FailureSet
+from repro.routing.route_cache import RouteCache
 from repro.routing.spf import dijkstra
 
 
@@ -130,11 +131,16 @@ class SMRPProtocol:
         source: NodeId,
         config: SMRPConfig | None = None,
         obs: Observability | None = None,
+        route_cache: "RouteCache | None" = None,
     ) -> None:
         self.topology = topology
         self.source = source
         self.config = config or SMRPConfig()
         self.obs = obs if obs is not None else NULL_OBS
+        # Optional memoisation of failure-free member-rooted SPF state
+        # (the D_thresh bound's D^SPF(S, NR)); failure-masked searches
+        # never consult it.
+        self.route_cache = route_cache
         self.tree = MulticastTree(topology, source)
         self.state = StateManager(
             self.tree, mode=self.config.state_mode, obs=self.obs
@@ -193,7 +199,14 @@ class SMRPProtocol:
                 candidates = enumerate_candidates(
                     self.topology, self.tree, member, shr_values, failures=failures
                 )
-            spf = dijkstra(self.topology, member, weight="delay", failures=failures)
+            if self.route_cache is not None and failures is NO_FAILURES:
+                spf = self.route_cache.shortest_paths(
+                    self.topology, member, weight="delay", obs=self.obs
+                )
+            else:
+                spf = dijkstra(
+                    self.topology, member, weight="delay", failures=failures
+                )
             selection = select_path(
                 candidates,
                 spf.distance(self.source),

@@ -7,32 +7,61 @@
   paper's metrics,
 - :mod:`repro.experiments.sweeps` — many-scenario parameter sweeps with
   95% confidence intervals,
+- :mod:`repro.experiments.exec` — declarative :class:`ExperimentSpec`,
+  serial/process-parallel executors, and the substrate cache,
 - :mod:`repro.experiments.fig7` … :mod:`repro.experiments.fig10` — one
   driver per figure in the paper,
 - :mod:`repro.experiments.tables` — plain-text rendering of the series,
 - :mod:`repro.experiments.report` — CSV/JSON/Markdown export of results.
+
+.. deprecated::
+    Importing the harness entry points from this package
+    (``from repro.experiments import run_scenario``) is deprecated;
+    use the stable facade :mod:`repro.api` instead.  The submodule
+    paths above are unaffected.
 """
 
-from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.runner import ScenarioResult, run_scenario
-from repro.experiments.sweeps import SweepPoint, run_sweep
-from repro.experiments.fig7 import Figure7Result, run_figure7
-from repro.experiments.fig8 import Figure8Result, run_figure8
-from repro.experiments.fig9 import Figure9Result, run_figure9
-from repro.experiments.fig10 import Figure10Result, run_figure10
+from __future__ import annotations
 
-__all__ = [
-    "ScenarioConfig",
-    "ScenarioResult",
-    "run_scenario",
-    "SweepPoint",
-    "run_sweep",
-    "Figure7Result",
-    "run_figure7",
-    "Figure8Result",
-    "run_figure8",
-    "Figure9Result",
-    "run_figure9",
-    "Figure10Result",
-    "run_figure10",
-]
+import warnings
+
+#: Legacy re-exports: public name -> (defining submodule, attribute).
+_DEPRECATED_EXPORTS = {
+    "ScenarioConfig": ("repro.experiments.scenario", "ScenarioConfig"),
+    "ScenarioResult": ("repro.experiments.runner", "ScenarioResult"),
+    "run_scenario": ("repro.experiments.runner", "run_scenario"),
+    "SweepPoint": ("repro.experiments.sweeps", "SweepPoint"),
+    "run_sweep": ("repro.experiments.sweeps", "run_sweep"),
+    "Figure7Result": ("repro.experiments.fig7", "Figure7Result"),
+    "run_figure7": ("repro.experiments.fig7", "run_figure7"),
+    "Figure8Result": ("repro.experiments.fig8", "Figure8Result"),
+    "run_figure8": ("repro.experiments.fig8", "run_figure8"),
+    "Figure9Result": ("repro.experiments.fig9", "Figure9Result"),
+    "run_figure9": ("repro.experiments.fig9", "run_figure9"),
+    "Figure10Result": ("repro.experiments.fig10", "Figure10Result"),
+    "run_figure10": ("repro.experiments.fig10", "run_figure10"),
+}
+
+__all__ = list(_DEPRECATED_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _DEPRECATED_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    warnings.warn(
+        f"importing {name!r} from 'repro.experiments' is deprecated; "
+        f"use 'repro.api' (or {module_name!r} directly)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_DEPRECATED_EXPORTS))

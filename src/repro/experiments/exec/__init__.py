@@ -1,0 +1,38 @@
+"""Execution engine: declarative specs, executors, and substrate caching.
+
+The pieces and how they fit:
+
+- :class:`ExperimentSpec` (``spec``) — frozen, hashable, JSON-serializable
+  description of a whole sweep;
+- :class:`Executor` / :class:`SerialExecutor` / :class:`ParallelExecutor`
+  (``executor``) — how scenario work units run (in-process or over a
+  ``ProcessPoolExecutor``), with deterministic seed-order merging;
+- :class:`SubstrateCache` (``cache``) — content-keyed topology + SPF
+  route caches shared per executor / per worker process;
+- ``worker`` — the picklable worker-process entry point.
+
+``make_executor(kind, jobs)`` is the CLI-facing factory.  The public API
+is also re-exported at :mod:`repro.api`.
+"""
+
+from repro.experiments.exec.cache import SubstrateCache, process_cache
+from repro.experiments.exec.executor import (
+    EXECUTOR_KINDS,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.experiments.exec.spec import SWEEPABLE_PARAMETERS, ExperimentSpec
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "SWEEPABLE_PARAMETERS",
+    "Executor",
+    "ExperimentSpec",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "SubstrateCache",
+    "make_executor",
+    "process_cache",
+]

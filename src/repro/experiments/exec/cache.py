@@ -1,0 +1,73 @@
+"""The substrate cache: generated topologies + failure-free SPF state.
+
+One :class:`SubstrateCache` bundles the two content-keyed caches the
+scenario runner consults (:class:`~repro.graph.cache.TopologyCache` and
+:class:`~repro.routing.route_cache.RouteCache`) behind a single handle:
+
+- the :class:`~repro.experiments.exec.executor.SerialExecutor` owns one
+  for its lifetime, so repeated sweep points share substrate state;
+- each worker process of the
+  :class:`~repro.experiments.exec.executor.ParallelExecutor` keeps a
+  process-global instance (:func:`process_cache`), so scenarios dispatched
+  to the same worker share it.
+
+Cache reuse never changes results: topologies are deterministic functions
+of their config, and cached SPF state is exactly what Dijkstra would
+recompute (the determinism suite in ``tests/experiments/test_exec.py``
+asserts both).  Hit/miss/eviction counters appear in run reports under
+``cache.topology.*`` and ``cache.routes.*``.
+"""
+
+from __future__ import annotations
+
+from repro.graph.cache import DEFAULT_MAX_TOPOLOGIES, TopologyCache
+from repro.graph.topology import Topology
+from repro.routing.route_cache import DEFAULT_MAX_ROUTES, RouteCache
+
+
+class SubstrateCache:
+    """Shared per-executor (or per-worker-process) substrate state."""
+
+    def __init__(
+        self,
+        max_topologies: int = DEFAULT_MAX_TOPOLOGIES,
+        max_routes: int = DEFAULT_MAX_ROUTES,
+    ) -> None:
+        self.topologies = TopologyCache(max_entries=max_topologies)
+        self.routes = RouteCache(max_entries=max_routes)
+
+    def topology_for(self, config, obs=None) -> Topology:
+        """The (shared, treat-as-immutable) topology of a
+        :class:`~repro.experiments.scenario.ScenarioConfig`."""
+        return self.topologies.get(config.waxman_config(), obs=obs)
+
+    @property
+    def stats(self) -> dict[str, dict[str, int]]:
+        return {
+            "topologies": self.topologies.stats,
+            "routes": self.routes.stats,
+        }
+
+    def clear(self) -> None:
+        self.topologies.clear()
+        self.routes.clear()
+
+    def __repr__(self) -> str:
+        return f"SubstrateCache(topologies={self.topologies!r}, routes={self.routes!r})"
+
+
+_PROCESS_CACHE: SubstrateCache | None = None
+
+
+def process_cache() -> SubstrateCache:
+    """The per-process substrate cache (created on first use).
+
+    Worker processes call this so consecutive scenarios dispatched to the
+    same worker reuse topologies and routes; the parent process's instance
+    is independent (and a forked child starts from whatever the parent had
+    built, which is equally valid — entries are content-keyed).
+    """
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        _PROCESS_CACHE = SubstrateCache()
+    return _PROCESS_CACHE

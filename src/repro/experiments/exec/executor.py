@@ -1,0 +1,216 @@
+"""Executors: how a batch of scenario work units actually runs.
+
+An :class:`Executor` turns a list of
+:class:`~repro.experiments.scenario.ScenarioConfig` work units into
+:class:`~repro.experiments.runner.ScenarioResult` values, in input order,
+regardless of *how* they run:
+
+- :class:`SerialExecutor` — in-process, one scenario at a time, against a
+  long-lived :class:`~repro.experiments.exec.cache.SubstrateCache`;
+- :class:`ParallelExecutor` — a ``concurrent.futures``
+  ``ProcessPoolExecutor`` fan-out; each worker process keeps its own
+  substrate cache, per-worker observability reports are merged back into
+  the caller's :class:`~repro.obs.Observability` in seed order.
+
+Both therefore produce **identical results** for the same inputs (the
+determinism suite asserts this).  Merged algorithm counters match too;
+cache hit/miss *splits* differ (per-worker caches see fewer cross-scenario
+hits, though hits + misses totals agree) and span *timings* naturally
+differ.  ``Executor.run_sweep`` adds the shared
+spec-driven sweep loop on top, so every later scaling backend (sharding,
+async, remote) only has to implement :meth:`Executor.map_scenarios`.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs import NULL_OBS, Observability, merge_report_into
+from repro.experiments.runner import ScenarioResult, run_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.exec.cache import SubstrateCache
+from repro.experiments.exec.spec import ExperimentSpec
+
+#: Executor kinds accepted by :func:`make_executor` and the CLI.
+EXECUTOR_KINDS = ("serial", "process")
+
+
+class Executor(ABC):
+    """Strategy for running scenario work units.
+
+    Executors are context managers; :meth:`close` releases pooled
+    resources (a no-op for the serial executor).
+    """
+
+    #: Machine-readable kind, mirrored in run-report metadata.
+    kind: str = "abstract"
+
+    @abstractmethod
+    def map_scenarios(
+        self,
+        configs: Sequence[ScenarioConfig],
+        obs: Observability | None = None,
+    ) -> list[ScenarioResult]:
+        """Run every config; results come back in input (seed) order."""
+
+    def run_sweep(
+        self, spec: ExperimentSpec, obs: Observability | None = None
+    ) -> "list[SweepPoint]":
+        """Execute a declarative sweep spec into :class:`SweepPoint` list.
+
+        All scenario work units across every swept value form one batch,
+        so a parallel executor keeps its workers busy across sweep-point
+        boundaries; results are regrouped per value afterwards.
+        """
+        from repro.experiments.sweeps import SweepPoint
+
+        obs = obs if obs is not None else NULL_OBS
+        points = spec.points()
+        flat = [config for _, configs in points for config in configs]
+        with obs.span("sweep.run"):
+            results = self.map_scenarios(flat, obs=obs)
+        out: list[SweepPoint] = []
+        cursor = 0
+        for value, configs in points:
+            chunk = results[cursor : cursor + len(configs)]
+            cursor += len(configs)
+            out.append(
+                SweepPoint(
+                    label=f"{value:g}", parameter=value, scenarios=list(chunk)
+                )
+            )
+        return out
+
+    def close(self) -> None:
+        """Release executor resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run scenarios one at a time in the calling process.
+
+    Keeps a :class:`SubstrateCache` for its lifetime, so consecutive
+    scenarios (and consecutive sweeps run on the same executor) reuse
+    generated topologies and SPF state.
+    """
+
+    kind = "serial"
+
+    def __init__(self, cache: SubstrateCache | None = None) -> None:
+        self.cache = cache if cache is not None else SubstrateCache()
+
+    def map_scenarios(
+        self,
+        configs: Sequence[ScenarioConfig],
+        obs: Observability | None = None,
+    ) -> list[ScenarioResult]:
+        obs = obs if obs is not None else NULL_OBS
+        results = []
+        for config in configs:
+            results.append(run_scenario(config, obs=obs, cache=self.cache))
+            obs.counter("exec.scenarios").inc()
+        return results
+
+    def __repr__(self) -> str:
+        return f"SerialExecutor(cache={self.cache!r})"
+
+
+class ParallelExecutor(Executor):
+    """Fan scenarios out over a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count (>= 1).  Defaults to the machine's CPU
+        count.  ``jobs=1`` still exercises the full dispatch path (one
+        worker process) — useful for testing the seam cheaply.
+
+    Work units are dispatched with ``ProcessPoolExecutor.map``, which
+    preserves input order, so results and merged observability reports
+    are deterministic in seed order no matter which worker finishes
+    first.  The pool is created lazily on first use and reused across
+    calls until :meth:`close`.
+    """
+
+    kind = "process"
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def map_scenarios(
+        self,
+        configs: Sequence[ScenarioConfig],
+        obs: Observability | None = None,
+    ) -> list[ScenarioResult]:
+        from repro.experiments.exec.worker import run_scenario_task
+
+        obs = obs if obs is not None else NULL_OBS
+        capture = obs.enabled
+        pool = self._ensure_pool()
+        tasks = [(config, capture) for config in configs]
+        chunksize = max(1, len(tasks) // (self.jobs * 4)) if tasks else 1
+        results: list[ScenarioResult] = []
+        # ``map`` yields in input order; merging worker reports while
+        # draining it keeps the combined report deterministic.
+        for result, report in pool.map(
+            run_scenario_task, tasks, chunksize=chunksize
+        ):
+            if report is not None:
+                merge_report_into(obs, report)
+            results.append(result)
+            obs.counter("exec.scenarios").inc()
+        if capture:
+            obs.gauge("exec.jobs").set(self.jobs)
+            obs.counter("exec.worker_reports_merged").inc(len(results))
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        state = "idle" if self._pool is None else "pooled"
+        return f"ParallelExecutor(jobs={self.jobs}, {state})"
+
+
+def make_executor(kind: str = "serial", jobs: int = 1) -> Executor:
+    """Build an executor from CLI-style parameters.
+
+    ``jobs`` must be >= 1.  ``kind='serial'`` with ``jobs > 1`` is a
+    contradiction and raises; ``kind='process'`` honours ``jobs``.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"--jobs must be >= 1, got {jobs}")
+    if kind == "serial":
+        if jobs > 1:
+            raise ConfigurationError(
+                f"the serial executor runs one scenario at a time; "
+                f"--jobs {jobs} requires --executor process"
+            )
+        return SerialExecutor()
+    if kind == "process":
+        return ParallelExecutor(jobs=jobs)
+    raise ConfigurationError(
+        f"unknown executor {kind!r}; expected one of {EXECUTOR_KINDS}"
+    )

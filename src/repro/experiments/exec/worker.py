@@ -1,0 +1,37 @@
+"""Worker-process entry points for the parallel executor.
+
+Everything here must be importable by name in a fresh interpreter (the
+``ProcessPoolExecutor`` contract): the task function is a module-level
+callable, its payload and return value are plain picklable values.
+
+A scenario work unit travels as ``(ScenarioConfig, capture_obs)`` and
+comes back as ``(ScenarioResult, worker run-report | None)``.  The worker
+runs each scenario against the per-process substrate cache
+(:func:`~repro.experiments.exec.cache.process_cache`), so scenarios
+landing on the same worker share generated topologies and SPF state.
+When observability capture is on, each task records into a fresh
+:class:`~repro.obs.Observability` and ships back its run report; the
+parent merges reports in seed order (:mod:`repro.obs.merge`), keeping the
+combined report deterministic regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ScenarioResult, run_scenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.exec.cache import process_cache
+
+
+def run_scenario_task(
+    task: tuple[ScenarioConfig, bool],
+) -> tuple[ScenarioResult, dict | None]:
+    """Execute one scenario work unit inside a worker process."""
+    config, capture_obs = task
+    if capture_obs:
+        from repro.obs import Observability, build_run_report
+
+        obs = Observability()
+        result = run_scenario(config, obs=obs, cache=process_cache())
+        return result, build_run_report(obs)
+    result = run_scenario(config, cache=process_cache())
+    return result, None

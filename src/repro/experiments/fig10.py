@@ -10,10 +10,14 @@ narrows).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.sweeps import SweepPoint, run_sweep
+from repro.experiments.exec.spec import ExperimentSpec
+from repro.experiments.sweeps import SweepPoint, run_spec_sweep
 from repro.experiments.tables import format_summary, format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.exec.executor import Executor
 
 DEFAULT_GROUP_SIZES = [20, 30, 40, 50]
 
@@ -47,6 +51,30 @@ class Figure10Result:
         )
 
 
+def figure10_spec(
+    values: list[int] | None = None,
+    n: int = 100,
+    alpha: float = 0.2,
+    d_thresh: float = 0.3,
+    topologies: int = 10,
+    member_sets: int = 10,
+    seed_offset: int = 0,
+) -> ExperimentSpec:
+    """The declarative spec behind Figure 10 (sweeps ``group_size``)."""
+    return ExperimentSpec(
+        n=n,
+        alpha=alpha,
+        d_thresh=d_thresh,
+        sweep_parameter="group_size",
+        sweep_values=tuple(
+            float(v) for v in (values if values is not None else DEFAULT_GROUP_SIZES)
+        ),
+        topologies=topologies,
+        member_sets=member_sets,
+        seed_offset=seed_offset,
+    )
+
+
 def run_figure10(
     values: list[int] | None = None,
     n: int = 100,
@@ -56,16 +84,16 @@ def run_figure10(
     member_sets: int = 10,
     seed_offset: int = 0,
     obs=None,
+    executor: "Executor | None" = None,
 ) -> Figure10Result:
     """Reproduce Figure 10's series over the group size."""
-    sweep = run_sweep(
-        lambda g: ScenarioConfig(
-            n=n, group_size=int(g), alpha=alpha, d_thresh=d_thresh
-        ),
-        [float(v) for v in (values if values is not None else DEFAULT_GROUP_SIZES)],
+    spec = figure10_spec(
+        values=values,
+        n=n,
+        alpha=alpha,
+        d_thresh=d_thresh,
         topologies=topologies,
         member_sets=member_sets,
         seed_offset=seed_offset,
-        obs=obs,
     )
-    return Figure10Result(points=sweep)
+    return Figure10Result(points=run_spec_sweep(spec, executor=executor, obs=obs))

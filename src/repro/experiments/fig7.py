@@ -11,11 +11,14 @@ most points below the ``y = x`` diagonal with an average ≈33% reduction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.tables import format_table
 from repro.metrics.stats import Summary, summarize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.exec.executor import Executor
 
 
 @dataclass(frozen=True)
@@ -92,11 +95,18 @@ def run_figure7(
     d_thresh: float = 0.3,
     seed_offset: int = 0,
     obs=None,
+    executor: "Executor | None" = None,
 ) -> Figure7Result:
-    """Reproduce Figure 7's scatter data."""
-    result = Figure7Result()
-    for t in range(topologies):
-        config = ScenarioConfig(
+    """Reproduce Figure 7's scatter data.
+
+    ``executor`` decides how the per-topology scenarios run (a passed-in
+    executor stays open — callers own its lifecycle); by default a
+    transient serial one is used.
+    """
+    from repro.experiments.exec.executor import SerialExecutor
+
+    configs = [
+        ScenarioConfig(
             n=n,
             group_size=group_size,
             alpha=alpha,
@@ -104,7 +114,18 @@ def run_figure7(
             topology_seed=seed_offset + t,
             member_seed=seed_offset + 5000 + t,
         )
-        scenario = run_scenario(config, obs=obs)
+        for t in range(topologies)
+    ]
+    owned = executor is None
+    if executor is None:
+        executor = SerialExecutor()
+    try:
+        scenarios = executor.map_scenarios(configs, obs=obs)
+    finally:
+        if owned:
+            executor.close()
+    result = Figure7Result()
+    for config, scenario in zip(configs, scenarios):
         for m in scenario.measurements:
             if not m.comparable:
                 continue

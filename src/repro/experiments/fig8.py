@@ -14,10 +14,14 @@ Paper claims reproduced as assertions in the bench:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.sweeps import SweepPoint, run_sweep
+from repro.experiments.exec.spec import ExperimentSpec
+from repro.experiments.sweeps import SweepPoint, run_spec_sweep
 from repro.experiments.tables import format_summary, format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.exec.executor import Executor
 
 DEFAULT_DTHRESH_VALUES = [0.1, 0.2, 0.3, 0.4]
 
@@ -51,6 +55,28 @@ class Figure8Result:
         )
 
 
+def figure8_spec(
+    values: list[float] | None = None,
+    n: int = 100,
+    group_size: int = 30,
+    alpha: float = 0.2,
+    topologies: int = 10,
+    member_sets: int = 10,
+    seed_offset: int = 0,
+) -> ExperimentSpec:
+    """The declarative spec behind Figure 8 (sweeps ``d_thresh``)."""
+    return ExperimentSpec(
+        n=n,
+        group_size=group_size,
+        alpha=alpha,
+        sweep_parameter="d_thresh",
+        sweep_values=tuple(values if values is not None else DEFAULT_DTHRESH_VALUES),
+        topologies=topologies,
+        member_sets=member_sets,
+        seed_offset=seed_offset,
+    )
+
+
 def run_figure8(
     values: list[float] | None = None,
     n: int = 100,
@@ -60,16 +86,16 @@ def run_figure8(
     member_sets: int = 10,
     seed_offset: int = 0,
     obs=None,
+    executor: "Executor | None" = None,
 ) -> Figure8Result:
     """Reproduce Figure 8's three series."""
-    sweep = run_sweep(
-        lambda d: ScenarioConfig(
-            n=n, group_size=group_size, alpha=alpha, d_thresh=d
-        ),
-        values if values is not None else DEFAULT_DTHRESH_VALUES,
+    spec = figure8_spec(
+        values=values,
+        n=n,
+        group_size=group_size,
+        alpha=alpha,
         topologies=topologies,
         member_sets=member_sets,
         seed_offset=seed_offset,
-        obs=obs,
     )
-    return Figure8Result(points=sweep)
+    return Figure8Result(points=run_spec_sweep(spec, executor=executor, obs=obs))

@@ -11,10 +11,14 @@ optional high-degree extra point).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.experiments.scenario import ScenarioConfig
-from repro.experiments.sweeps import SweepPoint, run_sweep
+from repro.experiments.exec.spec import ExperimentSpec
+from repro.experiments.sweeps import SweepPoint, run_spec_sweep
 from repro.experiments.tables import format_summary, format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.exec.executor import Executor
 
 DEFAULT_ALPHA_VALUES = [0.15, 0.2, 0.25, 0.3]
 
@@ -50,6 +54,28 @@ class Figure9Result:
         )
 
 
+def figure9_spec(
+    values: list[float] | None = None,
+    n: int = 100,
+    group_size: int = 30,
+    d_thresh: float = 0.3,
+    topologies: int = 10,
+    member_sets: int = 10,
+    seed_offset: int = 0,
+) -> ExperimentSpec:
+    """The declarative spec behind Figure 9 (sweeps ``alpha``)."""
+    return ExperimentSpec(
+        n=n,
+        group_size=group_size,
+        d_thresh=d_thresh,
+        sweep_parameter="alpha",
+        sweep_values=tuple(values if values is not None else DEFAULT_ALPHA_VALUES),
+        topologies=topologies,
+        member_sets=member_sets,
+        seed_offset=seed_offset,
+    )
+
+
 def run_figure9(
     values: list[float] | None = None,
     n: int = 100,
@@ -59,16 +85,16 @@ def run_figure9(
     member_sets: int = 10,
     seed_offset: int = 0,
     obs=None,
+    executor: "Executor | None" = None,
 ) -> Figure9Result:
     """Reproduce Figure 9's series over α."""
-    sweep = run_sweep(
-        lambda a: ScenarioConfig(
-            n=n, group_size=group_size, alpha=a, d_thresh=d_thresh
-        ),
-        values if values is not None else DEFAULT_ALPHA_VALUES,
+    spec = figure9_spec(
+        values=values,
+        n=n,
+        group_size=group_size,
+        d_thresh=d_thresh,
         topologies=topologies,
         member_sets=member_sets,
         seed_offset=seed_offset,
-        obs=obs,
     )
-    return Figure9Result(points=sweep)
+    return Figure9Result(points=run_spec_sweep(spec, executor=executor, obs=obs))

@@ -21,6 +21,7 @@ from the tree shape versus the recovery rule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.graph.topology import NodeId, Topology
 from repro.core.protocol import SMRPConfig, SMRPProtocol
@@ -34,6 +35,9 @@ from repro.multicast.spf_protocol import SPFMulticastProtocol
 from repro.multicast.tree import MulticastTree
 from repro.obs import NULL_OBS, Observability
 from repro.experiments.scenario import ScenarioConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.exec.cache import SubstrateCache
 
 
 @dataclass
@@ -134,21 +138,35 @@ class ScenarioResult:
 
 
 def run_scenario(
-    config: ScenarioConfig, obs: Observability | None = None
+    config: ScenarioConfig,
+    obs: Observability | None = None,
+    cache: "SubstrateCache | None" = None,
 ) -> ScenarioResult:
     """Execute one scenario end to end.
 
     Passing an enabled :class:`~repro.obs.Observability` yields span
     timings for each stage (topology, both tree builds, measurement),
     the SMRP engine's counters, and recovery-path hop histograms.
+
+    Passing a :class:`~repro.experiments.exec.cache.SubstrateCache`
+    reuses generated topologies and failure-free SPF state across
+    scenarios; results are identical with or without it (topologies are
+    deterministic functions of their config, and cached routes are
+    exactly what Dijkstra would recompute).
     """
     obs = obs if obs is not None else NULL_OBS
+    route_cache = cache.routes if cache is not None else None
     with obs.span("scenario.topology"):
-        topology = config.build_topology()
+        if cache is not None:
+            topology = cache.topology_for(config, obs=obs)
+        else:
+            topology = config.build_topology()
         source, members = config.pick_participants(topology)
 
     with obs.span("scenario.build.spf"):
-        spf = SPFMulticastProtocol(topology, source, self_check=False)
+        spf = SPFMulticastProtocol(
+            topology, source, self_check=False, route_cache=route_cache, obs=obs
+        )
         spf_tree = spf.build(members)
 
     with obs.span("scenario.build.smrp"):
@@ -162,6 +180,7 @@ def run_scenario(
                 self_check=False,
             ),
             obs=obs,
+            route_cache=route_cache,
         )
         smrp_tree = smrp.build(members)
 

@@ -9,9 +9,12 @@ random-graph model; this subpackage provides a from-scratch equivalent:
 - :mod:`repro.graph.waxman` — the Waxman model (flat random graphs),
 - :mod:`repro.graph.transit_stub` — transit-stub hierarchical topologies,
 - :mod:`repro.graph.generators` — deterministic fixtures, including the
-  paper's worked-example topologies (Figures 1 and 4).
+  paper's worked-example topologies (Figures 1 and 4),
+- :mod:`repro.graph.cache` — content-keyed topology caching for seeded
+  sweeps (build each Waxman graph once per process).
 """
 
+from repro.graph.cache import LruCache, TopologyCache
 from repro.graph.topology import Link, Topology
 from repro.graph.placement import grid_jitter_placement, uniform_placement
 from repro.graph.waxman import WaxmanConfig, waxman_topology
@@ -28,7 +31,9 @@ from repro.graph.generators import (
 
 __all__ = [
     "Link",
+    "LruCache",
     "Topology",
+    "TopologyCache",
     "uniform_placement",
     "grid_jitter_placement",
     "WaxmanConfig",

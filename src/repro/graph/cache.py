@@ -1,0 +1,138 @@
+"""Content-keyed topology caching.
+
+Every seeded sweep of the evaluation re-faces the *same* random ensemble:
+the paper varies one parameter at a time over a common topology grid
+(§4.1), so a four-value ``D_thresh`` sweep regenerates each Waxman graph
+four times — and each member-set scenario regenerates it again.  A
+:class:`TopologyCache` keyed on the full :class:`~repro.graph.waxman.WaxmanConfig`
+(``n``, ``alpha``, ``beta``, ``seed``, …) makes that substrate a build-once
+artifact.
+
+Sharing is safe because the experiment layers never mutate a scenario
+topology: failures are modelled as read-only masks
+(:class:`~repro.routing.failure_view.FailureSet`), and the hierarchical
+protocols build *new* subgraphs rather than editing the shared one.
+
+Cache activity is reported through ``repro.obs`` counters
+(``cache.topology.hits`` / ``.misses`` / ``.evictions``) when an
+observability handle is supplied at lookup time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Generic, Hashable, TypeVar
+
+from repro.errors import ConfigurationError
+from repro.graph.topology import Topology
+from repro.graph.waxman import WaxmanConfig, waxman_topology
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+#: Default bound on retained topologies; a full 10-topology grid fits with
+#: room for neighbouring sweeps.
+DEFAULT_MAX_TOPOLOGIES = 64
+
+
+class LruCache(Generic[K, V]):
+    """A small bounded mapping with least-recently-used eviction.
+
+    Dependency-free and deliberately minimal: ``get``/``put`` plus hit,
+    miss, and eviction accounting.  Shared by the topology and route
+    caches so both enforce the same eviction bound semantics.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"cache bound must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[K, V] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def get_or_build(self, key: K, build: Callable[[], V]) -> tuple[V, bool, bool]:
+        """Return ``(value, hit, evicted)``; on a miss, build and store.
+
+        ``evicted`` is True when storing the new entry pushed the oldest
+        one out — the caller can attribute the eviction to a metric.
+        """
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            value = build()
+            self._entries[key] = value
+            evicted = len(self._entries) > self.max_entries
+            if evicted:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return value, False, evicted
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value, True, False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"LruCache(size={len(self)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )
+
+
+class TopologyCache:
+    """Build-once storage for generated topologies, keyed by config.
+
+    Examples
+    --------
+    >>> cache = TopologyCache(max_entries=8)
+    >>> cfg = WaxmanConfig(n=20, alpha=0.4, seed=1)
+    >>> a = cache.get(cfg)
+    >>> b = cache.get(cfg)
+    >>> a is b
+    True
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_TOPOLOGIES) -> None:
+        self._lru: LruCache[WaxmanConfig, Topology] = LruCache(max_entries)
+
+    def get(self, config: WaxmanConfig, obs=None) -> Topology:
+        """The (shared, treat-as-immutable) topology for ``config``."""
+        topology, hit, evicted = self._lru.get_or_build(
+            config, lambda: waxman_topology(config).topology
+        )
+        if obs is not None:
+            name = "cache.topology.hits" if hit else "cache.topology.misses"
+            obs.counter(name).inc()
+            if evicted:
+                obs.counter("cache.topology.evictions").inc()
+            obs.gauge("cache.topology.size").set(len(self._lru))
+        return topology
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._lru),
+            "max_entries": self._lru.max_entries,
+            "hits": self._lru.hits,
+            "misses": self._lru.misses,
+            "evictions": self._lru.evictions,
+        }
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def __repr__(self) -> str:
+        return f"TopologyCache({self._lru!r})"

@@ -18,6 +18,7 @@ explicit API so the rest of the library never touches raw attribute dicts.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
@@ -27,6 +28,12 @@ from repro.errors import TopologyError
 
 NodeId = int
 Edge = tuple[NodeId, NodeId]
+
+#: Process-wide source of topology cache tokens.  Every Topology instance
+#: draws a fresh token at construction and after every mutation, so a token
+#: identifies one *state* of one instance — never reused, even after the
+#: instance is garbage-collected (unlike ``id()``).
+_CACHE_TOKENS = itertools.count(1)
 
 
 def edge_key(u: NodeId, v: NodeId) -> Edge:
@@ -97,6 +104,7 @@ class Topology:
         self.name = name
         self._graph = nx.Graph()
         self._adjacency_cache: dict[NodeId, dict[NodeId, float]] | None = None
+        self._cache_token = next(_CACHE_TOKENS)
 
     # ------------------------------------------------------------------
     # Construction
@@ -106,7 +114,7 @@ class Topology:
         if node in self._graph:
             raise TopologyError(f"node {node} already exists")
         self._graph.add_node(node, pos=pos)
-        self._adjacency_cache = None
+        self._invalidate_caches()
 
     def add_link(
         self, u: NodeId, v: NodeId, delay: float, cost: float | None = None
@@ -124,7 +132,7 @@ class Topology:
             raise TopologyError(f"link {edge_key(u, v)} already exists")
         link = Link(*edge_key(u, v), delay=delay, cost=cost if cost is not None else delay)
         self._graph.add_edge(link.u, link.v, delay=link.delay, cost=link.cost)
-        self._adjacency_cache = None
+        self._invalidate_caches()
         return link
 
     def remove_link(self, u: NodeId, v: NodeId) -> None:
@@ -132,14 +140,14 @@ class Topology:
         if not self._graph.has_edge(u, v):
             raise TopologyError(f"link {edge_key(u, v)} does not exist")
         self._graph.remove_edge(u, v)
-        self._adjacency_cache = None
+        self._invalidate_caches()
 
     def remove_node(self, node: NodeId) -> None:
         """Permanently remove a node and its incident links."""
         if node not in self._graph:
             raise TopologyError(f"node {node} does not exist")
         self._graph.remove_node(node)
-        self._adjacency_cache = None
+        self._invalidate_caches()
 
     # ------------------------------------------------------------------
     # Queries
@@ -235,6 +243,21 @@ class Topology:
     # ------------------------------------------------------------------
     # Views and export
     # ------------------------------------------------------------------
+    def _invalidate_caches(self) -> None:
+        """Mutation hook: drop derived state and advance the cache token."""
+        self._adjacency_cache = None
+        self._cache_token = next(_CACHE_TOKENS)
+
+    def cache_token(self) -> int:
+        """Opaque token identifying this topology *state* for caching.
+
+        Two calls return the same token iff the topology has not been
+        mutated in between; tokens are never reused across instances, so
+        ``(cache_token(), …)`` keys are safe in long-lived caches (see
+        :class:`repro.routing.route_cache.RouteCache`).
+        """
+        return self._cache_token
+
     def graph_view(self) -> nx.Graph:
         """Read-only view of the underlying networkx graph.
 

@@ -15,6 +15,7 @@ from repro.graph.topology import NodeId, Topology
 from repro.multicast.tree import MulticastTree
 from repro.multicast.validation import check_tree_invariants
 from repro.routing.failure_view import NO_FAILURES, FailureSet
+from repro.routing.route_cache import RouteCache
 from repro.routing.spf import shortest_path
 
 
@@ -30,17 +31,32 @@ class SPFMulticastProtocol:
     self_check:
         When True (default), tree invariants are re-validated after every
         mutation; disable only in tight benchmark loops.
+    route_cache:
+        Optional :class:`~repro.routing.route_cache.RouteCache`; when
+        given, failure-free joins reuse memoised member-rooted SPF state
+        instead of re-running Dijkstra per join.  Failure-masked joins
+        (global-detour rejoins) always compute fresh routes.
+    obs:
+        Optional :class:`~repro.obs.Observability` used only to account
+        route-cache hits and misses.
     """
 
     name = "SPF"
 
     def __init__(
-        self, topology: Topology, source: NodeId, self_check: bool = True
+        self,
+        topology: Topology,
+        source: NodeId,
+        self_check: bool = True,
+        route_cache: "RouteCache | None" = None,
+        obs=None,
     ) -> None:
         self.topology = topology
         self.source = source
         self.tree = MulticastTree(topology, source)
         self.self_check = self_check
+        self.route_cache = route_cache
+        self.obs = obs
 
     def join(self, member: NodeId, failures: FailureSet = NO_FAILURES) -> list[NodeId]:
         """Join ``member`` along its unicast shortest path toward the source.
@@ -56,9 +72,15 @@ class SPFMulticastProtocol:
             return [member]
         # PIM sends the join from the member toward the source; the graft
         # happens at the first on-tree router the join reaches.
-        toward_source = shortest_path(
-            self.topology, member, self.source, weight="delay", failures=failures
-        )
+        if self.route_cache is not None and failures is NO_FAILURES:
+            toward_source = self.route_cache.shortest_paths(
+                self.topology, member, weight="delay", obs=self.obs
+            ).path_to(self.source)
+        else:
+            toward_source = shortest_path(
+                self.topology, member, self.source, weight="delay",
+                failures=failures,
+            )
         merge_index = next(
             i for i, node in enumerate(toward_source) if self.tree.is_on_tree(node)
         )

@@ -38,6 +38,11 @@ from repro.obs.export import (
     render_run_report,
     write_run_report,
 )
+from repro.obs.merge import (
+    merge_report_into,
+    merge_reports_into,
+    merge_run_reports,
+)
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     Counter,
@@ -104,4 +109,7 @@ __all__ = [
     "write_run_report",
     "load_run_report",
     "render_run_report",
+    "merge_report_into",
+    "merge_reports_into",
+    "merge_run_reports",
 ]

@@ -33,6 +33,10 @@ class EventLog:
         self.enabled = enabled
         self.max_records = max_records
         self.dropped = 0
+        #: Event totals folded in from other logs (parallel workers keep
+        #: their events local and ship only the accounting).
+        self.absorbed_records = 0
+        self.absorbed_dropped = 0
         self._records: deque[dict] = deque(maxlen=max_records)
 
     def emit(self, kind: str, **fields) -> None:
@@ -47,6 +51,14 @@ class EventLog:
         record = {"kind": kind}
         record.update(fields)
         self._records.append(record)
+
+    def absorb_counts(self, recorded: int, dropped: int) -> None:
+        """Fold another log's accounting into this one (records stay
+        remote; run reports surface the combined totals)."""
+        if not self.enabled:
+            return
+        self.absorbed_records += recorded
+        self.absorbed_dropped += dropped
 
     def __len__(self) -> int:
         return len(self._records)

@@ -22,13 +22,22 @@ REPORT_VERSION = 1
 
 
 def build_run_report(obs: "Observability", meta: dict | None = None) -> dict:
-    """Assemble the JSON-serializable run report for ``obs``."""
+    """Assemble the JSON-serializable run report for ``obs``.
+
+    Event accounting includes totals absorbed from merged worker runs
+    (:func:`repro.obs.merge.merge_report_into`): worker event *records*
+    stay in their worker, only the counts travel.
+    """
+    events = obs.events
     return {
         "version": REPORT_VERSION,
         "meta": dict(meta or {}),
         "metrics": obs.metrics.snapshot(),
         "spans": obs.spans.report(),
-        "events": {"recorded": len(obs.events), "dropped": obs.events.dropped},
+        "events": {
+            "recorded": len(events) + events.absorbed_records,
+            "dropped": events.dropped + events.absorbed_dropped,
+        },
     }
 
 

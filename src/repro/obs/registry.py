@@ -188,6 +188,52 @@ class MetricsRegistry:
             )
 
     # ------------------------------------------------------------------
+    # Merging (parallel-run fan-in)
+    # ------------------------------------------------------------------
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` produced elsewhere into this registry.
+
+        Used to aggregate per-worker metrics into the parent run's
+        registry.  Merge semantics per instrument family:
+
+        - **counters** — summed;
+        - **gauges** — ``value`` takes the incoming reading (merge order
+          is the caller's responsibility), ``high_water`` takes the max;
+        - **histograms** — bucket counts, totals, and min/max are
+          combined; bounds must match (:class:`ConfigurationError`
+          otherwise, same rule as re-registration).
+
+        A disabled registry ignores the merge, mirroring every other
+        write path.
+        """
+        if not self.enabled:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, payload in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.set(payload["value"])
+            if payload["high_water"] > gauge.high_water:
+                gauge.high_water = payload["high_water"]
+        for name, payload in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, bounds=payload["bounds"])
+            for i, count in enumerate(payload["counts"]):
+                hist.counts[i] += count
+            hist.count += payload["count"]
+            hist.total += payload["sum"]
+            for attr in ("min", "max"):
+                incoming = payload[attr]
+                if incoming is None:
+                    continue
+                current = getattr(hist, attr)
+                if (
+                    current is None
+                    or (attr == "min" and incoming < current)
+                    or (attr == "max" and incoming > current)
+                ):
+                    setattr(hist, attr, incoming)
+
+    # ------------------------------------------------------------------
     # Reading back
     # ------------------------------------------------------------------
     def counters(self, prefix: str = "") -> dict[str, int]:

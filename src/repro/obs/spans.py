@@ -115,6 +115,30 @@ class SpanProfiler:
         """The timing tree as nested dicts (root has no timing of its own)."""
         return self.root.to_dict()
 
+    def merge_report(self, report: dict) -> None:
+        """Fold a :meth:`report` tree produced elsewhere into this one.
+
+        Matching span names (position-wise from the root) accumulate
+        calls and total seconds; unseen names are grafted in.  Used to
+        aggregate per-worker timing trees into the parent run's profile.
+        Disabled profilers ignore the merge.
+        """
+        if not self.enabled:
+            return
+
+        def absorb(parent: SpanNode, child_report: dict) -> None:
+            name = child_report["name"]
+            node = parent.children.get(name)
+            if node is None:
+                node = parent.children[name] = SpanNode(name)
+            node.calls += child_report["calls"]
+            node.total += child_report["total_s"]
+            for sub in child_report.get("children", []):
+                absorb(node, sub)
+
+        for child in report.get("children", []):
+            absorb(self.root, child)
+
     def totals(self) -> dict[str, tuple[int, float]]:
         """``name -> (calls, total seconds)`` aggregated across the tree.
 

@@ -14,10 +14,13 @@ implements that underlay from scratch:
 - :mod:`repro.routing.ksp` — Yen's k-shortest loopless paths,
 - :mod:`repro.routing.link_state` — a link-state database with flooding
   and a convergence-latency model (used to contrast local-detour recovery
-  time against waiting for unicast re-convergence, §1 and [25]).
+  time against waiting for unicast re-convergence, §1 and [25]),
+- :mod:`repro.routing.route_cache` — memoised failure-free SPF state for
+  repeated seeded sweeps.
 """
 
 from repro.routing.failure_view import FailureSet, NO_FAILURES
+from repro.routing.route_cache import RouteCache
 from repro.routing.spf import ShortestPaths, dijkstra, shortest_path, spf_distance
 from repro.routing.tables import RoutingTable, build_routing_table
 from repro.routing.ksp import k_shortest_paths
@@ -26,6 +29,7 @@ from repro.routing.link_state import LinkStateDatabase, ConvergenceModel
 __all__ = [
     "FailureSet",
     "NO_FAILURES",
+    "RouteCache",
     "ShortestPaths",
     "dijkstra",
     "shortest_path",

@@ -1,0 +1,93 @@
+"""Memoised single-source shortest-path state.
+
+Both tree builders recompute the same failure-free SPF state over and
+over: the SPF baseline routes each join from the member toward the source
+(:class:`~repro.multicast.spf_protocol.SPFMulticastProtocol`), and SMRP's
+path-selection bound needs ``D^SPF(S, NR)`` for every joining member
+(§3.2.2).  Across a sweep the same ``(topology, member)`` pairs repeat for
+every parameter value, so a :class:`RouteCache` keyed on
+``(topology state, root, weight)`` collapses those repeats into one
+Dijkstra run each.
+
+Only *failure-free* computations are cached: recovery-time searches carry
+a :class:`~repro.routing.failure_view.FailureSet` whose masking makes the
+result scenario-specific, and those keep calling
+:func:`~repro.routing.spf.dijkstra` directly.
+
+Topology state is identified by :meth:`~repro.graph.topology.Topology.cache_token`,
+which advances on every mutation — a stale entry can never be returned,
+it simply stops being reachable and ages out of the LRU bound.
+
+Hit/miss/eviction activity is reported through ``repro.obs`` counters
+(``cache.routes.hits`` / ``.misses`` / ``.evictions``).
+"""
+
+from __future__ import annotations
+
+from repro.graph.cache import LruCache
+from repro.graph.topology import NodeId, Topology
+from repro.routing.spf import ShortestPaths, dijkstra
+
+#: Default bound on retained SPF results: a 100-scenario sweep point needs
+#: about ``members × topologies`` entries, well within this.
+DEFAULT_MAX_ROUTES = 4096
+
+_Key = tuple[int, NodeId, str]
+
+
+class RouteCache:
+    """Bounded cache of failure-free :class:`ShortestPaths` results.
+
+    Cached results are shared objects; callers must treat them as
+    read-only (``distance`` / ``path_to`` / ``next_hop`` do).
+
+    Examples
+    --------
+    >>> from repro.graph.generators import figure4_topology
+    >>> cache = RouteCache()
+    >>> topo = figure4_topology()
+    >>> a = cache.shortest_paths(topo, 0)
+    >>> b = cache.shortest_paths(topo, 0)
+    >>> a is b
+    True
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ROUTES) -> None:
+        self._lru: LruCache[_Key, ShortestPaths] = LruCache(max_entries)
+
+    def shortest_paths(
+        self,
+        topology: Topology,
+        root: NodeId,
+        weight: str = "delay",
+        obs=None,
+    ) -> ShortestPaths:
+        """Failure-free SPF state rooted at ``root``, computed at most once
+        per topology state."""
+        key = (topology.cache_token(), root, weight)
+        paths, hit, evicted = self._lru.get_or_build(
+            key, lambda: dijkstra(topology, root, weight=weight)
+        )
+        if obs is not None:
+            name = "cache.routes.hits" if hit else "cache.routes.misses"
+            obs.counter(name).inc()
+            if evicted:
+                obs.counter("cache.routes.evictions").inc()
+            obs.gauge("cache.routes.size").set(len(self._lru))
+        return paths
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._lru),
+            "max_entries": self._lru.max_entries,
+            "hits": self._lru.hits,
+            "misses": self._lru.misses,
+            "evictions": self._lru.evictions,
+        }
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def __repr__(self) -> str:
+        return f"RouteCache({self._lru!r})"

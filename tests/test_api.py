@@ -1,0 +1,135 @@
+"""The ``repro.api`` facade and the legacy-import deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro.api import (
+    ExperimentSpec,
+    ScenarioConfig,
+    SerialExecutor,
+    build_figure,
+    run_scenario,
+    run_sweep,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRunScenario:
+    def test_accepts_keyword_fields(self):
+        result = run_scenario(n=24, group_size=5, alpha=0.5)
+        assert len(result.members) == 5
+
+    def test_accepts_config_object(self):
+        config = ScenarioConfig(n=24, group_size=5, alpha=0.5)
+        assert run_scenario(config).config is config
+
+    def test_rejects_mixing_config_and_kwargs(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            run_scenario(ScenarioConfig(n=24, group_size=5), n=30)
+
+
+class TestRunSweep:
+    SPEC = ExperimentSpec(
+        n=24, group_size=5, alpha=0.5, sweep_values=(0.1, 0.3),
+        topologies=1, member_sets=2,
+    )
+
+    def test_spec_object(self):
+        points = run_sweep(self.SPEC)
+        assert [p.label for p in points] == ["0.1", "0.3"]
+
+    def test_spec_as_dict(self):
+        assert len(run_sweep(self.SPEC.to_dict())) == 2
+
+    def test_jobs_spawns_transient_pool_with_identical_results(self):
+        serial = run_sweep(self.SPEC)
+        parallel = run_sweep(self.SPEC, jobs=2)
+        assert [
+            [r.summary() for r in p.scenarios] for p in serial
+        ] == [[r.summary() for r in p.scenarios] for p in parallel]
+
+    def test_explicit_executor_stays_open(self):
+        with SerialExecutor() as ex:
+            run_sweep(self.SPEC, executor=ex)
+            # Second use proves the facade did not close it.
+            run_sweep(self.SPEC, executor=ex)
+
+    def test_rejects_executor_and_jobs_together(self):
+        with SerialExecutor() as ex:
+            with pytest.raises(ConfigurationError, match="not both"):
+                run_sweep(self.SPEC, executor=ex, jobs=2)
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ConfigurationError, match="jobs must be >= 1"):
+            run_sweep(self.SPEC, jobs=0)
+
+
+class TestBuildFigure:
+    def test_numeric_and_string_names(self):
+        kwargs = dict(values=[0.1], n=30, group_size=8, topologies=2,
+                      member_sets=2)
+        by_number = build_figure(8, **kwargs)
+        by_name = build_figure("fig8", **kwargs)
+        assert by_number.render() == by_name.render()
+
+    def test_quick_shrinks_grid(self):
+        result = build_figure(10, quick=True, values=[5], n=24)
+        assert len(result.point(5).scenarios) == 4 * 2
+
+    def test_figure7_runs(self):
+        result = build_figure(7, topologies=2, n=24, group_size=5, alpha=0.5)
+        assert "below y=x" in result.render() or "no comparable" in result.render()
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown figure"):
+            build_figure(11)
+
+
+class TestDeprecationShims:
+    @pytest.mark.parametrize(
+        "name",
+        ["ScenarioConfig", "run_scenario", "run_sweep", "run_figure8",
+         "SweepPoint"],
+    )
+    def test_legacy_import_warns_and_resolves(self, name):
+        import repro.experiments as experiments
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            attr = getattr(experiments, name)
+        assert attr is not None
+        assert any(
+            issubclass(w.category, DeprecationWarning)
+            and "repro.api" in str(w.message)
+            for w in caught
+        )
+
+    def test_legacy_objects_are_the_real_ones(self):
+        import repro.experiments as experiments
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert experiments.ScenarioConfig is ScenarioConfig
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.experiments as experiments
+
+        with pytest.raises(AttributeError):
+            experiments.does_not_exist
+
+    def test_dir_lists_legacy_names(self):
+        import repro.experiments as experiments
+
+        assert "run_figure10" in dir(experiments)
+
+    def test_submodule_imports_unaffected(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.experiments.scenario import ScenarioConfig  # noqa: F401
+            from repro.experiments.sweeps import run_sweep  # noqa: F401
+
+    def test_repro_api_lazy_attribute(self):
+        import repro
+
+        assert repro.api.ExperimentSpec is ExperimentSpec

@@ -73,6 +73,55 @@ class TestFigures:
         assert "Figure 7" in out
 
 
+class TestExecutorFlags:
+    @pytest.mark.parametrize("command", ["figures", "scenario", "simulate"])
+    def test_jobs_below_one_rejected(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_serial_executor_with_many_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario", "--executor", "serial", "--jobs", "4"])
+        assert excinfo.value.code == 2
+        assert "requires --executor process" in capsys.readouterr().err
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--executor", "threads"])
+
+    def test_scenario_through_process_executor(self, capsys):
+        code = main([
+            "scenario", "--n", "30", "--group-size", "6", "--alpha", "0.6",
+            "--executor", "process", "--jobs", "2",
+        ])
+        assert code == 0
+        assert "Cost_relative" in capsys.readouterr().out
+
+    def test_parallel_figure_matches_serial(self, capsys):
+        argv = ["figures", "--quick", "--figure", "8"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_simulate_notes_single_work_unit(self, capsys):
+        code = main([
+            "simulate", "--n", "20", "--members", "3", "--seed", "4",
+            "--jobs", "2",
+        ])
+        assert code == 0
+        assert "single work unit" in capsys.readouterr().out
+
+    def test_info_documents_parallel_flags(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "--jobs" in out
+        assert "repro.api" in out
+
+
 class TestObs:
     def test_report_requires_path(self):
         with pytest.raises(SystemExit):
