@@ -72,6 +72,7 @@ def enumerate_candidates(
     excluded_nodes: frozenset[NodeId] = frozenset(),
     allowed_merge_nodes: frozenset[NodeId] | None = None,
     mover: NodeId | None = None,
+    obs=None,
 ) -> list[Candidate]:
     """All valid join options for ``joiner``, sorted by (shr, delay, id).
 
@@ -94,6 +95,16 @@ def enumerate_candidates(
         When enumerating for a *reshape*, the node being moved: it is
         itself on the tree, so it must not count as tree contact along
         the candidate paths (they all start at it), nor be a merge point.
+    obs:
+        Optional :class:`~repro.obs.Observability`; accounts each batched
+        enumeration (``routing.candidates.batched_searches``) and every
+        merge point priced (``routing.candidates.evaluated``).
+
+    One barrier-aware kernel pass prices the connection to *every* merge
+    point at once, and one tree traversal
+    (:meth:`~repro.multicast.tree.MulticastTree.delays_from_source`)
+    prices every merge point's on-tree delay — the whole enumeration is
+    two batched operations, never a per-candidate search.
     """
     mask = failures
     if excluded_nodes:
@@ -102,8 +113,9 @@ def enumerate_candidates(
     if mover is not None:
         on_tree.discard(mover)
     paths = dijkstra_with_barriers(
-        topology, joiner, barriers=on_tree, weight="delay", failures=mask
+        topology, joiner, barriers=on_tree, weight="delay", failures=mask, obs=obs
     )
+    on_tree_delays = tree.delays_from_source()
 
     candidates: list[Candidate] = []
     for merge in sorted(on_tree):
@@ -116,18 +128,17 @@ def enumerate_candidates(
         toward_merge = paths.path_to(merge)
         graft = tuple(reversed(toward_merge))
         new_delay = paths.dist[merge]
-        try:
-            on_tree_delay = tree.delay_from_source(merge)
-        except Exception:  # pragma: no cover - defensive; merge is on-tree
-            continue
         candidates.append(
             Candidate(
                 merge_node=merge,
                 graft_path=graft,
                 new_delay=new_delay,
-                total_delay=on_tree_delay + new_delay,
+                total_delay=on_tree_delays[merge] + new_delay,
                 shr=shr_values[merge],
             )
         )
     candidates.sort(key=lambda c: (c.shr, c.total_delay, c.merge_node))
+    if obs is not None:
+        obs.counter("routing.candidates.batched_searches").inc()
+        obs.counter("routing.candidates.evaluated").inc(len(candidates))
     return candidates

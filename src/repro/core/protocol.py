@@ -137,9 +137,9 @@ class SMRPProtocol:
         self.source = source
         self.config = config or SMRPConfig()
         self.obs = obs if obs is not None else NULL_OBS
-        # Optional memoisation of failure-free member-rooted SPF state
-        # (the D_thresh bound's D^SPF(S, NR)); failure-masked searches
-        # never consult it.
+        # Optional memoisation of member-rooted SPF state (the D_thresh
+        # bound's D^SPF(S, NR)); the cache is failure-aware, so
+        # failure-masked searches consult it too.
         self.route_cache = route_cache
         self.tree = MulticastTree(topology, source)
         self.state = StateManager(
@@ -197,11 +197,20 @@ class SMRPProtocol:
                 self._c_msg_query.inc(query_stats.queries_sent)
             else:
                 candidates = enumerate_candidates(
-                    self.topology, self.tree, member, shr_values, failures=failures
+                    self.topology,
+                    self.tree,
+                    member,
+                    shr_values,
+                    failures=failures,
+                    obs=self.obs,
                 )
-            if self.route_cache is not None and failures is NO_FAILURES:
+            if self.route_cache is not None:
                 spf = self.route_cache.shortest_paths(
-                    self.topology, member, weight="delay", obs=self.obs
+                    self.topology,
+                    member,
+                    weight="delay",
+                    failures=failures,
+                    obs=self.obs,
                 )
             else:
                 spf = dijkstra(
@@ -299,7 +308,12 @@ class SMRPProtocol:
         self._c_reshape_evals.inc()
         with self.obs.span("smrp.reshape"):
             decision = evaluate_reshape(
-                self.topology, self.tree, node, self.config.d_thresh
+                self.topology,
+                self.tree,
+                node,
+                self.config.d_thresh,
+                route_cache=self.route_cache,
+                obs=self.obs,
             )
             if decision.performed:
                 apply_reshape(self.tree, decision)

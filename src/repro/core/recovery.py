@@ -35,7 +35,7 @@ from repro.multicast.tree import MulticastTree
 from repro.obs import NULL_OBS, Observability
 from repro.routing.failure_view import FailureSet
 from repro.routing.link_state import ConvergenceModel
-from repro.routing.spf import dijkstra
+from repro.routing.spf import ShortestPaths, dijkstra
 
 
 @dataclass(frozen=True)
@@ -86,12 +86,35 @@ def worst_case_failure(tree: MulticastTree, member: NodeId) -> FailureSet:
     return FailureSet.links((path[0], path[1]))
 
 
+def _member_paths(
+    topology: Topology,
+    member: NodeId,
+    failures: FailureSet,
+    route_cache,
+    route_obs,
+) -> ShortestPaths:
+    """Post-failure SPF state rooted at the member.
+
+    Routed through the failure-aware ``route_cache`` when one is supplied:
+    the worst-case sweep evaluates the same ``(member, failure)`` scenario
+    under several strategies and trees, and single-link failures off the
+    member's failure-free tree resolve by reuse proof without a kernel run.
+    """
+    if route_cache is not None:
+        return route_cache.shortest_paths(
+            topology, member, weight="delay", failures=failures, obs=route_obs
+        )
+    return dijkstra(topology, member, weight="delay", failures=failures)
+
+
 def local_detour_recovery(
     topology: Topology,
     tree: MulticastTree,
     member: NodeId,
     failures: FailureSet,
     obs: Observability | None = None,
+    route_cache=None,
+    route_obs=None,
 ) -> RecoveryResult:
     """Measure the local-detour restoration of ``member`` under ``failures``.
 
@@ -100,8 +123,13 @@ def local_detour_recovery(
     path toward that node touches the surviving tree earlier, the detour
     is truncated at the first contact (the restoration path may not cross
     the surviving tree — those links are already in service).
+
+    ``route_cache`` memoises the post-failure SPF lookup; ``route_obs``
+    attributes its cache activity (defaults to ``obs``, letting callers
+    report cache traffic without double-counting recovery attempts).
     """
     obs = obs if obs is not None else NULL_OBS
+    route_obs = route_obs if route_obs is not None else obs
     obs.counter("recovery.local.attempts").inc()
     surviving = tree.surviving_component(failures)
     if not surviving:
@@ -111,7 +139,7 @@ def local_detour_recovery(
         obs.counter("recovery.local.already_connected").inc()
         return _already_connected(tree, member, "local")
 
-    paths = dijkstra(topology, member, weight="delay", failures=failures)
+    paths = _member_paths(topology, member, failures, route_cache, route_obs)
     reachable = [node for node in surviving if node in paths.dist]
     if not reachable:
         obs.counter("recovery.local.unrecoverable").inc()
@@ -140,6 +168,8 @@ def global_detour_recovery(
     member: NodeId,
     failures: FailureSet,
     obs: Observability | None = None,
+    route_cache=None,
+    route_obs=None,
 ) -> RecoveryResult:
     """Measure the SPF re-join restoration of ``member`` under ``failures``.
 
@@ -147,8 +177,10 @@ def global_detour_recovery(
     member's routing table holds a new shortest path to the source with
     the failed components withdrawn; the re-join travels that path and
     grafts at the first surviving on-tree router it meets.
+    ``route_cache`` / ``route_obs`` as in :func:`local_detour_recovery`.
     """
     obs = obs if obs is not None else NULL_OBS
+    route_obs = route_obs if route_obs is not None else obs
     obs.counter("recovery.global.attempts").inc()
     surviving = tree.surviving_component(failures)
     if not surviving:
@@ -158,7 +190,7 @@ def global_detour_recovery(
         obs.counter("recovery.global.already_connected").inc()
         return _already_connected(tree, member, "global")
 
-    paths = dijkstra(topology, member, weight="delay", failures=failures)
+    paths = _member_paths(topology, member, failures, route_cache, route_obs)
     if tree.source not in paths.dist:
         obs.counter("recovery.global.unrecoverable").inc()
         raise UnrecoverableFailureError(

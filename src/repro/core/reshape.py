@@ -38,7 +38,7 @@ from repro.graph.topology import NodeId, Topology
 from repro.multicast.tree import MulticastTree
 from repro.core.candidates import enumerate_candidates
 from repro.core.join import select_path
-from repro.core.shr import shr_excluding_subtree
+from repro.core.shr import adjusted_shr_table
 from repro.routing.failure_view import NO_FAILURES, FailureSet
 from repro.routing.spf import dijkstra
 
@@ -63,12 +63,18 @@ def evaluate_reshape(
     node: NodeId,
     d_thresh: float,
     failures: FailureSet = NO_FAILURES,
+    route_cache=None,
+    obs=None,
 ) -> ReshapeDecision:
     """Run path re-selection for ``node`` without mutating the tree.
 
     Returns a :class:`ReshapeDecision`; ``performed`` is True when a
     strictly better attachment exists within the delay bound (the caller
     then applies it with :func:`apply_reshape`).
+
+    ``route_cache`` (optional failure-aware
+    :class:`~repro.routing.route_cache.RouteCache`) memoises the delay-
+    bound SPF; ``obs`` attributes its cache traffic.
     """
     if not tree.is_on_tree(node):
         raise NotOnTreeError(node)
@@ -77,11 +83,14 @@ def evaluate_reshape(
 
     upstream = tree.parent(node)
     assert upstream is not None
-    current_adjusted = shr_excluding_subtree(tree, upstream, node)
+    # One linear pass yields every candidate's adjusted SHR (and the
+    # current attachment's) instead of a quadratic per-merge-point walk.
+    table = adjusted_shr_table(tree, node)
+    current_adjusted = table[upstream]
 
     subtree = tree.subtree_nodes(node)
     adjusted_shr = {
-        merge: shr_excluding_subtree(tree, merge, node)
+        merge: table[merge]
         for merge in tree.on_tree_nodes()
         if merge not in subtree
     }
@@ -110,7 +119,12 @@ def evaluate_reshape(
             current_shr_adjusted=current_adjusted,
         )
 
-    spf = dijkstra(topology, node, weight="delay", failures=failures)
+    if route_cache is not None:
+        spf = route_cache.shortest_paths(
+            topology, node, weight="delay", failures=failures, obs=obs
+        )
+    else:
+        spf = dijkstra(topology, node, weight="delay", failures=failures)
     if tree.source not in spf.dist:
         return ReshapeDecision(
             node=node,

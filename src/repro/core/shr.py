@@ -98,6 +98,42 @@ def link_utilisation(tree: MulticastTree) -> dict[tuple[NodeId, NodeId], int]:
     return utilisation
 
 
+def adjusted_shr_table(tree: MulticastTree, mover: NodeId) -> dict[NodeId, int]:
+    """:func:`shr_excluding_subtree` for *every* on-tree node, in one pass.
+
+    Reshape evaluation (§3.2.3) needs the adjusted SHR of each potential
+    merge point; calling :func:`shr_excluding_subtree` per node repeats
+    the path walk and subtree count for every candidate — quadratic per
+    evaluation, and the dominant cost of a reshaping build.  One traversal
+    suffices: SHR follows the Equation (2) recurrence, and the overlap
+    between a node's on-tree path and the mover's is itself incremental
+    (``overlap(child) = overlap(node) + [child on mover's path]``), so
+
+    ``adjusted(R) = SHR_{S,R} − N_mover × overlap(R)``
+
+    is computed top-down in linear time.  Values agree exactly with the
+    per-node form (a property test pins this); the mover's own subtree is
+    included in the result — callers exclude it, as they already must.
+    """
+    if not tree.is_on_tree(mover):
+        raise NotOnTreeError(mover)
+    counts = subtree_member_counts(tree)
+    moving_members = counts[mover]
+    mover_path = set(tree.path_from_source(mover)[1:])  # exclude S
+    adjusted: dict[NodeId, int] = {tree.source: 0}
+    shr: dict[NodeId, int] = {tree.source: 0}
+    overlap: dict[NodeId, int] = {tree.source: 0}
+    stack = [tree.source]
+    while stack:
+        node = stack.pop()
+        for child in tree.children(node):
+            shr[child] = shr[node] + counts[child]
+            overlap[child] = overlap[node] + (1 if child in mover_path else 0)
+            adjusted[child] = shr[child] - moving_members * overlap[child]
+            stack.append(child)
+    return adjusted
+
+
 def shr_excluding_subtree(
     tree: MulticastTree, merge_node: NodeId, mover: NodeId
 ) -> int:

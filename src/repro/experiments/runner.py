@@ -197,7 +197,14 @@ def run_scenario(
     with obs.span("scenario.measure"):
         for member in members:
             result.measurements.append(
-                _measure_member(topology, spf_tree, smrp_tree, member, obs=obs)
+                _measure_member(
+                    topology,
+                    spf_tree,
+                    smrp_tree,
+                    member,
+                    obs=obs,
+                    route_cache=route_cache,
+                )
             )
     obs.counter("scenario.runs").inc()
     obs.emit("scenario_result", config=config.describe(), summary=result.summary())
@@ -210,15 +217,35 @@ def _measure_member(
     smrp_tree: MulticastTree,
     member: NodeId,
     obs: Observability | None = None,
+    route_cache=None,
 ) -> MemberMeasurement:
+    # The paired strategies share one worst-case failure per tree, so with
+    # a failure-aware route cache each member costs at most two post-failure
+    # SPF computations (often zero, by reuse proof) instead of four.  The
+    # cross-strategy measurements pass obs only as route_obs: cache traffic
+    # is reported, recovery attempt counters count each member once.
     spf_global = worst_case_recovery(
-        topology, spf_tree, member, strategy="global", obs=obs
+        topology, spf_tree, member, strategy="global", obs=obs, route_cache=route_cache
     )
-    spf_local = worst_case_recovery(topology, spf_tree, member, strategy="local")
+    spf_local = worst_case_recovery(
+        topology,
+        spf_tree,
+        member,
+        strategy="local",
+        route_cache=route_cache,
+        route_obs=obs,
+    )
     smrp_local = worst_case_recovery(
-        topology, smrp_tree, member, strategy="local", obs=obs
+        topology, smrp_tree, member, strategy="local", obs=obs, route_cache=route_cache
     )
-    smrp_global = worst_case_recovery(topology, smrp_tree, member, strategy="global")
+    smrp_global = worst_case_recovery(
+        topology,
+        smrp_tree,
+        member,
+        strategy="global",
+        route_cache=route_cache,
+        route_obs=obs,
+    )
 
     def rd(measurement) -> float | None:
         return measurement.recovery_distance if measurement.recovered else None

@@ -34,6 +34,10 @@ V = TypeVar("V")
 #: room for neighbouring sweeps.
 DEFAULT_MAX_TOPOLOGIES = 64
 
+#: Internal marker distinguishing "absent" from a legitimately-``None``
+#: cached value.
+_MISSING = object()
+
 
 class LruCache(Generic[K, V]):
     """A small bounded mapping with least-recently-used eviction.
@@ -60,25 +64,44 @@ class LruCache(Generic[K, V]):
     def __contains__(self, key: K) -> bool:
         return key in self._entries
 
+    def peek(self, key: K, default: V | None = None) -> V | None:
+        """Look up ``key`` without touching hit/miss accounting.
+
+        Freshens recency on a hit (it *is* a use) but records no
+        statistics: for internal lookups — e.g. the failure-aware route
+        cache consulting its own failure-free baseline mid-miss — that
+        must not distort the caller-facing hit rate.
+        """
+        try:
+            value = self._entries[key]
+        except KeyError:
+            return default
+        self._entries.move_to_end(key)
+        return value
+
+    def store(self, key: K, value: V) -> bool:
+        """Insert (or refresh) an entry; returns True if one was evicted."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            return True
+        return False
+
     def get_or_build(self, key: K, build: Callable[[], V]) -> tuple[V, bool, bool]:
         """Return ``(value, hit, evicted)``; on a miss, build and store.
 
         ``evicted`` is True when storing the new entry pushed the oldest
         one out — the caller can attribute the eviction to a metric.
         """
-        try:
-            value = self._entries[key]
-        except KeyError:
+        value = self.peek(key, _MISSING)
+        if value is _MISSING:
             self.misses += 1
             value = build()
-            self._entries[key] = value
-            evicted = len(self._entries) > self.max_entries
-            if evicted:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            evicted = self.store(key, value)
             return value, False, evicted
         self.hits += 1
-        self._entries.move_to_end(key)
         return value, True, False
 
     def clear(self) -> None:
@@ -111,7 +134,7 @@ class TopologyCache:
     def get(self, config: WaxmanConfig, obs=None) -> Topology:
         """The (shared, treat-as-immutable) topology for ``config``."""
         topology, hit, evicted = self._lru.get_or_build(
-            config, lambda: waxman_topology(config).topology
+            config, lambda: self._build(config)
         )
         if obs is not None:
             name = "cache.topology.hits" if hit else "cache.topology.misses"
@@ -119,6 +142,17 @@ class TopologyCache:
             if evicted:
                 obs.counter("cache.topology.evictions").inc()
             obs.gauge("cache.topology.size").set(len(self._lru))
+            lookups = self._lru.hits + self._lru.misses
+            obs.gauge("cache.topology.hit_rate").set(self._lru.hits / lookups)
+        return topology
+
+    @staticmethod
+    def _build(config: WaxmanConfig) -> Topology:
+        topology = waxman_topology(config).topology
+        # Compile the CSR routing substrate at build time: cached
+        # topologies are shared across many scenarios, so every consumer
+        # then starts with the kernels' arrays already hot.
+        topology.csr()
         return topology
 
     @property

@@ -104,6 +104,7 @@ class Topology:
         self.name = name
         self._graph = nx.Graph()
         self._adjacency_cache: dict[NodeId, dict[NodeId, float]] | None = None
+        self._csr_cache = None
         self._cache_token = next(_CACHE_TOKENS)
 
     # ------------------------------------------------------------------
@@ -246,6 +247,7 @@ class Topology:
     def _invalidate_caches(self) -> None:
         """Mutation hook: drop derived state and advance the cache token."""
         self._adjacency_cache = None
+        self._csr_cache = None
         self._cache_token = next(_CACHE_TOKENS)
 
     def cache_token(self) -> int:
@@ -279,6 +281,22 @@ class Topology:
                 for u in self._graph.nodes
             }
         return self._adjacency_cache
+
+    def csr(self):
+        """The compiled :class:`~repro.routing.csr.CsrGraph` for this state.
+
+        Built lazily on first use and invalidated on mutation, like
+        :meth:`adjacency`.  All SPF kernels in :mod:`repro.routing.spf`
+        run over this compiled form; :class:`~repro.graph.cache.TopologyCache`
+        pre-compiles it at build time so cached topologies arrive hot.
+        """
+        if self._csr_cache is None:
+            # Imported here: repro.routing.csr imports NodeId from this
+            # module, so a top-level import would be circular.
+            from repro.routing.csr import CsrGraph
+
+            self._csr_cache = CsrGraph(self)
+        return self._csr_cache
 
     def copy(self, name: str | None = None) -> "Topology":
         """Deep copy; topology mutations on the copy do not affect this one."""

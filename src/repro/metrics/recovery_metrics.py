@@ -50,14 +50,31 @@ def worst_case_recovery(
     member: NodeId,
     strategy: str,
     obs: Observability | None = None,
+    route_cache=None,
+    route_obs=None,
 ) -> MemberRecovery:
-    """Fail the member's source-incident link and measure its recovery."""
+    """Fail the member's source-incident link and measure its recovery.
+
+    ``route_cache`` (a failure-aware
+    :class:`~repro.routing.route_cache.RouteCache`, optional) lets the
+    four per-member strategy measurements share one post-failure SPF
+    computation per distinct ``(member, failure)`` scenario; ``route_obs``
+    attributes the cache traffic independently of the recovery counters.
+    """
     failure = worst_case_failure(tree, member)
     recovery_fn = (
         local_detour_recovery if strategy == "local" else global_detour_recovery
     )
     try:
-        result = recovery_fn(topology, tree, member, failure, obs=obs)
+        result = recovery_fn(
+            topology,
+            tree,
+            member,
+            failure,
+            obs=obs,
+            route_cache=route_cache,
+            route_obs=route_obs,
+        )
     except UnrecoverableFailureError:
         return MemberRecovery(member=member, failure=failure, result=None)
     return MemberRecovery(member=member, failure=failure, result=result)
@@ -68,6 +85,7 @@ def worst_case_recovery_all(
     tree: MulticastTree,
     strategy: str,
     obs: Observability | None = None,
+    route_cache=None,
 ) -> dict[NodeId, MemberRecovery]:
     """Worst-case recovery for every member, each in its own scenario.
 
@@ -77,6 +95,8 @@ def worst_case_recovery_all(
     measurement; ``already_connected`` results carry ``RD = 0``.
     """
     return {
-        member: worst_case_recovery(topology, tree, member, strategy, obs=obs)
+        member: worst_case_recovery(
+            topology, tree, member, strategy, obs=obs, route_cache=route_cache
+        )
         for member in sorted(tree.members)
     }

@@ -33,9 +33,10 @@ class SPFMulticastProtocol:
         mutation; disable only in tight benchmark loops.
     route_cache:
         Optional :class:`~repro.routing.route_cache.RouteCache`; when
-        given, failure-free joins reuse memoised member-rooted SPF state
-        instead of re-running Dijkstra per join.  Failure-masked joins
-        (global-detour rejoins) always compute fresh routes.
+        given, joins reuse memoised member-rooted SPF state instead of
+        re-running Dijkstra per join.  The cache is failure-aware, so
+        failure-masked joins (global-detour rejoins of §4.3.1) share
+        state across repeats of the same scenario too.
     obs:
         Optional :class:`~repro.obs.Observability` used only to account
         route-cache hits and misses.
@@ -72,9 +73,10 @@ class SPFMulticastProtocol:
             return [member]
         # PIM sends the join from the member toward the source; the graft
         # happens at the first on-tree router the join reaches.
-        if self.route_cache is not None and failures is NO_FAILURES:
+        if self.route_cache is not None:
             toward_source = self.route_cache.shortest_paths(
-                self.topology, member, weight="delay", obs=self.obs
+                self.topology, member, weight="delay", failures=failures,
+                obs=self.obs,
             ).path_to(self.source)
         else:
             toward_source = shortest_path(

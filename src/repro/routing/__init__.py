@@ -10,28 +10,43 @@ implements that underlay from scratch:
   and graph views that mask them,
 - :mod:`repro.routing.spf` — Dijkstra shortest-path-first with
   deterministic tie-breaking,
+- :mod:`repro.routing.csr` — the compiled CSR graph form and the
+  array-based SPF kernels the searches actually run on,
+- :mod:`repro.routing.spf_reference` — the retained dict-based
+  implementations, the kernels' executable specification,
 - :mod:`repro.routing.tables` — per-node routing tables,
 - :mod:`repro.routing.ksp` — Yen's k-shortest loopless paths,
 - :mod:`repro.routing.link_state` — a link-state database with flooding
   and a convergence-latency model (used to contrast local-detour recovery
   time against waiting for unicast re-convergence, §1 and [25]),
-- :mod:`repro.routing.route_cache` — memoised failure-free SPF state for
-  repeated seeded sweeps.
+- :mod:`repro.routing.route_cache` — memoised, failure-aware SPF state
+  for repeated seeded sweeps (with single-failure reuse proofs).
 """
 
+from repro.routing.csr import CsrGraph, compile_failures, csr_dijkstra
 from repro.routing.failure_view import FailureSet, NO_FAILURES
 from repro.routing.route_cache import RouteCache
-from repro.routing.spf import ShortestPaths, dijkstra, shortest_path, spf_distance
+from repro.routing.spf import (
+    ShortestPaths,
+    dijkstra,
+    dijkstra_with_barriers,
+    shortest_path,
+    spf_distance,
+)
 from repro.routing.tables import RoutingTable, build_routing_table
 from repro.routing.ksp import k_shortest_paths
 from repro.routing.link_state import LinkStateDatabase, ConvergenceModel
 
 __all__ = [
+    "CsrGraph",
+    "compile_failures",
+    "csr_dijkstra",
     "FailureSet",
     "NO_FAILURES",
     "RouteCache",
     "ShortestPaths",
     "dijkstra",
+    "dijkstra_with_barriers",
     "shortest_path",
     "spf_distance",
     "RoutingTable",

@@ -1,0 +1,267 @@
+"""Compiled CSR routing substrate: flat-array graphs and SPF kernels.
+
+The dict-of-dict adjacency view that :mod:`repro.routing.spf` historically
+searched over is convenient but slow in the inner loop: every relaxation
+re-``sorted()`` a neighbour dict, bounced through a ``weight_of`` closure,
+and asked the :class:`~repro.routing.failure_view.FailureSet` for
+``link_usable`` — three frozenset probes plus a tuple allocation per edge.
+A full parameter sweep performs tens of thousands of SPF runs, so those
+per-edge costs dominate the whole experiment pipeline.
+
+This module compiles a :class:`~repro.graph.topology.Topology` *once per
+topology state* into a **compressed sparse row** form:
+
+- nodes are mapped to dense indices ``0..n-1`` in sorted-id order (so
+  index comparisons reproduce the library's id-based deterministic
+  tie-break exactly);
+- each node's neighbours live in one contiguous, **pre-sorted** slice of
+  the arc arrays — no sorting inside the search;
+- ``delay`` and ``cost`` weights are flat per-arc arrays — no closure and
+  no attribute-dict access per relaxation;
+- failure scenarios compile to per-arc/per-node **bitsets**
+  (:func:`compile_failures`), turning the per-edge failure test into two
+  bytearray probes.
+
+The kernels (:func:`csr_dijkstra`, :func:`csr_dijkstra_barriers`) are
+drop-in replacements for the reference implementations in
+:mod:`repro.routing.spf_reference`: they perform the same float
+operations in the same order, push the same heap entries, and apply the
+same smaller-predecessor tie-break, so their output — including dict
+*insertion order*, which downstream routing tables iterate — is
+bit-identical.  A property suite (``tests/properties/test_csr_equivalence``)
+asserts that equivalence on randomised topologies and failure sets.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+from repro.graph.topology import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.topology import Topology
+    from repro.routing.failure_view import FailureSet
+
+INF = float("inf")
+
+#: Sentinel parent index meaning "no predecessor" (the source, or never
+#: reached).  Distinct from any valid index, including for topologies with
+#: negative node *ids* — indices are always dense and non-negative.
+NO_PARENT = -1
+
+
+class CsrGraph:
+    """A topology compiled to compressed-sparse-row arrays.
+
+    Attributes
+    ----------
+    token:
+        The :meth:`~repro.graph.topology.Topology.cache_token` of the
+        topology state this compilation reflects.
+    node_ids:
+        Dense index → node id, in sorted-id order (index order therefore
+        *is* id order, which the deterministic tie-break relies on).
+    index_of:
+        Node id → dense index.
+    indptr:
+        ``indptr[i]:indptr[i+1]`` is node ``i``'s arc slice.
+    nbr:
+        Arc → neighbour index, pre-sorted within each node's slice.
+    delay / cost:
+        Arc → link weight.
+    arcs_of_edge:
+        Canonical undirected edge → its two directed arc positions
+        (used to compile link-failure bitsets).
+    """
+
+    __slots__ = (
+        "token",
+        "node_ids",
+        "index_of",
+        "indptr",
+        "nbr",
+        "delay",
+        "cost",
+        "arcs_of_edge",
+    )
+
+    def __init__(self, topology: "Topology") -> None:
+        self.token = topology.cache_token()
+        ids = topology.nodes()  # sorted for determinism
+        self.node_ids: list[NodeId] = ids
+        self.index_of: dict[NodeId, int] = {nid: i for i, nid in enumerate(ids)}
+        n = len(ids)
+        adjacency = topology.adjacency()
+
+        indptr = [0] * (n + 1)
+        nbr: list[int] = []
+        delay: list[float] = []
+        cost: list[float] = []
+        arcs_of_edge: dict[tuple[NodeId, NodeId], tuple[int, int]] = {}
+        half: dict[tuple[NodeId, NodeId], int] = {}
+
+        index_of = self.index_of
+        for i, u in enumerate(ids):
+            row = sorted(adjacency[u])  # sorted once, at compile time
+            for v in row:
+                arc = len(nbr)
+                nbr.append(index_of[v])
+                delay.append(adjacency[u][v])
+                cost.append(topology.cost(u, v))
+                edge = (u, v) if u <= v else (v, u)
+                mate = half.pop(edge, None)
+                if mate is None:
+                    half[edge] = arc
+                else:
+                    arcs_of_edge[edge] = (mate, arc)
+            indptr[i + 1] = len(nbr)
+
+        self.indptr = indptr
+        self.nbr = nbr
+        self.delay = delay
+        self.cost = cost
+        self.arcs_of_edge = arcs_of_edge
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self.nbr)
+
+    def weights(self, weight: str) -> list[float]:
+        """The per-arc weight array for ``'delay'`` or ``'cost'``."""
+        return self.delay if weight == "delay" else self.cost
+
+    def __repr__(self) -> str:
+        return (
+            f"CsrGraph(token={self.token}, nodes={self.num_nodes}, "
+            f"arcs={self.num_arcs})"
+        )
+
+
+def compile_failures(
+    csr: CsrGraph, failures: "FailureSet"
+) -> tuple[bytearray, bytearray] | None:
+    """Compile a failure scenario to ``(node_dead, arc_blocked)`` bitsets.
+
+    Returns ``None`` for the empty scenario so the kernels can skip the
+    mask probes entirely.  Failed nodes are marked in ``node_dead``; the
+    kernels never relax an arc *into* a dead node, which also prevents it
+    from ever being settled or traversed — exactly the semantics of
+    :meth:`~repro.routing.failure_view.FailureSet.link_usable` masking.
+    Failed links mark both of their directed arcs in ``arc_blocked``.
+    """
+    if failures.is_empty:
+        return None
+    node_dead = bytearray(csr.num_nodes)
+    arc_blocked = bytearray(csr.num_arcs)
+    index_of = csr.index_of
+    for node in failures.failed_nodes:
+        i = index_of.get(node)
+        if i is not None:
+            node_dead[i] = 1
+    arcs_of_edge = csr.arcs_of_edge
+    for edge in failures.failed_links:
+        arcs = arcs_of_edge.get(edge)
+        if arcs is not None:
+            arc_blocked[arcs[0]] = 1
+            arc_blocked[arcs[1]] = 1
+    return node_dead, arc_blocked
+
+
+def csr_dijkstra(
+    csr: CsrGraph,
+    source_index: int,
+    weights: list[float],
+    mask: tuple[bytearray, bytearray] | None,
+    barriers: bytearray | None = None,
+) -> tuple[list[float], list[int], list[int]]:
+    """Array-based single-source shortest paths over a compiled graph.
+
+    Returns ``(dist, parent, order)`` where ``dist``/``parent`` are flat
+    index-addressed arrays (``INF`` / :data:`NO_PARENT` when unreached)
+    and ``order`` lists node indices in first-discovery order — the dict
+    insertion order the reference implementation produces, which callers
+    use to rebuild :class:`~repro.routing.spf.ShortestPaths` mappings
+    bit-identically.
+
+    ``barriers`` (optional per-node bitset) marks nodes that may be
+    settled but never traversed; the ``source_index`` itself is always
+    traversable, matching
+    :func:`repro.routing.spf.dijkstra_with_barriers`.
+
+    Ties between equal-length paths keep the smaller predecessor *index*,
+    which equals the smaller predecessor *id* because indices are assigned
+    in sorted-id order.
+    """
+    n = csr.num_nodes
+    dist = [INF] * n
+    parent = [NO_PARENT] * n
+    order: list[int] = []
+    if n == 0:
+        return dist, parent, order
+
+    indptr = csr.indptr
+    nbr = csr.nbr
+    if mask is None:
+        node_dead = arc_blocked = None
+    else:
+        node_dead, arc_blocked = mask
+
+    dist[source_index] = 0.0
+    order.append(source_index)
+    heap: list[tuple[float, int, int]] = [(0.0, NO_PARENT, source_index)]
+    settled = bytearray(n)
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        dist_u, _, u = pop(heap)
+        if settled[u]:
+            continue
+        settled[u] = 1
+        if barriers is not None and barriers[u] and u != source_index:
+            continue  # reachable, but not traversable
+        for arc in range(indptr[u], indptr[u + 1]):
+            v = nbr[arc]
+            if settled[v]:
+                continue
+            if arc_blocked is not None and (arc_blocked[arc] or node_dead[v]):
+                continue
+            candidate = dist_u + weights[arc]
+            best = dist[v]
+            if candidate < best - 1e-12:
+                if best == INF:
+                    order.append(v)
+                dist[v] = candidate
+                parent[v] = u
+                push(heap, (candidate, u, v))
+            elif abs(candidate - best) <= 1e-12:
+                # Tie: prefer the smaller predecessor for determinism.
+                # The source keeps NO_PARENT (never replaced).
+                current = parent[v]
+                if current != NO_PARENT and u < current:
+                    parent[v] = u
+                    push(heap, (candidate, u, v))
+    return dist, parent, order
+
+
+def csr_dijkstra_barriers(
+    csr: CsrGraph,
+    source_index: int,
+    weights: list[float],
+    mask: tuple[bytearray, bytearray] | None,
+    barrier_indices,
+) -> tuple[list[float], list[int], list[int]]:
+    """Barrier-constrained variant: settle barrier nodes, never cross them.
+
+    ``barrier_indices`` is any iterable of node indices; it is compiled to
+    a per-node bitset once per call (the search itself then pays two array
+    probes per settled node, not a set lookup per edge).
+    """
+    flags = bytearray(csr.num_nodes)
+    for i in barrier_indices:
+        flags[i] = 1
+    return csr_dijkstra(csr, source_index, weights, mask, barriers=flags)

@@ -1,42 +1,95 @@
-"""Memoised single-source shortest-path state.
+"""Memoised single-source shortest-path state, failure-aware.
 
-Both tree builders recompute the same failure-free SPF state over and
-over: the SPF baseline routes each join from the member toward the source
-(:class:`~repro.multicast.spf_protocol.SPFMulticastProtocol`), and SMRP's
+Both tree builders recompute the same SPF state over and over: the SPF
+baseline routes each join from the member toward the source
+(:class:`~repro.multicast.spf_protocol.SPFMulticastProtocol`), SMRP's
 path-selection bound needs ``D^SPF(S, NR)`` for every joining member
-(§3.2.2).  Across a sweep the same ``(topology, member)`` pairs repeat for
-every parameter value, so a :class:`RouteCache` keyed on
-``(topology state, root, weight)`` collapses those repeats into one
-Dijkstra run each.
+(§3.2.2), and every recovery evaluation re-derives post-failure distances
+for the same ``(topology, member, failure)`` triples across the sweep's
+parameter grid.  A :class:`RouteCache` keys entries on
+``(topology state, root, weight, canonical failure key)`` so *all* of
+those repeats — failure-free and failure-scenario alike — collapse into
+one Dijkstra run each.
 
-Only *failure-free* computations are cached: recovery-time searches carry
-a :class:`~repro.routing.failure_view.FailureSet` whose masking makes the
-result scenario-specific, and those keep calling
-:func:`~repro.routing.spf.dijkstra` directly.
+For single-element failures the cache goes further than memoisation.
+Bhosle & Gonzalez (arXiv:0810.3438) observe that removing an edge that an
+SPF tree does not use cannot change that tree; with this library's
+deterministic tie-break the result is *bit-identical*, parents included:
+the final parent of every node is the minimum id over its equal-distance
+predecessors, and deleting an edge that lost (or never entered) every such
+comparison removes no winner.  Likewise a failed node that the baseline
+already could not reach removes only arcs incident to it, none of which
+appear in any relaxation.  So when a single-link failure misses the cached
+failure-free tree, or a single-node failure hits an unreachable node, the
+cache returns the failure-free result outright — a **reuse proof**,
+counted separately (``cache.routes.reuse_proofs``, a sub-count of misses:
+the scenario key itself was absent) — instead of running the kernel.
 
 Topology state is identified by :meth:`~repro.graph.topology.Topology.cache_token`,
 which advances on every mutation — a stale entry can never be returned,
 it simply stops being reachable and ages out of the LRU bound.
 
 Hit/miss/eviction activity is reported through ``repro.obs`` counters
-(``cache.routes.hits`` / ``.misses`` / ``.evictions``).
+(``cache.routes.hits`` / ``.misses`` / ``.evictions`` /
+``.reuse_proofs``) plus ``cache.routes.hit_rate`` / ``.size`` gauges.
 """
 
 from __future__ import annotations
 
 from repro.graph.cache import LruCache
-from repro.graph.topology import NodeId, Topology
+from repro.graph.topology import Edge, NodeId, Topology
+from repro.routing.failure_view import NO_FAILURES, FailureSet
 from repro.routing.spf import ShortestPaths, dijkstra
 
 #: Default bound on retained SPF results: a 100-scenario sweep point needs
 #: about ``members × topologies`` entries, well within this.
 DEFAULT_MAX_ROUTES = 4096
 
-_Key = tuple[int, NodeId, str]
+#: Canonical failure component of a cache key.  ``()`` entries sort before
+#: any tuple, and sorting both element sets makes the key independent of
+#: frozenset iteration order (which varies across processes).
+_FailureKey = tuple[tuple[Edge, ...], tuple[NodeId, ...]]
+
+_NO_FAILURE_KEY: _FailureKey = ((), ())
+
+_Key = tuple[int, NodeId, str, _FailureKey]
+
+
+def _failure_key(failures: FailureSet) -> _FailureKey:
+    if failures.is_empty:
+        return _NO_FAILURE_KEY
+    return (
+        tuple(sorted(failures.failed_links)),
+        tuple(sorted(failures.failed_nodes)),
+    )
+
+
+def _provably_unaffected(baseline: ShortestPaths, failures: FailureSet) -> bool:
+    """True when ``failures`` provably cannot change ``baseline``.
+
+    Only single-element scenarios are examined (the common case in the
+    paper's §4.3 persistent-failure sweeps); for anything larger the
+    answer is a conservative False and the caller recomputes.
+
+    - Single link ``(u, v)``: reusable iff neither direction of the link
+      is a tree edge of the baseline (``parent[v] != u and parent[u] != v``).
+    - Single node ``x``: reusable iff the baseline never reached ``x`` —
+      then every arc incident to ``x`` connects two nodes of which one is
+      unreachable, so none participated in any relaxation.
+    """
+    links = failures.failed_links
+    nodes = failures.failed_nodes
+    if len(links) == 1 and not nodes:
+        (u, v) = next(iter(links))
+        parent = baseline.parent
+        return parent.get(v) != u and parent.get(u) != v
+    if len(nodes) == 1 and not links:
+        return next(iter(nodes)) not in baseline.dist
+    return False
 
 
 class RouteCache:
-    """Bounded cache of failure-free :class:`ShortestPaths` results.
+    """Bounded, failure-aware cache of :class:`ShortestPaths` results.
 
     Cached results are shared objects; callers must treat them as
     read-only (``distance`` / ``path_to`` / ``next_hop`` do).
@@ -54,26 +107,69 @@ class RouteCache:
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ROUTES) -> None:
         self._lru: LruCache[_Key, ShortestPaths] = LruCache(max_entries)
+        self._reuse_proofs = 0
 
     def shortest_paths(
         self,
         topology: Topology,
         root: NodeId,
         weight: str = "delay",
+        failures: FailureSet = NO_FAILURES,
         obs=None,
     ) -> ShortestPaths:
-        """Failure-free SPF state rooted at ``root``, computed at most once
-        per topology state."""
-        key = (topology.cache_token(), root, weight)
-        paths, hit, evicted = self._lru.get_or_build(
-            key, lambda: dijkstra(topology, root, weight=weight)
-        )
+        """SPF state rooted at ``root`` under ``failures``, computed at
+        most once per ``(topology state, root, weight, failure scenario)``.
+
+        A first-seen single-element failure scenario may be answered from
+        the failure-free baseline without running the kernel when the
+        failed element provably cannot affect the tree (see module
+        docstring); such *reuse proofs* are counted as misses (the
+        scenario key was absent) plus ``cache.routes.reuse_proofs``.
+        """
+        lru = self._lru
+        token = topology.cache_token()
+        fkey = _failure_key(failures)
+        key = (token, root, weight, fkey)
+        paths = lru.peek(key)
+        reused = False
+        if paths is not None:
+            lru.hits += 1
+            hit = True
+            evicted = False
+        else:
+            lru.misses += 1
+            hit = False
+            if fkey is not _NO_FAILURE_KEY:
+                # Consult the failure-free baseline (peek: an internal
+                # lookup, not a caller-facing hit or miss).  Compute and
+                # remember it if absent — scenario sweeps for this root
+                # will need it repeatedly.
+                base_key = (token, root, weight, _NO_FAILURE_KEY)
+                baseline = lru.peek(base_key)
+                if baseline is None:
+                    baseline = dijkstra(topology, root, weight=weight)
+                    if lru.store(base_key, baseline) and obs is not None:
+                        obs.counter("cache.routes.evictions").inc()
+                reused = _provably_unaffected(baseline, failures)
+                paths = (
+                    baseline
+                    if reused
+                    else dijkstra(topology, root, weight=weight, failures=failures)
+                )
+            else:
+                paths = dijkstra(topology, root, weight=weight)
+            if reused:
+                self._reuse_proofs += 1
+            evicted = lru.store(key, paths)
         if obs is not None:
-            name = "cache.routes.hits" if hit else "cache.routes.misses"
-            obs.counter(name).inc()
+            obs.counter("cache.routes.hits" if hit else "cache.routes.misses").inc()
+            if reused:
+                obs.counter("cache.routes.reuse_proofs").inc()
             if evicted:
                 obs.counter("cache.routes.evictions").inc()
-            obs.gauge("cache.routes.size").set(len(self._lru))
+            obs.gauge("cache.routes.size").set(len(lru))
+            lookups = lru.hits + lru.misses
+            obs.gauge("cache.routes.hit_rate").set(lru.hits / lookups)
         return paths
 
     @property
@@ -84,10 +180,11 @@ class RouteCache:
             "hits": self._lru.hits,
             "misses": self._lru.misses,
             "evictions": self._lru.evictions,
+            "reuse_proofs": self._reuse_proofs,
         }
 
     def clear(self) -> None:
         self._lru.clear()
 
     def __repr__(self) -> str:
-        return f"RouteCache({self._lru!r})"
+        return f"RouteCache({self._lru!r}, reuse_proofs={self._reuse_proofs})"

@@ -17,15 +17,31 @@ reproduction needs explicit, testable semantics:
 - **Weight selection.**  Paths can be computed over ``delay`` (the paper's
   default — its SPF baseline and D_thresh bound are delay-based) or
   ``cost``.
+
+Since the CSR rewrite the actual searches run as array kernels over the
+topology's compiled :class:`~repro.routing.csr.CsrGraph`
+(:meth:`~repro.graph.topology.Topology.csr` — built once per topology
+state): dense indices, pre-sorted neighbour slices, flat weight arrays,
+and failure bitsets replace the dict-of-dict walk.  The public functions
+here keep the original :class:`ShortestPaths` contract bit-for-bit —
+including dict insertion order and the predecessor-id tie-break — which
+the property suite checks against the retained dict-based specification
+in :mod:`repro.routing.spf_reference`.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 
 from repro.errors import NoPathError, RoutingError, TopologyError
 from repro.graph.topology import NodeId, Topology
+from repro.routing.csr import (
+    NO_PARENT,
+    CsrGraph,
+    compile_failures,
+    csr_dijkstra,
+    csr_dijkstra_barriers,
+)
 from repro.routing.failure_view import NO_FAILURES, FailureSet
 
 
@@ -83,61 +99,67 @@ class ShortestPaths:
         return path[1]
 
 
+def _check_args(topology: Topology, source: NodeId, weight: str) -> None:
+    if weight not in ("delay", "cost"):
+        raise RoutingError(f"unknown weight {weight!r}; expected 'delay' or 'cost'")
+    if not topology.has_node(source):
+        raise TopologyError(f"source {source} is not in the topology")
+
+
+def _to_shortest_paths(
+    source: NodeId,
+    csr: CsrGraph,
+    dist: list[float],
+    parent: list[int],
+    order: list[int],
+) -> ShortestPaths:
+    """Rebuild the mapping result in kernel discovery order.
+
+    Discovery order equals the dict insertion order of the reference
+    implementation, so downstream code that iterates ``dist`` (e.g. the
+    routing-table builder) observes identical ordering.
+    """
+    result = ShortestPaths(source=source)
+    ids = csr.node_ids
+    rdist = result.dist
+    rparent = result.parent
+    for i in order:
+        nid = ids[i]
+        rdist[nid] = dist[i]
+        p = parent[i]
+        rparent[nid] = None if p == NO_PARENT else ids[p]
+    return result
+
+
 def dijkstra(
     topology: Topology,
     source: NodeId,
     weight: str = "delay",
     failures: FailureSet = NO_FAILURES,
+    obs=None,
 ) -> ShortestPaths:
     """Compute single-source shortest paths under a failure scenario.
 
     Failed nodes (including a failed ``source``) and failed links are
     excluded from the search.  Nodes left unreachable simply do not appear
     in the result.
+
+    ``obs`` (an :class:`~repro.obs.Observability`, optional) accounts the
+    kernel invocation under ``routing.kernel.calls``.
     """
-    if weight not in ("delay", "cost"):
-        raise RoutingError(f"unknown weight {weight!r}; expected 'delay' or 'cost'")
-    if not topology.has_node(source):
-        raise TopologyError(f"source {source} is not in the topology")
-    result = ShortestPaths(source=source)
+    _check_args(topology, source, weight)
     if failures.node_failed(source):
-        return result
-
-    adjacency = topology.adjacency()
-    weight_of = (
-        (lambda u, v: adjacency[u][v])
-        if weight == "delay"
-        else (lambda u, v: topology.cost(u, v))
+        return ShortestPaths(source=source)
+    csr = topology.csr()
+    if obs is not None:
+        obs.counter("routing.kernel.calls").inc()
+    dist, parent, order = csr_dijkstra(
+        csr,
+        csr.index_of[source],
+        csr.weights(weight),
+        compile_failures(csr, failures),
     )
-
-    result.dist[source] = 0.0
-    result.parent[source] = None
-    # Heap entries: (distance, predecessor id, node).  Including the
-    # predecessor id makes equal-distance pops deterministic: the path via
-    # the smaller predecessor is settled first and kept.
-    heap: list[tuple[float, int, NodeId]] = [(0.0, -1, source)]
-    settled: set[NodeId] = set()
-    while heap:
-        dist_u, _, u = heapq.heappop(heap)
-        if u in settled:
-            continue
-        settled.add(u)
-        for v in sorted(adjacency[u]):
-            if v in settled:
-                continue
-            if not failures.link_usable(u, v):
-                continue
-            candidate = dist_u + weight_of(u, v)
-            best = result.dist.get(v)
-            if best is None or candidate < best - 1e-12:
-                result.dist[v] = candidate
-                result.parent[v] = u
-                heapq.heappush(heap, (candidate, u, v))
-            elif abs(candidate - best) <= 1e-12 and u < (result.parent[v] or -1):
-                # Tie: prefer the smaller predecessor id for determinism.
-                result.parent[v] = u
-                heapq.heappush(heap, (candidate, u, v))
-    return result
+    return _to_shortest_paths(source, csr, dist, parent, order)
 
 
 def dijkstra_with_barriers(
@@ -146,6 +168,7 @@ def dijkstra_with_barriers(
     barriers: set[NodeId],
     weight: str = "delay",
     failures: FailureSet = NO_FAILURES,
+    obs=None,
 ) -> ShortestPaths:
     """Shortest paths that may *end* at a barrier node but never cross one.
 
@@ -158,47 +181,25 @@ def dijkstra_with_barriers(
 
     ``source`` being itself a barrier is allowed (used when a node already
     on the tree re-selects its path): the search starts normally from it.
+    One such pass prices *every* merge point at once, which is what makes
+    the batched candidate enumeration in :mod:`repro.core.candidates`
+    a single-kernel operation.
     """
-    if weight not in ("delay", "cost"):
-        raise RoutingError(f"unknown weight {weight!r}; expected 'delay' or 'cost'")
-    if not topology.has_node(source):
-        raise TopologyError(f"source {source} is not in the topology")
-    result = ShortestPaths(source=source)
+    _check_args(topology, source, weight)
     if failures.node_failed(source):
-        return result
-
-    adjacency = topology.adjacency()
-    weight_of = (
-        (lambda u, v: adjacency[u][v])
-        if weight == "delay"
-        else (lambda u, v: topology.cost(u, v))
+        return ShortestPaths(source=source)
+    csr = topology.csr()
+    if obs is not None:
+        obs.counter("routing.kernel.barrier_calls").inc()
+    index_of = csr.index_of
+    dist, parent, order = csr_dijkstra_barriers(
+        csr,
+        index_of[source],
+        csr.weights(weight),
+        compile_failures(csr, failures),
+        (index_of[b] for b in barriers if b in index_of),
     )
-    result.dist[source] = 0.0
-    result.parent[source] = None
-    heap: list[tuple[float, int, NodeId]] = [(0.0, -1, source)]
-    settled: set[NodeId] = set()
-    while heap:
-        dist_u, _, u = heapq.heappop(heap)
-        if u in settled:
-            continue
-        settled.add(u)
-        if u in barriers and u != source:
-            continue  # reachable, but not traversable
-        for v in sorted(adjacency[u]):
-            if v in settled:
-                continue
-            if not failures.link_usable(u, v):
-                continue
-            candidate = dist_u + weight_of(u, v)
-            best = result.dist.get(v)
-            if best is None or candidate < best - 1e-12:
-                result.dist[v] = candidate
-                result.parent[v] = u
-                heapq.heappush(heap, (candidate, u, v))
-            elif abs(candidate - best) <= 1e-12 and u < (result.parent[v] or -1):
-                result.parent[v] = u
-                heapq.heappush(heap, (candidate, u, v))
-    return result
+    return _to_shortest_paths(source, csr, dist, parent, order)
 
 
 def shortest_path(

@@ -36,7 +36,8 @@ from repro.core.candidates import Candidate, enumerate_candidates
 from repro.core.join import select_path
 from repro.obs import NULL_OBS, Observability
 from repro.routing.failure_view import FailureSet
-from repro.routing.spf import dijkstra, dijkstra_with_barriers
+from repro.routing.route_cache import RouteCache
+from repro.routing.spf import dijkstra_with_barriers
 from repro.sim.engine import Simulator
 from repro.sim.events import PeriodicTimer, WatchdogTimer
 from repro.sim.messages import (
@@ -494,6 +495,11 @@ class _BaseSimulation:
             for node in topology.nodes()
         }
         self.nodes[source].become_source()
+        # Per-simulation memo of failure-free member-rooted SPF state:
+        # join-path selection repeats the same lookups across retries and
+        # reshapes, and the failure-aware cache keys keep post-failure
+        # searches distinct.
+        self.route_cache = RouteCache()
         self.join_records: dict[NodeId, JoinRecord] = {}
         self.recovery_records: list[RecoveryRecord] = []
         #: member → list of (sequence number, arrival time) data receipts.
@@ -822,7 +828,7 @@ class SmrpSimulation(_BaseSimulation):
         candidates = enumerate_candidates(
             self.topology, tree, member, shr_values
         )
-        spf = dijkstra(self.topology, member)
+        spf = self.route_cache.shortest_paths(self.topology, member, obs=self.obs)
         selection = select_path(candidates, spf.distance(self.source), self.d_thresh)
         # start_join expects joiner-first ordering.
         return tuple(reversed(selection.candidate.graft_path))
@@ -832,5 +838,5 @@ class SpfSimulation(_BaseSimulation):
     """The PIM/MOSPF-style baseline over the DES."""
 
     def select_join_path(self, member: NodeId) -> tuple[NodeId, ...]:
-        paths = dijkstra(self.topology, member)
+        paths = self.route_cache.shortest_paths(self.topology, member, obs=self.obs)
         return tuple(paths.path_to(self.source))

@@ -11,6 +11,7 @@ from repro.graph.waxman import WaxmanConfig, waxman_topology
 from repro.multicast.spf_protocol import SPFMulticastProtocol
 from repro.core.protocol import SMRPConfig, SMRPProtocol
 from repro.core.shr import (
+    adjusted_shr_table,
     link_utilisation,
     shr_direct,
     shr_excluding_subtree,
@@ -115,3 +116,17 @@ class TestAdjustedShr:
                 continue
             adjusted = shr_excluding_subtree(tree, merge, mover)
             assert 0 <= adjusted <= shr_direct(tree, merge)
+
+    @settings(max_examples=25, deadline=None)
+    @given(tree_params)
+    def test_batched_table_matches_per_node_form(self, params):
+        """adjusted_shr_table agrees exactly with shr_excluding_subtree
+        for every on-tree node and every possible mover."""
+        _, tree = build_tree(*params)
+        for mover in tree.on_tree_nodes():
+            if mover == tree.source:
+                continue
+            table = adjusted_shr_table(tree, mover)
+            assert set(table) == set(tree.on_tree_nodes())
+            for merge in tree.on_tree_nodes():
+                assert table[merge] == shr_excluding_subtree(tree, merge, mover)
