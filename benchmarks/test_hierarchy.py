@@ -15,6 +15,7 @@ from repro.core.hierarchy import HierarchicalMulticast
 from repro.core.protocol import SMRPConfig, SMRPProtocol
 from repro.core.recovery import repair_tree
 from repro.routing.failure_view import FailureSet
+from repro.routing.route_cache import RouteCache
 
 
 def build_world(seed: int = 3):
@@ -59,8 +60,11 @@ def run_comparison():
     ]
     failure = FailureSet.links(internal[0])
 
-    report = hierarchical.recover(failure)
-    flat_report = repair_tree(network.topology, flat.tree, failure, "local")
+    route_cache = RouteCache()
+    report = hierarchical.recover(failure, route_cache=route_cache)
+    flat_report = repair_tree(
+        network.topology, flat.tree, failure, "local", route_cache=route_cache
+    )
     return network, report, flat_report, target_domain
 
 

@@ -20,6 +20,7 @@ from repro.core.shr import link_utilisation
 from repro.multicast.spf_protocol import SPFMulticastProtocol
 from repro.multicast.validation import check_tree_invariants
 from repro.routing.failure_view import NO_FAILURES, FailureSet
+from repro.routing.route_cache import RouteCache
 
 
 def run_sequence(seed: int, rounds: int = 4):
@@ -47,6 +48,10 @@ def run_sequence(seed: int, rounds: int = 4):
         failures = NO_FAILURES
         served_history = []
         total_effort = 0.0
+        # Failure-aware route cache: rounds repeat (member, failure-set)
+        # SPF lookups whenever a later cut leaves a member's scenario
+        # untouched, and reuse proofs skip the kernel outright.
+        route_cache = RouteCache()
         for _ in range(rounds):
             utilisation = link_utilisation(tree)
             if not utilisation:
@@ -55,7 +60,9 @@ def run_sequence(seed: int, rounds: int = 4):
             # that hurts the most members at once.
             target = max(sorted(utilisation), key=lambda e: utilisation[e])
             failures = failures.union(FailureSet.links(target))
-            report = repair_tree(topology, tree, failures, strategy=strategy)
+            report = repair_tree(
+                topology, tree, failures, strategy=strategy, route_cache=route_cache
+            )
             tree = report.repaired_tree
             check_tree_invariants(tree)
             total_effort += report.total_recovery_distance

@@ -17,6 +17,7 @@ from repro.graph.nlevel import LevelSpec, n_level_topology
 from repro.core.nlevel import NLevelMulticast
 from repro.core.protocol import SMRPConfig
 from repro.routing.failure_view import FailureSet
+from repro.routing.route_cache import RouteCache
 
 
 def build_session(seed: int = 7):
@@ -69,7 +70,10 @@ def test_nlevel_confinement(benchmark):
     leaf_id = network.domain_of[victim]
     tree = session.protocol(leaf_id).tree
     path = tree.path_from_source(victim)
-    report = session.recover(FailureSet.links((path[0], path[1])))
+    route_cache = RouteCache()
+    report = session.recover(
+        FailureSet.links((path[0], path[1])), route_cache=route_cache
+    )
     assert set(report.domains_reconfigured) <= {leaf_id}
     if report.domains_reconfigured:
         leaf_size = len(network.domains[leaf_id].nodes)
@@ -90,7 +94,9 @@ def test_nlevel_confinement(benchmark):
             for d in session.active_domains()
             if network.domains[d].is_leaf
         }
-        report2 = session.recover(FailureSet.links(links[0]))
+        report2 = session.recover(
+            FailureSet.links(links[0]), route_cache=route_cache
+        )
         assert all(
             not network.domains[d].is_leaf for d in report2.domains_reconfigured
         )

@@ -18,7 +18,11 @@ Three verbs cover the harness:
 Each accepts ``jobs`` (worker process count) or an explicit ``executor``;
 ``jobs > 1`` fans scenario work units out over a ``ProcessPoolExecutor``
 with results merged deterministically in seed order, so parallel runs are
-byte-identical to serial ones.
+byte-identical to serial ones.  Passing a ``policy``
+(:class:`ExecPolicy`) instead selects the fault-tolerant
+:class:`ResilientExecutor` — per-scenario timeouts, bounded retries,
+crash isolation, and checkpoint/resume — which preserves the same
+byte-identical guarantee even when workers crash or hang mid-sweep.
 
 Examples
 --------
@@ -40,6 +44,8 @@ from repro.experiments.exec.executor import (
     SerialExecutor,
     make_executor,
 )
+from repro.experiments.exec.checkpoint import CheckpointStore
+from repro.experiments.exec.resilience import ExecPolicy, ResilientExecutor
 from repro.experiments.exec.spec import ExperimentSpec
 from repro.experiments.runner import ScenarioResult
 from repro.experiments.runner import run_scenario as _run_scenario
@@ -47,9 +53,12 @@ from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.sweeps import SweepPoint, run_spec_sweep
 
 __all__ = [
+    "CheckpointStore",
+    "ExecPolicy",
     "Executor",
     "ExperimentSpec",
     "ParallelExecutor",
+    "ResilientExecutor",
     "ScenarioConfig",
     "ScenarioResult",
     "SerialExecutor",
@@ -71,7 +80,7 @@ _FIGURES = {
 
 
 def _resolve_executor(
-    executor: Executor | None, jobs: int
+    executor: Executor | None, jobs: int, policy: ExecPolicy | None = None
 ) -> tuple[Executor, bool]:
     """``(executor, owned)`` from the facade's convenience parameters."""
     if executor is not None:
@@ -79,9 +88,15 @@ def _resolve_executor(
             raise ConfigurationError(
                 "pass either an executor or jobs, not both"
             )
+        if policy is not None:
+            raise ConfigurationError(
+                "pass either an executor or a policy, not both"
+            )
         return executor, False
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if policy is not None:
+        return ResilientExecutor(jobs=jobs, policy=policy), True
     if jobs > 1:
         return ParallelExecutor(jobs=jobs), True
     return SerialExecutor(), True
@@ -114,6 +129,7 @@ def run_sweep(
     *,
     executor: Executor | None = None,
     jobs: int = 1,
+    policy: ExecPolicy | None = None,
     obs=None,
 ) -> list[SweepPoint]:
     """Expand a declarative spec over its seeding grid and aggregate.
@@ -121,11 +137,13 @@ def run_sweep(
     ``spec`` may be an :class:`ExperimentSpec` or its ``to_dict`` form.
     Parallelism: pass ``jobs > 1`` for a transient process pool, or a
     ready :class:`Executor` (which stays open — callers own its
-    lifecycle).
+    lifecycle).  ``policy`` selects the fault-tolerant
+    :class:`ResilientExecutor` instead (timeouts, retries,
+    checkpoint/resume); mutually exclusive with ``executor``.
     """
     if isinstance(spec, dict):
         spec = ExperimentSpec.from_dict(spec)
-    executor, owned = _resolve_executor(executor, jobs)
+    executor, owned = _resolve_executor(executor, jobs, policy)
     try:
         return run_spec_sweep(spec, executor=executor, obs=obs)
     finally:
@@ -139,6 +157,7 @@ def build_figure(
     quick: bool = False,
     executor: Executor | None = None,
     jobs: int = 1,
+    policy: ExecPolicy | None = None,
     obs=None,
     **overrides,
 ):
@@ -149,7 +168,8 @@ def build_figure(
     shrinks the seeding grid to 4×2 scenarios per sweep point (the CLI's
     ``--quick``); any figure-driver keyword (``values``, ``n``,
     ``topologies``, …) can be overridden explicitly and wins over
-    ``quick``.
+    ``quick``.  ``policy`` selects the fault-tolerant
+    :class:`ResilientExecutor` (mutually exclusive with ``executor``).
     """
     import importlib
 
@@ -165,7 +185,7 @@ def build_figure(
     if quick and name != "fig7":
         kwargs.setdefault("topologies", 4)
         kwargs.setdefault("member_sets", 2)
-    executor, owned = _resolve_executor(executor, jobs)
+    executor, owned = _resolve_executor(executor, jobs, policy)
     try:
         return runner(obs=obs, executor=executor, **kwargs)
     finally:

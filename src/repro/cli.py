@@ -22,14 +22,26 @@ as JSON; ``repro obs report PATH`` renders it afterwards.
 Parallel execution
 ------------------
 ``figures``, ``scenario``, and ``simulate`` accept ``--jobs N`` and
-``--executor {serial,process}``.  ``--jobs N`` with ``N > 1`` fans
-scenario work units out over a process pool (implying
+``--executor {serial,process,resilient}``.  ``--jobs N`` with ``N > 1``
+fans scenario work units out over a process pool (implying
 ``--executor process``); results are merged deterministically in seed
 order, so parallel output is byte-identical to serial output.
 ``--jobs`` below 1 is rejected, as is ``--executor serial`` combined
 with ``--jobs`` above 1.  A ``simulate`` run is a single discrete-event
 work unit, so it gains nothing from ``--jobs`` — the flags are accepted
 for consistency and validated the same way.
+
+Resilient execution
+-------------------
+``--timeout S``, ``--retries N``, ``--checkpoint-dir DIR``, and
+``--resume`` select the fault-tolerant executor (each implies
+``--executor resilient``): every scenario attempt runs in its own worker
+process, a crashed or timed-out attempt is retried with exponential
+backoff, and completed results persist to a content-keyed checkpoint
+store so an interrupted sweep resumes instead of restarting.  Output
+stays byte-identical to a clean serial run regardless of faults.
+``--inject-fault KIND:INDEX`` (testing/CI) arms a deliberate crash,
+hang, or transient error against one work unit.
 """
 
 from __future__ import annotations
@@ -48,9 +60,33 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
         help="worker processes (N > 1 implies --executor process)",
     )
     parser.add_argument(
-        "--executor", choices=["serial", "process"],
-        help="how scenario work units run (default: serial, "
-             "or process when --jobs > 1)",
+        "--executor", choices=["serial", "process", "resilient"],
+        help="how scenario work units run (default: serial; process when "
+             "--jobs > 1; resilient when any resilience flag is given)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, metavar="S",
+        help="per-scenario wall-clock limit in seconds; a hung attempt "
+             "is killed and retried (implies --executor resilient)",
+    )
+    parser.add_argument(
+        "--retries", type=int, metavar="N",
+        help="re-attempts per scenario after a crash, timeout, or "
+             "transient error (default 2; implies --executor resilient)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="persist completed scenarios to a content-keyed store in DIR "
+             "(implies --executor resilient)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="serve scenarios already in --checkpoint-dir from disk "
+             "instead of recomputing them",
+    )
+    parser.add_argument(
+        "--inject-fault", action="append", default=[], metavar="KIND:INDEX",
+        help=argparse.SUPPRESS,  # testing/CI hook: crash|hang|error:INDEX
     )
 
 
@@ -136,20 +172,64 @@ def _make_obs(args: argparse.Namespace):
 
 
 def _make_executor(args: argparse.Namespace):
-    """Build the executor requested by ``--jobs`` / ``--executor``.
+    """Build the executor requested by ``--jobs`` / ``--executor`` and the
+    resilience flags.
 
-    Exits with status 2 (usage error) on invalid combinations: ``--jobs``
-    below 1, an explicit ``--executor serial`` with ``--jobs`` above 1.
+    Any of ``--timeout`` / ``--retries`` / ``--checkpoint-dir`` /
+    ``--resume`` / ``--inject-fault`` implies ``--executor resilient``;
+    combining them with an explicit serial/process executor is a usage
+    error.  Exits with status 2 (usage error) on invalid combinations:
+    ``--jobs`` below 1, an explicit ``--executor serial`` with ``--jobs``
+    above 1, ``--resume`` without ``--checkpoint-dir``, or a malformed
+    ``--inject-fault``.
     """
     from repro.errors import ConfigurationError
     from repro.experiments.exec.executor import make_executor
 
     jobs = getattr(args, "jobs", 1)
     kind = getattr(args, "executor", None)
+    resilience_flags = (
+        getattr(args, "timeout", None) is not None
+        or getattr(args, "retries", None) is not None
+        or getattr(args, "checkpoint_dir", None) is not None
+        or getattr(args, "resume", False)
+        or bool(getattr(args, "inject_fault", []))
+    )
     if kind is None:
-        kind = "process" if jobs > 1 else "serial"
+        if resilience_flags:
+            kind = "resilient"
+        else:
+            kind = "process" if jobs > 1 else "serial"
+    elif kind != "resilient" and resilience_flags:
+        print(
+            "repro: error: --timeout/--retries/--checkpoint-dir/--resume/"
+            f"--inject-fault require --executor resilient, not {kind}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     try:
-        return make_executor(kind, jobs=jobs)
+        policy = None
+        if kind == "resilient":
+            from repro.experiments.exec.resilience import ExecPolicy
+
+            policy_kwargs = {}
+            if getattr(args, "timeout", None) is not None:
+                policy_kwargs["timeout"] = args.timeout
+            if getattr(args, "retries", None) is not None:
+                policy_kwargs["retries"] = args.retries
+            if getattr(args, "checkpoint_dir", None) is not None:
+                policy_kwargs["checkpoint_dir"] = args.checkpoint_dir
+            policy_kwargs["resume"] = bool(getattr(args, "resume", False))
+            policy = ExecPolicy(**policy_kwargs)
+        executor = make_executor(kind, jobs=jobs, policy=policy)
+        for spec in getattr(args, "inject_fault", []):
+            fault, sep, index = spec.partition(":")
+            if not sep or not index.lstrip("-").isdigit():
+                raise ConfigurationError(
+                    f"--inject-fault expects KIND:INDEX, got {spec!r}"
+                )
+            executor.inject_fault(int(index), fault)
+        return executor
     except ConfigurationError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         raise SystemExit(2)
@@ -340,16 +420,22 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.sim", "discrete-event simulator + distributed protocol"),
         ("repro.metrics", "RD/delay/cost metrics and confidence intervals"),
         ("repro.experiments", "figure drivers and parameter sweeps"),
-        ("repro.experiments.exec", "ExperimentSpec, executors, substrate cache"),
+        ("repro.experiments.exec",
+         "ExperimentSpec, executors, resilience, substrate cache"),
         ("repro.obs", "metrics registry, span profiling, run reports"),
         ("repro.api", "stable facade: run_scenario / run_sweep / build_figure"),
     ]
     for name, description in components:
         print(f"  {name:24} {description}")
     print("\nparallel execution: figures/scenario/simulate accept "
-          "--jobs N and --executor {serial,process};\n"
+          "--jobs N and --executor {serial,process,resilient};\n"
           "  --jobs N > 1 fans scenarios over a process pool with "
-          "deterministic seed-order merging.")
+          "deterministic seed-order merging.\n"
+          "resilient execution: --timeout S, --retries N, "
+          "--checkpoint-dir DIR, --resume;\n"
+          "  crashed/hung scenarios are retried with backoff and completed "
+          "results persist for resume,\n"
+          "  with output byte-identical to a clean serial run.")
     return 0
 
 

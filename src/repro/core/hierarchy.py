@@ -160,13 +160,21 @@ class HierarchicalMulticast:
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
-    def recover(self, failures: FailureSet) -> HierarchicalRecoveryReport:
+    def recover(
+        self,
+        failures: FailureSet,
+        route_cache=None,
+        route_obs=None,
+    ) -> HierarchicalRecoveryReport:
         """Repair every domain a failure touches; others stay untouched.
 
         Implements the paper's domain confinement: once the failing domain
         is identified (the paper cites fault-isolation techniques [1]),
         recovery runs inside it with local detours over the domain's own
-        sub-topology.
+        sub-topology.  ``route_cache`` / ``route_obs`` memoise post-failure
+        SPF state across repairs exactly as in
+        :func:`~repro.core.recovery.repair_tree` (domain sub-topologies
+        carry their own cache tokens, so entries never cross domains).
         """
         report = HierarchicalRecoveryReport()
         for domain_id, protocol in sorted(self._protocols.items()):
@@ -189,6 +197,8 @@ class HierarchicalMulticast:
                 protocol.tree,
                 domain_failures,
                 strategy="local",
+                route_cache=route_cache,
+                route_obs=route_obs,
             )
             protocol.tree = repair.repaired_tree
             protocol.state.tree = repair.repaired_tree

@@ -157,7 +157,12 @@ class NLevelMulticast:
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
-    def recover(self, failures: FailureSet) -> NLevelRecoveryReport:
+    def recover(
+        self,
+        failures: FailureSet,
+        route_cache=None,
+        route_obs=None,
+    ) -> NLevelRecoveryReport:
         """Repair every affected domain inside its own sub-topology.
 
         Handles two failure classes:
@@ -178,7 +183,12 @@ class NLevelMulticast:
             if local.is_empty or not protocol.tree.affected_by(local):
                 continue
             repair = repair_tree(
-                self._graphs[domain_id], protocol.tree, local, strategy="local"
+                self._graphs[domain_id],
+                protocol.tree,
+                local,
+                strategy="local",
+                route_cache=route_cache,
+                route_obs=route_obs,
             )
             protocol.tree = repair.repaired_tree
             protocol.state.tree = repair.repaired_tree

@@ -33,7 +33,7 @@ from repro.errors import RecoveryError, UnrecoverableFailureError
 from repro.graph.topology import Edge, NodeId, Topology, edge_key
 from repro.multicast.tree import MulticastTree
 from repro.obs import NULL_OBS, Observability
-from repro.routing.failure_view import FailureSet
+from repro.routing.failure_view import NO_FAILURES, FailureSet
 from repro.routing.link_state import ConvergenceModel
 from repro.routing.spf import ShortestPaths, dijkstra
 
@@ -256,12 +256,60 @@ class TreeRepairReport:
         return sum(r.recovery_distance for r in self.recoveries)
 
 
+class _RepairPathsMemo:
+    """Per-repair memo of post-failure SPF state: one run per member, ever.
+
+    Within one :func:`repair_tree` call the ``(topology, member, failures)``
+    triple is invariant — only the *tree* grows as members re-attach — so
+    the member's :class:`ShortestPaths` from the first round stays valid in
+    every later round and only the truncation against the updated surviving
+    set needs redoing.  The memo presents the
+    :meth:`~repro.routing.route_cache.RouteCache.shortest_paths` interface
+    the recovery functions already consume, so it simply slots in as their
+    ``route_cache``; an actual route cache, when supplied, sits underneath
+    and serves cross-repair reuse (and its reuse proofs).
+
+    ``recovery.repair.spf_runs`` counts memo misses — at most one per
+    pending member, the O(k) bound the regression suite asserts (the old
+    loop recomputed every pending member every round: O(k²)).
+    """
+
+    __slots__ = ("_inner", "_paths", "_runs")
+
+    def __init__(self, inner, runs_counter) -> None:
+        self._inner = inner
+        self._paths: dict[NodeId, ShortestPaths] = {}
+        self._runs = runs_counter
+
+    def shortest_paths(
+        self,
+        topology: Topology,
+        root: NodeId,
+        weight: str = "delay",
+        failures: FailureSet = NO_FAILURES,
+        obs=None,
+    ) -> ShortestPaths:
+        paths = self._paths.get(root)
+        if paths is None:
+            self._runs.inc()
+            if self._inner is not None:
+                paths = self._inner.shortest_paths(
+                    topology, root, weight=weight, failures=failures, obs=obs
+                )
+            else:
+                paths = dijkstra(topology, root, weight=weight, failures=failures)
+            self._paths[root] = paths
+        return paths
+
+
 def repair_tree(
     topology: Topology,
     tree: MulticastTree,
     failures: FailureSet,
     strategy: str = "local",
     obs: Observability | None = None,
+    route_cache=None,
+    route_obs=None,
 ) -> TreeRepairReport:
     """Restore every disconnected member; returns the repaired tree.
 
@@ -272,6 +320,14 @@ def repair_tree(
     (each member independently re-joins along its re-converged SPF path).
     Detached pure-relay state is discarded, as its soft state would time
     out (§3.2).
+
+    Each member's post-failure SPF state is computed at most once for the
+    whole repair (``recovery.repair.spf_runs``) and re-truncated against
+    the updated surviving set each round.  ``route_cache`` (a failure-aware
+    :class:`~repro.routing.route_cache.RouteCache`) additionally shares
+    that state *across* repair calls; ``route_obs`` attributes its cache
+    traffic without touching the per-member ``recovery.*.attempts``
+    counters (the same split the measurement paths use).
     """
     if strategy not in ("local", "global"):
         raise RecoveryError(f"unknown repair strategy {strategy!r}")
@@ -279,6 +335,7 @@ def repair_tree(
         raise UnrecoverableFailureError(tree.source, "the source itself has failed")
 
     obs = obs if obs is not None else NULL_OBS
+    route_obs = route_obs if route_obs is not None else obs
     with obs.span("recovery.repair_tree"):
         repaired = _surviving_subtree(tree, failures)
         report = TreeRepairReport(repaired_tree=repaired, strategy=strategy)
@@ -291,6 +348,9 @@ def repair_tree(
             m for m in tree.disconnected_members(failures) if failures.node_failed(m)
         )
 
+        memo = _RepairPathsMemo(
+            route_cache, obs.counter("recovery.repair.spf_runs")
+        )
         while pending:
             recovery_fn = (
                 local_detour_recovery if strategy == "local" else global_detour_recovery
@@ -298,7 +358,14 @@ def repair_tree(
             options: list[tuple[float, NodeId, RecoveryResult]] = []
             for member in pending:
                 try:
-                    result = recovery_fn(topology, repaired, member, failures)
+                    result = recovery_fn(
+                        topology,
+                        repaired,
+                        member,
+                        failures,
+                        route_cache=memo,
+                        route_obs=route_obs,
+                    )
                 except UnrecoverableFailureError:
                     continue
                 options.append((result.recovery_distance, member, result))

@@ -90,3 +90,31 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or protocol was configured with invalid parameters."""
+
+
+class ExecutionError(ReproError):
+    """A sweep work unit could not be executed by the execution engine."""
+
+
+class RetryExhaustedError(ExecutionError):
+    """A scenario work unit kept failing after every allowed retry.
+
+    Carries the work unit's batch index and a description of its last
+    failure so the scenario can be re-run in isolation.
+    """
+
+    def __init__(
+        self, index: int, describe: str, attempts: int, reason: str
+    ) -> None:
+        self.index = index
+        self.describe = describe
+        self.attempts = attempts
+        self.reason = reason
+        super().__init__(
+            f"scenario #{index} ({describe}) failed on all {attempts} "
+            f"attempt(s); last failure: {reason}"
+        )
+
+
+class CheckpointError(ExecutionError):
+    """A checkpoint store could not be read or written."""

@@ -9,13 +9,18 @@ The pieces and how they fit:
   ``ProcessPoolExecutor``), with deterministic seed-order merging;
 - :class:`SubstrateCache` (``cache``) — content-keyed topology + SPF
   route caches shared per executor / per worker process;
-- ``worker`` — the picklable worker-process entry point.
+- :class:`ResilientExecutor` / :class:`ExecPolicy` (``resilience``) — the
+  fault-tolerant backend: per-scenario timeouts, bounded retry with
+  backoff, crash isolation, and checkpoint/resume through a
+  :class:`CheckpointStore` (``checkpoint``);
+- ``worker`` — the picklable worker-process entry points.
 
-``make_executor(kind, jobs)`` is the CLI-facing factory.  The public API
-is also re-exported at :mod:`repro.api`.
+``make_executor(kind, jobs, policy)`` is the CLI-facing factory.  The
+public API is also re-exported at :mod:`repro.api`.
 """
 
 from repro.experiments.exec.cache import SubstrateCache, process_cache
+from repro.experiments.exec.checkpoint import CheckpointStore
 from repro.experiments.exec.executor import (
     EXECUTOR_KINDS,
     Executor,
@@ -23,14 +28,18 @@ from repro.experiments.exec.executor import (
     SerialExecutor,
     make_executor,
 )
+from repro.experiments.exec.resilience import ExecPolicy, ResilientExecutor
 from repro.experiments.exec.spec import SWEEPABLE_PARAMETERS, ExperimentSpec
 
 __all__ = [
+    "CheckpointStore",
     "EXECUTOR_KINDS",
-    "SWEEPABLE_PARAMETERS",
+    "ExecPolicy",
     "Executor",
     "ExperimentSpec",
     "ParallelExecutor",
+    "ResilientExecutor",
+    "SWEEPABLE_PARAMETERS",
     "SerialExecutor",
     "SubstrateCache",
     "make_executor",

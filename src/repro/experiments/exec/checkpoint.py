@@ -1,0 +1,135 @@
+"""Content-keyed checkpoint store for completed scenario work units.
+
+A :class:`CheckpointStore` persists every completed
+:class:`~repro.experiments.runner.ScenarioResult` as one JSONL record in
+``<directory>/results.jsonl``, keyed by
+:meth:`ScenarioConfig.content_key
+<repro.experiments.scenario.ScenarioConfig.content_key>` (the same
+SHA-256-of-canonical-JSON construction as
+``ExperimentSpec.content_key``).  Because keys are content identities —
+not positions in a particular sweep — a store can be shared across
+batches, figures, and interrupted runs: any later sweep that contains the
+same ``(spec, seed)`` work unit resumes from the stored result instead of
+recomputing it.
+
+Durability model: records are appended and flushed line-by-line, so a
+crash loses at most the line being written; :meth:`load` skips a torn
+trailing record (and rejects corruption anywhere earlier, which indicates
+real damage rather than an interrupted write).  Results round-trip
+exactly — JSON encodes doubles losslessly — so a resumed sweep's merged
+tables are byte-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.experiments.runner import ScenarioResult
+
+#: Store layout version; a mismatching store is rejected, not guessed at.
+STORE_VERSION = 1
+
+#: The single append-only record file inside a checkpoint directory.
+RESULTS_FILENAME = "results.jsonl"
+
+
+class CheckpointStore:
+    """Append-only, content-keyed store of completed scenario results."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / RESULTS_FILENAME
+        self._index: dict[str, ScenarioResult] = {}
+        self._writer = None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.load()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load(self) -> int:
+        """(Re)build the in-memory index from disk; returns entry count.
+
+        The last line may be torn (a run interrupted mid-append) and is
+        skipped silently; a malformed record anywhere *before* the final
+        line raises :class:`~repro.errors.CheckpointError` — that is
+        corruption, not an interrupted write.
+        """
+        self._index.clear()
+        if not self.path.exists():
+            return 0
+        with self.path.open("r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                if record.get("store_version") != STORE_VERSION:
+                    raise CheckpointError(
+                        f"{self.path}: unsupported store version "
+                        f"{record.get('store_version')!r}"
+                    )
+                key = record["key"]
+                result = ScenarioResult.from_dict(record["result"])
+            except CheckpointError:
+                raise
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                if lineno == len(lines):
+                    break  # torn trailing record from an interrupted run
+                raise CheckpointError(
+                    f"{self.path}:{lineno}: corrupt checkpoint record: {exc}"
+                ) from exc
+            self._index[key] = result
+        return len(self._index)
+
+    def get(self, key: str) -> ScenarioResult | None:
+        return self._index.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def put(self, key: str, result: ScenarioResult) -> bool:
+        """Persist one completed result; returns False when already stored
+        (content keys make duplicate completions a no-op, e.g. the same
+        scenario appearing in two overlapping sweeps)."""
+        if key in self._index:
+            return False
+        record = {
+            "store_version": STORE_VERSION,
+            "key": key,
+            "config": result.config.describe(),
+            "result": result.to_dict(),
+        }
+        if self._writer is None:
+            self._writer = self.path.open("a", encoding="utf-8")
+        self._writer.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._writer.flush()
+        self._index[key] = result
+        return True
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"CheckpointStore({str(self.directory)!r}, entries={len(self)})"

@@ -35,7 +35,7 @@ from repro.experiments.exec.cache import SubstrateCache
 from repro.experiments.exec.spec import ExperimentSpec
 
 #: Executor kinds accepted by :func:`make_executor` and the CLI.
-EXECUTOR_KINDS = ("serial", "process")
+EXECUTOR_KINDS = ("serial", "process", "resilient")
 
 
 class Executor(ABC):
@@ -194,14 +194,24 @@ class ParallelExecutor(Executor):
         return f"ParallelExecutor(jobs={self.jobs}, {state})"
 
 
-def make_executor(kind: str = "serial", jobs: int = 1) -> Executor:
+def make_executor(kind: str = "serial", jobs: int = 1, policy=None) -> Executor:
     """Build an executor from CLI-style parameters.
 
     ``jobs`` must be >= 1.  ``kind='serial'`` with ``jobs > 1`` is a
-    contradiction and raises; ``kind='process'`` honours ``jobs``.
+    contradiction and raises; ``kind='process'`` and ``kind='resilient'``
+    honour ``jobs``.  ``policy`` (an
+    :class:`~repro.experiments.exec.resilience.ExecPolicy`) selects the
+    fault-tolerance envelope and is only meaningful for the resilient
+    executor — passing one with another kind raises, since silently
+    dropping timeout/retry/resume settings would be worse.
     """
     if jobs < 1:
         raise ConfigurationError(f"--jobs must be >= 1, got {jobs}")
+    if policy is not None and kind != "resilient":
+        raise ConfigurationError(
+            f"execution policy (timeouts/retries/checkpointing) requires "
+            f"--executor resilient, not {kind!r}"
+        )
     if kind == "serial":
         if jobs > 1:
             raise ConfigurationError(
@@ -211,6 +221,10 @@ def make_executor(kind: str = "serial", jobs: int = 1) -> Executor:
         return SerialExecutor()
     if kind == "process":
         return ParallelExecutor(jobs=jobs)
+    if kind == "resilient":
+        from repro.experiments.exec.resilience import ResilientExecutor
+
+        return ResilientExecutor(jobs=jobs, policy=policy)
     raise ConfigurationError(
         f"unknown executor {kind!r}; expected one of {EXECUTOR_KINDS}"
     )

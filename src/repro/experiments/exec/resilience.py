@@ -1,0 +1,398 @@
+"""Fault-tolerant sweep execution: timeouts, retries, isolation, resume.
+
+The paper's evaluation procedure is long sweeps of independent scenarios
+(100 per sweep point, §4.1) — exactly the workload where one hung or
+crashed worker must not cost the run.  This module supplies the
+robustness layer the plain executors deliberately omit:
+
+- **crash isolation** — every scenario attempt runs in its *own* worker
+  process with a dedicated result pipe, so a dying worker loses one
+  attempt, never a pool (a ``ProcessPoolExecutor`` marks itself broken
+  and fails every in-flight future when any worker dies);
+- **wall-clock timeouts** — an attempt exceeding
+  :attr:`ExecPolicy.timeout` is killed and treated like a crash;
+- **bounded retry with exponential backoff** — crashed, timed-out, and
+  transiently erroring scenarios are re-attempted up to
+  :attr:`ExecPolicy.retries` times; a scenario that fails every attempt
+  raises :class:`~repro.errors.RetryExhaustedError`;
+- **content-keyed checkpoint/resume** — completed results persist to a
+  :class:`~repro.experiments.exec.checkpoint.CheckpointStore` keyed by
+  ``ScenarioConfig.content_key`` / ``ExperimentSpec.content_key``, so an
+  interrupted ``figures`` run resumes instead of restarting.
+
+Determinism is preserved: results are recorded by batch index and worker
+observability reports merge in seed order after the batch, so merged
+tables are byte-identical to a serial run no matter how many faults,
+retries, or checkpoint hits occurred along the way (the fault-injection
+suite asserts it).  Fault activity is visible in run reports as
+``exec.retries`` / ``exec.timeouts`` / ``exec.crashes`` /
+``exec.scenario_errors`` and ``exec.checkpoint.{hits,writes}``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing.connection import wait as _connection_wait
+from typing import Sequence
+
+from repro.errors import ConfigurationError, RetryExhaustedError
+from repro.obs import NULL_OBS, Observability, merge_report_into
+from repro.experiments.runner import ScenarioResult
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.exec.checkpoint import CheckpointStore
+from repro.experiments.exec.executor import Executor
+from repro.experiments.exec.spec import ExperimentSpec
+from repro.experiments.exec.worker import FAULT_KINDS, resilient_worker_main
+
+
+@dataclass(frozen=True)
+class ExecPolicy:
+    """Fault-tolerance envelope of a resilient sweep.
+
+    Attributes
+    ----------
+    timeout:
+        Per-scenario wall-clock limit in seconds (``None``: no limit).
+        An attempt past its deadline is killed and retried.
+    retries:
+        Re-attempts allowed per scenario after its first try; ``0`` turns
+        every fault into an immediate :class:`RetryExhaustedError`.
+    backoff_base / backoff_cap:
+        Retry ``n`` waits ``min(cap, base * 2**(n-1))`` seconds before
+        redispatch (tests set ``backoff_base=0`` for speed).
+    checkpoint_dir:
+        Directory of the content-keyed result store; every completed
+        scenario is appended there.  ``None`` disables checkpointing.
+    resume:
+        Serve scenarios already present in the checkpoint store from disk
+        instead of recomputing them.  Requires ``checkpoint_dir``.
+    """
+
+    timeout: float | None = None
+    retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    checkpoint_dir: str | None = None
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(
+                f"timeout must be positive (or None), got {self.timeout}"
+            )
+        if self.retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigurationError("backoff must be non-negative")
+        if self.resume and self.checkpoint_dir is None:
+            raise ConfigurationError("resume requires a checkpoint directory")
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+
+
+class _Task:
+    """One scenario work unit's retry state inside a batch."""
+
+    __slots__ = ("index", "config", "key", "attempt", "not_before")
+
+    def __init__(self, index: int, config: ScenarioConfig, key: str | None):
+        self.index = index
+        self.config = config
+        self.key = key
+        self.attempt = 0  # attempts already failed
+        self.not_before = 0.0  # monotonic instant the next attempt may start
+
+
+class _Attempt:
+    """One live worker process executing a task attempt."""
+
+    __slots__ = ("task", "proc", "conn", "deadline")
+
+    def __init__(self, task: _Task, proc, conn, deadline: float | None):
+        self.task = task
+        self.proc = proc
+        self.conn = conn
+        self.deadline = deadline
+
+
+class ResilientExecutor(Executor):
+    """Fault-tolerant executor: one process per scenario attempt.
+
+    Spawning per attempt costs a few milliseconds of fork next to
+    scenarios that run for tens to hundreds — the price of being able to
+    kill a hung attempt outright and of confining any crash to exactly
+    one scenario.  Workers still share substrate state where it is free:
+    on fork-start platforms each child inherits whatever the parent's
+    process cache held.
+
+    ``inject_fault`` arms deterministic test faults (crash / hang /
+    error) against a batch index — the hook behind the fault-injection
+    suite and CI's resilience smoke job; production runs never set it.
+    """
+
+    kind = "resilient"
+
+    def __init__(
+        self, jobs: int | None = None, policy: ExecPolicy | None = None
+    ) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.policy = policy if policy is not None else ExecPolicy()
+        self._ctx = get_context()
+        self._store = (
+            CheckpointStore(self.policy.checkpoint_dir)
+            if self.policy.checkpoint_dir is not None
+            else None
+        )
+        #: index -> (fault kind, persistent).  One-shot faults fire on the
+        #: first attempt of the matching work unit, then disarm.
+        self._fault_plan: dict[int, tuple[str, bool]] = {}
+
+    # ------------------------------------------------------------------
+    # Fault injection (testing hook)
+    # ------------------------------------------------------------------
+    def inject_fault(
+        self, index: int, fault: str, persistent: bool = False
+    ) -> None:
+        """Arm ``fault`` against batch work unit ``index``.
+
+        One-shot by default (first attempt only — the retry then
+        succeeds); ``persistent`` faults hit every attempt, which is how
+        the suite proves retry exhaustion fails loudly.
+        """
+        if fault not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault {fault!r}; expected one of {FAULT_KINDS}"
+            )
+        if index < 0:
+            raise ConfigurationError(f"fault index must be >= 0, got {index}")
+        self._fault_plan[index] = (fault, persistent)
+
+    # ------------------------------------------------------------------
+    # Executor interface
+    # ------------------------------------------------------------------
+    def map_scenarios(
+        self,
+        configs: Sequence[ScenarioConfig],
+        obs: Observability | None = None,
+    ) -> list[ScenarioResult]:
+        obs = obs if obs is not None else NULL_OBS
+        capture = obs.enabled
+        results: list[ScenarioResult | None] = [None] * len(configs)
+        reports: dict[int, dict] = {}
+        tasks: list[_Task] = []
+        for index, config in enumerate(configs):
+            key = config.content_key() if self._store is not None else None
+            if self._store is not None and self.policy.resume:
+                cached = self._store.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    obs.counter("exec.checkpoint.hits").inc()
+                    continue
+            tasks.append(_Task(index, config, key))
+        self._run_tasks(tasks, capture, obs, results, reports)
+        # Merge worker reports by batch (seed) index, never completion
+        # order, so the combined report is deterministic under retries.
+        for index in sorted(reports):
+            merge_report_into(obs, reports[index])
+        obs.counter("exec.scenarios").inc(len(configs))
+        if capture:
+            obs.gauge("exec.jobs").set(self.jobs)
+            obs.counter("exec.worker_reports_merged").inc(len(reports))
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def run_sweep(self, spec: ExperimentSpec, obs=None):
+        if self._store is not None:
+            self._write_manifest(spec)
+        return super().run_sweep(spec, obs=obs)
+
+    def close(self) -> None:
+        if self._store is not None:
+            self._store.close()
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def _run_tasks(self, tasks, capture, obs, results, reports) -> None:
+        waiting: list[_Task] = list(tasks)
+        running: list[_Attempt] = []
+        try:
+            while waiting or running:
+                now = time.monotonic()
+                ready = [t for t in waiting if t.not_before <= now]
+                while ready and len(running) < self.jobs:
+                    task = ready.pop(0)
+                    waiting.remove(task)
+                    running.append(self._start_attempt(task, capture))
+                if running:
+                    self._poll(running, waiting, obs, results, reports)
+                else:
+                    # Every remaining task is backing off; sleep it out.
+                    wake = min(t.not_before for t in waiting)
+                    delay = wake - time.monotonic()
+                    if delay > 0:
+                        time.sleep(delay)
+        finally:
+            # Only reached non-empty on an exception (retry exhaustion or
+            # a caller interrupt): reap stragglers, leak no processes.
+            for attempt in running:
+                self._reap(attempt, kill=True)
+
+    def _poll(self, running, waiting, obs, results, reports) -> None:
+        now = time.monotonic()
+        wakeups = [a.deadline for a in running if a.deadline is not None]
+        if len(running) < self.jobs and waiting:
+            wakeups.append(min(t.not_before for t in waiting))
+        timeout = None if not wakeups else max(0.0, min(wakeups) - now)
+        handles = []
+        for attempt in running:
+            handles.append(attempt.conn)
+            handles.append(attempt.proc.sentinel)
+        signalled = set(_connection_wait(handles, timeout))
+        now = time.monotonic()
+        for attempt in list(running):
+            if attempt.conn in signalled or attempt.proc.sentinel in signalled:
+                message = None
+                if attempt.conn.poll():
+                    try:
+                        message = attempt.conn.recv()
+                    except (EOFError, OSError):
+                        message = None
+                if message is not None and message[0] == "ok":
+                    self._complete(attempt, message, running, obs, results, reports)
+                elif message is not None and message[0] == "error":
+                    self._fail(
+                        attempt,
+                        "scenario_errors",
+                        f"worker raised {message[1]}",
+                        running,
+                        waiting,
+                        obs,
+                        remote_traceback=message[2],
+                    )
+                else:
+                    self._fail(
+                        attempt,
+                        "crashes",
+                        f"worker died without a result "
+                        f"(exit code {attempt.proc.exitcode})",
+                        running,
+                        waiting,
+                        obs,
+                    )
+            elif attempt.deadline is not None and now >= attempt.deadline:
+                self._fail(
+                    attempt,
+                    "timeouts",
+                    f"exceeded the {self.policy.timeout:g}s wall-clock "
+                    "timeout and was killed",
+                    running,
+                    waiting,
+                    obs,
+                    kill=True,
+                )
+
+    def _start_attempt(self, task: _Task, capture: bool) -> _Attempt:
+        fault = None
+        armed = self._fault_plan.get(task.index)
+        if armed is not None:
+            kind, persistent = armed
+            if persistent:
+                fault = kind
+            elif task.attempt == 0:
+                fault = kind
+                del self._fault_plan[task.index]
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=resilient_worker_main,
+            args=(send_conn, task.config, capture, fault),
+            daemon=True,
+            name=f"repro-scenario-{task.index}",
+        )
+        proc.start()
+        send_conn.close()  # the worker holds the only send end now
+        deadline = (
+            time.monotonic() + self.policy.timeout
+            if self.policy.timeout is not None
+            else None
+        )
+        return _Attempt(task, proc, recv_conn, deadline)
+
+    def _complete(self, attempt, message, running, obs, results, reports) -> None:
+        _, result, report = message
+        task = attempt.task
+        running.remove(attempt)
+        self._reap(attempt)
+        results[task.index] = result
+        if report is not None:
+            reports[task.index] = report
+        if self._store is not None and task.key is not None:
+            if self._store.put(task.key, result):
+                obs.counter("exec.checkpoint.writes").inc()
+
+    def _fail(
+        self,
+        attempt,
+        counter: str,
+        reason: str,
+        running,
+        waiting,
+        obs,
+        remote_traceback: str | None = None,
+        kill: bool = False,
+    ) -> None:
+        task = attempt.task
+        running.remove(attempt)
+        self._reap(attempt, kill=kill)
+        obs.counter(f"exec.{counter}").inc()
+        if task.attempt >= self.policy.retries:
+            detail = reason
+            if remote_traceback:
+                detail = f"{reason}\n{remote_traceback}"
+            raise RetryExhaustedError(
+                task.index, task.config.describe(), task.attempt + 1, detail
+            )
+        task.attempt += 1
+        obs.counter("exec.retries").inc()
+        task.not_before = time.monotonic() + self.policy.backoff(task.attempt)
+        waiting.append(task)
+
+    def _reap(self, attempt: _Attempt, kill: bool = False) -> None:
+        try:
+            attempt.conn.close()
+        except OSError:
+            pass
+        proc = attempt.proc
+        if kill and proc.is_alive():
+            proc.terminate()
+            proc.join(2.0)
+            if proc.is_alive():
+                proc.kill()
+        proc.join(5.0)
+
+    # ------------------------------------------------------------------
+    # Checkpoint manifest
+    # ------------------------------------------------------------------
+    def _write_manifest(self, spec: ExperimentSpec) -> None:
+        """Archive the sweep's spec next to its results, named by its
+        content key, so a checkpoint directory is self-describing."""
+        path = self._store.directory / f"manifest-{spec.content_key()}.json"
+        if not path.exists():
+            path.write_text(spec.to_json() + "\n", encoding="utf-8")
+
+    def __repr__(self) -> str:
+        store = "" if self._store is None else f", store={self._store!r}"
+        return (
+            f"ResilientExecutor(jobs={self.jobs}, "
+            f"timeout={self.policy.timeout}, retries={self.policy.retries}"
+            f"{store})"
+        )

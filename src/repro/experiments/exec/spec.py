@@ -195,6 +195,13 @@ class ExperimentSpec:
         canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
+    def content_key(self) -> str:
+        """Alias of :meth:`key` matching
+        :meth:`ScenarioConfig.content_key
+        <repro.experiments.scenario.ScenarioConfig.content_key>` — the
+        name the checkpoint layer uses for content identities."""
+        return self.key()
+
     def describe(self) -> str:
         return (
             f"sweep {self.sweep_parameter} over {list(self.sweep_values)} "

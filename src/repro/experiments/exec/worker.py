@@ -13,13 +13,35 @@ When observability capture is on, each task records into a fresh
 :class:`~repro.obs.Observability` and ships back its run report; the
 parent merges reports in seed order (:mod:`repro.obs.merge`), keeping the
 combined report deterministic regardless of completion order.
+
+Two entry points:
+
+- :func:`run_scenario_task` — the pool task of the
+  :class:`~repro.experiments.exec.executor.ParallelExecutor`;
+- :func:`resilient_worker_main` — the process main of one
+  :class:`~repro.experiments.exec.resilience.ResilientExecutor` attempt,
+  speaking the one-message pipe protocol described there (and honouring
+  the executor's injected test faults).
 """
 
 from __future__ import annotations
 
+import os
+import time
+import traceback
+
 from repro.experiments.runner import ScenarioResult, run_scenario
 from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.exec.cache import process_cache
+
+#: Fault kinds the resilient executor may inject for testing: die without
+#: a word, never answer, or raise a transient in-scenario error.
+FAULT_KINDS = ("crash", "hang", "error")
+
+#: How long a "hang" fault sleeps — effectively forever next to any
+#: realistic per-scenario timeout; the parent kills the process long
+#: before this elapses.
+_HANG_SECONDS = 3600.0
 
 
 def run_scenario_task(
@@ -35,3 +57,46 @@ def run_scenario_task(
         return result, build_run_report(obs)
     result = run_scenario(config, cache=process_cache())
     return result, None
+
+
+def resilient_worker_main(
+    conn,
+    config: ScenarioConfig,
+    capture_obs: bool,
+    fault: str | None = None,
+) -> None:
+    """Process main of one resilient scenario attempt.
+
+    Exactly one message goes back on ``conn``:
+
+    - ``("ok", ScenarioResult, run-report | None)`` on success;
+    - ``("error", summary, traceback)`` when the scenario raised — a
+      *transient* failure the parent may retry.
+
+    A worker that dies without sending anything (a real crash, an OOM
+    kill, or the injected ``"crash"`` fault) is detected by the parent
+    through the process sentinel; one that never answers (``"hang"``) is
+    terminated at the policy's wall-clock timeout.  ``fault`` is the
+    executor's test-injection hook and does nothing in production runs.
+    """
+    try:
+        if fault == "crash":
+            os._exit(86)  # die wordlessly, as a segfaulted worker would
+        if fault == "hang":
+            time.sleep(_HANG_SECONDS)
+        if fault == "error":
+            raise RuntimeError("injected transient error")
+        result, report = run_scenario_task((config, capture_obs))
+        conn.send(("ok", result, report))
+    except BaseException as exc:  # noqa: BLE001 - the pipe is the error channel
+        try:
+            conn.send(
+                ("error", f"{type(exc).__name__}: {exc}", traceback.format_exc())
+            )
+        except OSError:
+            pass  # parent already gone; exiting is all that is left
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -20,7 +20,7 @@ from the tree shape versus the recovery rule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.graph.topology import NodeId, Topology
@@ -113,6 +113,53 @@ class ScenarioResult:
     @property
     def unrecoverable_members(self) -> int:
         return sum(1 for m in self.measurements if not m.comparable)
+
+    # -- checkpoint (de)serialization -----------------------------------
+    #: Payload layout version, bumped whenever the dict shape changes so a
+    #: stale checkpoint is rejected instead of half-read.
+    PAYLOAD_VERSION = 1
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload that round-trips exactly through
+        :meth:`from_dict` (Python's JSON float encoding is lossless, so a
+        restored result is ``==`` to the original — the checkpoint suite
+        asserts byte-identical rendered tables)."""
+        return {
+            "version": self.PAYLOAD_VERSION,
+            "config": asdict(self.config),
+            "source": self.source,
+            "members": list(self.members),
+            "average_degree": self.average_degree,
+            "cost_spf": self.cost_spf,
+            "cost_smrp": self.cost_smrp,
+            "smrp_fallback_joins": self.smrp_fallback_joins,
+            "smrp_reshapes": self.smrp_reshapes,
+            "measurements": [asdict(m) for m in self.measurements],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioResult":
+        from repro.errors import CheckpointError
+
+        version = payload.get("version")
+        if version != cls.PAYLOAD_VERSION:
+            raise CheckpointError(
+                f"unsupported ScenarioResult payload version {version!r} "
+                f"(expected {cls.PAYLOAD_VERSION})"
+            )
+        return cls(
+            config=ScenarioConfig(**payload["config"]),
+            source=payload["source"],
+            members=list(payload["members"]),
+            average_degree=payload["average_degree"],
+            cost_spf=payload["cost_spf"],
+            cost_smrp=payload["cost_smrp"],
+            smrp_fallback_joins=payload["smrp_fallback_joins"],
+            smrp_reshapes=payload["smrp_reshapes"],
+            measurements=[
+                MemberMeasurement(**m) for m in payload["measurements"]
+            ],
+        )
 
     def summary(self) -> str:
         """One-line digest: member count, costs, and the headline metrics."""

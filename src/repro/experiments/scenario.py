@@ -13,7 +13,9 @@ assembled — never lazily deep inside a worker process.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
 
 import numpy as np
 
@@ -107,6 +109,19 @@ class ScenarioConfig:
     def with_seeds(self, topology_seed: int, member_seed: int) -> "ScenarioConfig":
         """The same configuration with different random draws."""
         return replace(self, topology_seed=topology_seed, member_seed=member_seed)
+
+    def content_key(self) -> str:
+        """Stable content digest — the scenario's checkpoint identity.
+
+        The same construction as :meth:`ExperimentSpec.key
+        <repro.experiments.exec.spec.ExperimentSpec.key>`: a SHA-256
+        prefix of the canonical JSON form.  Every field that influences
+        the result is a dataclass field, so equal configs — however they
+        were assembled — share a key, and any parameter change produces a
+        fresh one.
+        """
+        canonical = json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     def describe(self) -> str:
         return (

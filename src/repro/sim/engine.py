@@ -106,25 +106,31 @@ class Simulator:
         When ``until`` is given, the clock is advanced to exactly that
         time afterwards (even if the queue drained earlier), so periodic
         processes can be resumed by further ``run`` calls.
+
+        The runaway guard fires *before* the event past the limit runs:
+        exactly ``max_events`` events execute, ``events_processed`` counts
+        only events that actually ran, and the overflowing event stays in
+        the queue rather than being popped and silently dropped.
         """
         while self._queue:
             event = self._queue[0]
             if until is not None and event.time > until:
                 break
-            heapq.heappop(self._queue)
             if event.cancelled:
+                heapq.heappop(self._queue)
                 if self._obs is not None:
                     self._c_cancelled.inc()
                 continue
+            if self.events_processed >= self._max_events:
+                raise SimulationError(
+                    f"event limit reached ({self._max_events}); likely a "
+                    "runaway timer loop"
+                )
+            heapq.heappop(self._queue)
             self.now = event.time
             self.events_processed += 1
             if self._obs is not None:
                 self._c_fired.inc()
-            if self.events_processed > self._max_events:
-                raise SimulationError(
-                    f"exceeded {self._max_events} events; likely a runaway "
-                    "timer loop"
-                )
             event.action()
         if until is not None and until > self.now:
             self.now = until

@@ -8,6 +8,7 @@ routers, §1).  A :class:`FailureSchedule` binds injection times to a
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -35,6 +36,11 @@ class FailureSchedule:
 
     link_failures: list[LinkFailure] = field(default_factory=list)
     node_failures: list[NodeFailure] = field(default_factory=list)
+    #: Simulators this schedule is already armed on (weak: a schedule must
+    #: not keep dead simulators alive).  Not part of value equality.
+    _armed: "weakref.WeakSet[Simulator]" = field(
+        default_factory=weakref.WeakSet, repr=False, compare=False
+    )
 
     def fail_link_at(self, time: float, u: NodeId, v: NodeId) -> "FailureSchedule":
         if time < 0:
@@ -49,7 +55,17 @@ class FailureSchedule:
         return self
 
     def arm(self, sim: Simulator, network: SimNetwork) -> None:
-        """Schedule every failure on the simulator."""
+        """Schedule every failure on the simulator, exactly once per sim.
+
+        Arming is idempotent per simulator: re-arming the same schedule —
+        e.g. when setup code is re-driven after a checkpoint resume — is a
+        no-op instead of double-injecting every failure.  Failures added
+        *after* the first ``arm`` call are not picked up by a re-arm;
+        schedule them before arming (a distinct simulator arms afresh).
+        """
+        if sim in self._armed:
+            return
+        self._armed.add(sim)
         for lf in self.link_failures:
             sim.schedule_at(lf.time, lambda lf=lf: self._inject_link(network, lf))
         for nf in self.node_failures:

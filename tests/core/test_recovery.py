@@ -152,3 +152,151 @@ class TestRepairTree:
         report = repair_tree(fig1, fig1_tree, failure)
         assert node_id("D") in report.unrecoverable
         assert node_id("C") in report.repaired_tree.members
+
+
+class TestRepairMemoization:
+    """The O(k) SPF bound: one post-failure SPF per pending member.
+
+    The old loop recomputed every pending member's SPF every round —
+    O(k²) runs for k disconnected members.  ``repair_tree`` now memoises
+    each member's post-failure SPF for the whole repair (the
+    ``(topology, member, failures)`` triple is invariant while the tree
+    grows), so ``recovery.repair.spf_runs`` is bounded by k — with
+    results identical to the naive per-round recomputation.
+    """
+
+    def _session(self, waxman50):
+        """A multi-member SPF session whose worst-case failure strands
+        several members at once (multiple nearest-first rounds)."""
+        from repro.multicast.spf_protocol import SPFMulticastProtocol
+
+        import numpy as np
+
+        nodes = sorted(waxman50.nodes())
+        source = nodes[0]
+        rng = np.random.default_rng(7)
+        members = [
+            int(m) for m in rng.choice(nodes[1:], size=12, replace=False)
+        ]
+        tree = SPFMulticastProtocol(waxman50, source, self_check=False).build(
+            members
+        )
+        failure = worst_case_failure(tree, members[0])
+        return tree, failure
+
+    @staticmethod
+    def _naive_repair(topology, tree, failures, strategy="local"):
+        """The pre-memoization loop: fresh SPF for every pending member,
+        every round — the reference the memoized repair must match."""
+        from repro.core.recovery import TreeRepairReport, _surviving_subtree
+        from repro.graph.topology import edge_key
+
+        repaired = _surviving_subtree(tree, failures)
+        report = TreeRepairReport(repaired_tree=repaired, strategy=strategy)
+        pending = [
+            m
+            for m in tree.disconnected_members(failures)
+            if not failures.node_failed(m)
+        ]
+        report.unrecoverable.extend(
+            m
+            for m in tree.disconnected_members(failures)
+            if failures.node_failed(m)
+        )
+        recovery_fn = (
+            local_detour_recovery if strategy == "local" else global_detour_recovery
+        )
+        while pending:
+            options = []
+            for member in pending:
+                try:
+                    result = recovery_fn(topology, repaired, member, failures)
+                except UnrecoverableFailureError:
+                    continue
+                options.append((result.recovery_distance, member, result))
+            if not options:
+                report.unrecoverable.extend(sorted(pending))
+                break
+            if strategy == "local":
+                options.sort(key=lambda item: (item[0], item[1]))
+            _, chosen_member, chosen = options[0]
+            graft = list(reversed(chosen.restoration_path))
+            repaired.graft(graft)
+            report.recoveries.append(chosen)
+            report.new_links.update(
+                edge_key(u, v) for u, v in zip(graft, graft[1:])
+            )
+            pending.remove(chosen_member)
+        return report
+
+    @staticmethod
+    def _digest(report):
+        return (
+            report.strategy,
+            report.recoveries,
+            sorted(report.unrecoverable),
+            sorted(report.new_links),
+            sorted(report.repaired_tree.tree_links()),
+            report.repaired_tree.members,
+        )
+
+    @pytest.mark.parametrize("strategy", ["local", "global"])
+    def test_report_identical_to_naive_per_round_recomputation(
+        self, waxman50, strategy
+    ):
+        tree, failure = self._session(waxman50)
+        memoized = repair_tree(waxman50, tree, failure, strategy=strategy)
+        naive = self._naive_repair(waxman50, tree, failure, strategy=strategy)
+        assert self._digest(memoized) == self._digest(naive)
+
+    def test_spf_runs_bounded_by_pending_members(self, waxman50):
+        from repro.obs import Observability
+
+        tree, failure = self._session(waxman50)
+        pending = [
+            m
+            for m in tree.disconnected_members(failure)
+            if not failure.node_failed(m)
+        ]
+        assert len(pending) >= 3  # multiple rounds, or the bound is trivial
+        obs = Observability()
+        report = repair_tree(waxman50, tree, failure, obs=obs)
+        counters = obs.metrics.counters("recovery")
+        assert counters["recovery.repair.spf_runs"] <= len(pending)
+        assert len(report.recoveries) + len(report.unrecoverable) == len(pending)
+
+    def test_attempt_counters_unchanged_by_memoization(self, waxman50):
+        # The memo must not leak the caller's obs into the per-member
+        # recovery functions: recovery.*.attempts counts stay exactly as
+        # before the optimisation (zero from inside repair_tree).
+        from repro.obs import Observability
+
+        tree, failure = self._session(waxman50)
+        obs = Observability()
+        repair_tree(waxman50, tree, failure, obs=obs)
+        counters = obs.metrics.counters("recovery")
+        assert "recovery.local.attempts" not in counters
+        assert "recovery.global.attempts" not in counters
+
+    def test_external_route_cache_composes_with_the_memo(self, waxman50):
+        from repro.obs import Observability
+        from repro.routing.route_cache import RouteCache
+
+        tree, failure = self._session(waxman50)
+        plain = repair_tree(waxman50, tree, failure)
+        cache = RouteCache()
+        route_obs = Observability()
+        cached = repair_tree(
+            waxman50, tree, failure, route_cache=cache, route_obs=route_obs
+        )
+        assert self._digest(plain) == self._digest(cached)
+        # A second repair with the same cache serves SPF state from it.
+        obs2 = Observability()
+        again = repair_tree(
+            waxman50, tree, failure, obs=obs2, route_cache=cache
+        )
+        assert self._digest(plain) == self._digest(again)
+        counters = obs2.metrics.counters("recovery")
+        assert counters["recovery.repair.spf_runs"] >= 1  # memo misses...
+        hits = obs2.metrics.counters("cache.routes")
+        assert hits.get("cache.routes.hits", 0) >= 1  # ...served by the cache

@@ -111,3 +111,37 @@ class TestRunaway:
         sim.schedule(1.0, forever)
         with pytest.raises(SimulationError):
             sim.run(until=1e9)
+
+    def test_exactly_max_events_completes(self):
+        # Boundary: a run needing exactly max_events must finish — the
+        # guard is for the event *past* the limit, not the limit itself.
+        sim = Simulator(max_events=5)
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.events_processed == 5
+
+    def test_one_past_the_limit_raises_after_firing_the_limit(self):
+        sim = Simulator(max_events=5)
+        fired = []
+        for i in range(6):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        with pytest.raises(SimulationError):
+            sim.run()
+        # All max_events events actually executed before the raise, and
+        # the overflowing event was neither executed nor dropped.
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.events_processed == 5
+        assert sim.pending_events == 1
+
+    def test_cancelled_events_do_not_count_toward_the_limit(self):
+        sim = Simulator(max_events=3)
+        fired = []
+        for i in range(3):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+            sim.schedule(float(i + 1) + 0.5, lambda: fired.append("x")).cancel()
+        sim.run()
+        assert fired == [0, 1, 2]
+        assert sim.events_processed == 3

@@ -54,6 +54,31 @@ class TestFailureSchedule:
         assert FailureSchedule().is_empty
         assert not FailureSchedule().fail_node_at(1.0, 0).is_empty
 
+    def test_arming_twice_injects_once(self, line4):
+        # A schedule armed twice on the same simulator must not schedule
+        # its failures twice (double trace records, double obs counts).
+        sim = Simulator()
+        trace = Trace()
+        network = SimNetwork(sim, line4, trace=trace)
+        schedule = FailureSchedule().fail_link_at(5.0, 1, 2)
+        schedule.arm(sim, network)
+        schedule.arm(sim, network)  # idempotent no-op
+        sim.run(until=10.0)
+        records = list(trace.filter(category="failure", event="link_failed"))
+        assert len(records) == 1
+        assert not network.link_usable(1, 2)
+
+    def test_same_schedule_arms_on_distinct_simulators(self, line4):
+        # Idempotency is per simulator: the same schedule may drive two
+        # independent runs.
+        schedule = FailureSchedule().fail_link_at(5.0, 1, 2)
+        for _ in range(2):
+            sim = Simulator()
+            network = SimNetwork(sim, line4)
+            schedule.arm(sim, network)
+            sim.run(until=10.0)
+            assert not network.link_usable(1, 2)
+
 
 class TestTrace:
     def test_filter_and_first(self):
