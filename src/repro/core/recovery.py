@@ -272,14 +272,21 @@ class _RepairPathsMemo:
     ``recovery.repair.spf_runs`` counts memo misses — at most one per
     pending member, the O(k) bound the regression suite asserts (the old
     loop recomputed every pending member every round: O(k²)).
+
+    The memo keys on ``root`` alone precisely *because* of that
+    one-repair invariance, so it binds itself to the
+    ``(topology state, weight, failures)`` of its first call and raises
+    on any later mismatch — misuse across failure sets or topologies
+    fails loudly instead of silently serving stale paths.
     """
 
-    __slots__ = ("_inner", "_paths", "_runs")
+    __slots__ = ("_inner", "_paths", "_runs", "_bound")
 
     def __init__(self, inner, runs_counter) -> None:
         self._inner = inner
         self._paths: dict[NodeId, ShortestPaths] = {}
         self._runs = runs_counter
+        self._bound: tuple[int, str, FailureSet] | None = None
 
     def shortest_paths(
         self,
@@ -289,6 +296,15 @@ class _RepairPathsMemo:
         failures: FailureSet = NO_FAILURES,
         obs=None,
     ) -> ShortestPaths:
+        context = (topology.cache_token(), weight, failures)
+        if self._bound is None:
+            self._bound = context
+        elif context != self._bound:
+            raise RecoveryError(
+                "_RepairPathsMemo reused across repair contexts: it memoizes "
+                "SPF state per member for ONE (topology, weight, failures) "
+                f"and was bound to {self._bound!r} but called with {context!r}"
+            )
         paths = self._paths.get(root)
         if paths is None:
             self._runs.inc()

@@ -13,9 +13,11 @@ same ``(spec, seed)`` work unit resumes from the stored result instead of
 recomputing it.
 
 Durability model: records are appended and flushed line-by-line, so a
-crash loses at most the line being written; :meth:`load` skips a torn
-trailing record (and rejects corruption anywhere earlier, which indicates
-real damage rather than an interrupted write).  Results round-trip
+crash loses at most the line being written; :meth:`load` *truncates* a
+torn trailing record back to the last complete line (and rejects
+corruption anywhere earlier, which indicates real damage rather than an
+interrupted write), so the first append after a resume starts on a fresh
+line instead of gluing onto the partial one.  Results round-trip
 exactly — JSON encodes doubles losslessly — so a resumed sweep's merged
 tables are byte-identical to an uninterrupted run's.
 """
@@ -53,19 +55,37 @@ class CheckpointStore:
     def load(self) -> int:
         """(Re)build the in-memory index from disk; returns entry count.
 
-        The last line may be torn (a run interrupted mid-append) and is
-        skipped silently; a malformed record anywhere *before* the final
-        line raises :class:`~repro.errors.CheckpointError` — that is
-        corruption, not an interrupted write.
+        The last line may be torn (a run interrupted mid-append); it is
+        skipped *and the file is truncated back to the last complete
+        record*, so a later :meth:`put` appends a fresh line rather than
+        gluing onto the partial one (which would corrupt both records).
+        A malformed record anywhere *before* the final line raises
+        :class:`~repro.errors.CheckpointError` — that is corruption, not
+        an interrupted write.
         """
         self._index.clear()
         if not self.path.exists():
             return 0
-        with self.path.open("r", encoding="utf-8") as fh:
-            lines = fh.readlines()
-        for lineno, line in enumerate(lines, start=1):
-            line = line.strip()
+        with self.path.open("rb") as fh:
+            data = fh.read()
+        raw_lines = data.splitlines(keepends=True)
+        good_end = 0  # byte offset just past the last intact record line
+        torn = False
+        offset = 0
+        for lineno, raw in enumerate(raw_lines, start=1):
+            end = offset + len(raw)
+            last = lineno == len(raw_lines)
+            try:
+                line = raw.decode("utf-8").strip()
+            except UnicodeDecodeError as exc:
+                if last:
+                    torn = True
+                    break
+                raise CheckpointError(
+                    f"{self.path}:{lineno}: corrupt checkpoint record: {exc}"
+                ) from exc
             if not line:
+                offset = good_end = end
                 continue
             try:
                 record = json.loads(line)
@@ -79,12 +99,22 @@ class CheckpointStore:
             except CheckpointError:
                 raise
             except (json.JSONDecodeError, KeyError, TypeError) as exc:
-                if lineno == len(lines):
+                if last:
+                    torn = True
                     break  # torn trailing record from an interrupted run
                 raise CheckpointError(
                     f"{self.path}:{lineno}: corrupt checkpoint record: {exc}"
                 ) from exc
             self._index[key] = result
+            offset = good_end = end
+        if torn:
+            with self.path.open("r+b") as fh:
+                fh.truncate(good_end)
+        elif data and not data.endswith(b"\n"):
+            # Intact final record whose newline never made it to disk:
+            # complete the line so the next append starts fresh.
+            with self.path.open("ab") as fh:
+                fh.write(b"\n")
         return len(self._index)
 
     def get(self, key: str) -> ScenarioResult | None:

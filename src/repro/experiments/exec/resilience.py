@@ -47,6 +47,12 @@ from repro.experiments.exec.executor import Executor
 from repro.experiments.exec.spec import ExperimentSpec
 from repro.experiments.exec.worker import FAULT_KINDS, resilient_worker_main
 
+#: Extra wall-clock allowance for worker startup (interpreter boot and
+#: imports) before the ``ready`` handshake restarts the deadline.  Keeps
+#: a tight :attr:`ExecPolicy.timeout` from killing attempts that never
+#: got to run, while still bounding a worker wedged during startup.
+STARTUP_GRACE = 30.0
+
 
 @dataclass(frozen=True)
 class ExecPolicy:
@@ -56,7 +62,10 @@ class ExecPolicy:
     ----------
     timeout:
         Per-scenario wall-clock limit in seconds (``None``: no limit).
-        An attempt past its deadline is killed and retried.
+        An attempt past its deadline is killed and retried.  The clock
+        starts at the worker's ``ready`` handshake — when the scenario
+        itself begins — not at process spawn, so interpreter startup on
+        spawn/forkserver platforms never eats a tight limit.
     retries:
         Re-attempts allowed per scenario after its first try; ``0`` turns
         every fault into an immediate :class:`RetryExhaustedError`.
@@ -261,12 +270,26 @@ class ResilientExecutor(Executor):
         now = time.monotonic()
         for attempt in list(running):
             if attempt.conn in signalled or attempt.proc.sentinel in signalled:
+                # Drain the "ready" handshake before looking for the
+                # final message: it marks the instant the scenario
+                # actually starts, so the wall-clock deadline restarts
+                # there (interpreter startup doesn't count against the
+                # timeout on spawn/forkserver platforms).
                 message = None
-                if attempt.conn.poll():
+                while message is None and attempt.conn.poll():
                     try:
-                        message = attempt.conn.recv()
+                        received = attempt.conn.recv()
                     except (EOFError, OSError):
-                        message = None
+                        break
+                    if received[0] == "ready":
+                        if attempt.deadline is not None:
+                            attempt.deadline = (
+                                time.monotonic() + self.policy.timeout
+                            )
+                    else:
+                        message = received
+                if message is None and attempt.proc.is_alive():
+                    continue  # just the handshake; the attempt runs on
                 if message is not None and message[0] == "ok":
                     self._complete(attempt, message, running, obs, results, reports)
                 elif message is not None and message[0] == "error":
@@ -320,8 +343,11 @@ class ResilientExecutor(Executor):
         )
         proc.start()
         send_conn.close()  # the worker holds the only send end now
+        # The provisional deadline grants startup its own grace; the
+        # worker's "ready" handshake replaces it with a clean
+        # ``now + timeout`` once the scenario actually begins.
         deadline = (
-            time.monotonic() + self.policy.timeout
+            time.monotonic() + self.policy.timeout + STARTUP_GRACE
             if self.policy.timeout is not None
             else None
         )

@@ -67,19 +67,26 @@ def resilient_worker_main(
 ) -> None:
     """Process main of one resilient scenario attempt.
 
-    Exactly one message goes back on ``conn``:
+    The worker first sends a ``("ready",)`` handshake — the parent
+    restarts the per-attempt wall-clock deadline on it, so interpreter
+    startup and imports (which on spawn/forkserver platforms can rival a
+    tight :attr:`~repro.experiments.exec.resilience.ExecPolicy.timeout`)
+    do not count against the scenario.  Exactly one *final* message then
+    follows:
 
     - ``("ok", ScenarioResult, run-report | None)`` on success;
     - ``("error", summary, traceback)`` when the scenario raised — a
       *transient* failure the parent may retry.
 
-    A worker that dies without sending anything (a real crash, an OOM
-    kill, or the injected ``"crash"`` fault) is detected by the parent
-    through the process sentinel; one that never answers (``"hang"``) is
-    terminated at the policy's wall-clock timeout.  ``fault`` is the
-    executor's test-injection hook and does nothing in production runs.
+    A worker that dies without sending a final message (a real crash, an
+    OOM kill, or the injected ``"crash"`` fault) is detected by the
+    parent through the process sentinel; one that never answers
+    (``"hang"``) is terminated at the policy's wall-clock timeout.
+    ``fault`` is the executor's test-injection hook and does nothing in
+    production runs.
     """
     try:
+        conn.send(("ready",))
         if fault == "crash":
             os._exit(86)  # die wordlessly, as a segfaulted worker would
         if fault == "hang":
@@ -88,6 +95,13 @@ def resilient_worker_main(
             raise RuntimeError("injected transient error")
         result, report = run_scenario_task((config, capture_obs))
         conn.send(("ok", result, report))
+    except (KeyboardInterrupt, SystemExit):
+        # An interrupt (e.g. Ctrl-C hitting the whole process group) is
+        # the parent unwinding, not a transient scenario failure: saying
+        # nothing lets the parent's own shutdown see a plain dead worker
+        # instead of burning retries on attempts that will be interrupted
+        # again.
+        raise
     except BaseException as exc:  # noqa: BLE001 - the pipe is the error channel
         try:
             conn.send(

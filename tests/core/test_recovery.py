@@ -300,3 +300,22 @@ class TestRepairMemoization:
         assert counters["recovery.repair.spf_runs"] >= 1  # memo misses...
         hits = obs2.metrics.counters("cache.routes")
         assert hits.get("cache.routes.hits", 0) >= 1  # ...served by the cache
+
+    def test_memo_rejects_reuse_across_repair_contexts(self, fig1):
+        # The memo keys on root alone because (topology, weight, failures)
+        # are invariant within one repair; reusing it across failure sets
+        # or topologies must fail loudly, not serve stale paths.
+        from repro.core.recovery import _RepairPathsMemo
+        from repro.obs import NULL_OBS
+
+        memo = _RepairPathsMemo(None, NULL_OBS.counter("spf_runs"))
+        failure = FailureSet.links((node_id("S"), node_id("A")))
+        memo.shortest_paths(fig1, node_id("C"), failures=failure)
+        # Same context, another root: fine.
+        memo.shortest_paths(fig1, node_id("D"), failures=failure)
+        with pytest.raises(RecoveryError, match="repair context"):
+            memo.shortest_paths(fig1, node_id("C"))  # different failures
+        with pytest.raises(RecoveryError, match="repair context"):
+            memo.shortest_paths(
+                fig1, node_id("C"), weight="hops", failures=failure
+            )

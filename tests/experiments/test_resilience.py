@@ -176,6 +176,30 @@ class TestFaultRecovery:
             with pytest.raises(RetryExhaustedError, match="injected transient"):
                 ex.map_scenarios(configs)
 
+    def test_worker_interrupt_is_not_reported_as_transient(self, monkeypatch):
+        # Ctrl-C hitting the process group must not come back on the pipe
+        # as a retryable "error" — the parent is unwinding too, and would
+        # otherwise burn retries on attempts interrupted again.
+        from repro.experiments.exec import worker
+
+        sent = []
+
+        class FakeConn:
+            def send(self, message):
+                sent.append(message)
+
+            def close(self):
+                pass
+
+        def interrupted(task):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(worker, "run_scenario_task", interrupted)
+        config = SPEC.scenario_configs()[0]
+        with pytest.raises(KeyboardInterrupt):
+            worker.resilient_worker_main(FakeConn(), config, False)
+        assert sent == [("ready",)]  # the handshake, but no "error" report
+
 
 class TestCheckpointResume:
     def test_faulted_then_resumed_run_matches_serial(
@@ -283,6 +307,41 @@ class TestCheckpointStore:
             fh.write('{"store_version": 1, "key": "abc", "resu')  # torn
         store = CheckpointStore(tmp_path)
         assert len(store) == 1  # the torn record is skipped, not fatal
+
+    def test_torn_tail_is_truncated_so_resume_can_append(self, tmp_path):
+        # The crash-then-resume sequence the store exists to survive:
+        # load() must truncate the torn tail, or the first post-resume
+        # put() glues onto the partial line and corrupts *both* records.
+        first = self.make_result(seed=0)
+        second = self.make_result(seed=1)
+        with CheckpointStore(tmp_path) as store:
+            store.put(first.config.content_key(), first)
+        path = tmp_path / RESULTS_FILENAME
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"store_version": 1, "key": "abc", "resu')  # torn
+        with CheckpointStore(tmp_path) as resumed:  # truncates the tail...
+            assert resumed.put(second.config.content_key(), second)
+        reloaded = CheckpointStore(tmp_path)  # ...so this append is clean
+        assert len(reloaded) == 2
+        assert reloaded.get(first.config.content_key()) == first
+        assert reloaded.get(second.config.content_key()) == second
+
+    def test_missing_final_newline_is_repaired(self, tmp_path):
+        # An intact last record whose newline never hit the disk: the
+        # record is kept and the next append still starts a fresh line.
+        first = self.make_result(seed=0)
+        second = self.make_result(seed=1)
+        with CheckpointStore(tmp_path) as store:
+            store.put(first.config.content_key(), first)
+        path = tmp_path / RESULTS_FILENAME
+        path.write_bytes(path.read_bytes().rstrip(b"\n"))
+        with CheckpointStore(tmp_path) as resumed:
+            assert len(resumed) == 1  # the intact record is not dropped
+            resumed.put(second.config.content_key(), second)
+        reloaded = CheckpointStore(tmp_path)
+        assert len(reloaded) == 2
+        assert reloaded.get(first.config.content_key()) == first
+        assert reloaded.get(second.config.content_key()) == second
 
     def test_corruption_before_the_tail_is_rejected(self, tmp_path):
         result = self.make_result()
