@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Append benchmark result files to the benchmark trajectory.
+
+``BENCH_exec.json`` / ``BENCH_routing.json`` are point-in-time snapshots
+overwritten by every benchmark run; this script folds them into
+``benchmarks/history.jsonl`` — one NDJSON line per (git SHA, source
+file) — so the performance trajectory across commits survives.  CI's
+bench-smoke job appends its fresh measurement and uploads the history as
+an artifact; locally, run it after a benchmark refresh::
+
+    python benchmarks/append_history.py BENCH_routing.json
+
+Appending the same snapshot twice for the same commit is a no-op
+(deduplicated on ``(git_sha, source)``), so re-runs never inflate the
+history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+HISTORY_PATH = REPO_ROOT / "benchmarks" / "history.jsonl"
+
+
+def git_sha() -> str | None:
+    """The commit under measurement: CI's ``GITHUB_SHA``, else HEAD."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        return out or None
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def load_history(path: Path) -> list[dict]:
+    """Existing history entries; tolerates a torn trailing line the same
+    way the flight recorder and checkpoint store do."""
+    if not path.exists():
+        return []
+    entries: list[dict] = []
+    raw_lines = path.read_bytes().splitlines()
+    for lineno, raw in enumerate(raw_lines, start=1):
+        try:
+            line = raw.decode("utf-8").strip()
+            if not line:
+                continue
+            entries.append(json.loads(line))
+        except (UnicodeDecodeError, ValueError):
+            if lineno == len(raw_lines):
+                break  # torn tail from an interrupted append
+            raise SystemExit(
+                f"error: {path}:{lineno}: corrupt history entry"
+            )
+    return entries
+
+
+def build_entry(bench_path: Path, sha: str | None) -> dict:
+    payload = json.loads(bench_path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "benchmark" not in payload:
+        raise SystemExit(
+            f"error: {bench_path} is not a benchmark result "
+            "(missing a 'benchmark' field)"
+        )
+    return {
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "git_sha": sha,
+        "source": bench_path.name,
+        "benchmark": payload["benchmark"],
+        "payload": payload,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "bench_files", nargs="+", type=Path,
+        help="benchmark result JSON files (BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--history", type=Path, default=HISTORY_PATH,
+        help=f"history file to append to (default: {HISTORY_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    sha = git_sha()
+    existing = load_history(args.history)
+    seen = {(e.get("git_sha"), e.get("source")) for e in existing}
+
+    appended = 0
+    args.history.parent.mkdir(parents=True, exist_ok=True)
+    with args.history.open("a", encoding="utf-8") as fh:
+        for bench_path in args.bench_files:
+            if not bench_path.exists():
+                raise SystemExit(f"error: no such file: {bench_path}")
+            entry = build_entry(bench_path, sha)
+            key = (entry["git_sha"], entry["source"])
+            if key in seen and entry["git_sha"] is not None:
+                print(
+                    f"skip {bench_path.name}: already recorded for "
+                    f"{entry['git_sha'][:12]}"
+                )
+                continue
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
+            seen.add(key)
+            appended += 1
+            print(f"appended {bench_path.name} ({entry['benchmark']})")
+    print(
+        f"history: {len(existing) + appended} entries in {args.history}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

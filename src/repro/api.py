@@ -80,7 +80,10 @@ _FIGURES = {
 
 
 def _resolve_executor(
-    executor: Executor | None, jobs: int, policy: ExecPolicy | None = None
+    executor: Executor | None,
+    jobs: int,
+    policy: ExecPolicy | None = None,
+    telemetry=None,
 ) -> tuple[Executor, bool]:
     """``(executor, owned)`` from the facade's convenience parameters."""
     if executor is not None:
@@ -92,14 +95,22 @@ def _resolve_executor(
             raise ConfigurationError(
                 "pass either an executor or a policy, not both"
             )
+        if telemetry is not None:
+            raise ConfigurationError(
+                "pass telemetry to the executor's constructor, "
+                "not alongside a ready executor"
+            )
         return executor, False
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     if policy is not None:
-        return ResilientExecutor(jobs=jobs, policy=policy), True
+        return (
+            ResilientExecutor(jobs=jobs, policy=policy, telemetry=telemetry),
+            True,
+        )
     if jobs > 1:
-        return ParallelExecutor(jobs=jobs), True
-    return SerialExecutor(), True
+        return ParallelExecutor(jobs=jobs, telemetry=telemetry), True
+    return SerialExecutor(telemetry=telemetry), True
 
 
 def run_scenario(
@@ -130,6 +141,7 @@ def run_sweep(
     executor: Executor | None = None,
     jobs: int = 1,
     policy: ExecPolicy | None = None,
+    telemetry=None,
     obs=None,
 ) -> list[SweepPoint]:
     """Expand a declarative spec over its seeding grid and aggregate.
@@ -140,10 +152,14 @@ def run_sweep(
     lifecycle).  ``policy`` selects the fault-tolerant
     :class:`ResilientExecutor` instead (timeouts, retries,
     checkpoint/resume); mutually exclusive with ``executor``.
+    ``telemetry`` (a :class:`~repro.obs.live.TelemetryHub`) streams
+    lifecycle events and progress while the sweep runs; it is
+    observe-only and also mutually exclusive with ``executor`` (attach
+    the hub when constructing the executor in that case).
     """
     if isinstance(spec, dict):
         spec = ExperimentSpec.from_dict(spec)
-    executor, owned = _resolve_executor(executor, jobs, policy)
+    executor, owned = _resolve_executor(executor, jobs, policy, telemetry)
     try:
         return run_spec_sweep(spec, executor=executor, obs=obs)
     finally:
@@ -158,6 +174,7 @@ def build_figure(
     executor: Executor | None = None,
     jobs: int = 1,
     policy: ExecPolicy | None = None,
+    telemetry=None,
     obs=None,
     **overrides,
 ):
@@ -170,6 +187,8 @@ def build_figure(
     ``topologies``, …) can be overridden explicitly and wins over
     ``quick``.  ``policy`` selects the fault-tolerant
     :class:`ResilientExecutor` (mutually exclusive with ``executor``).
+    ``telemetry`` (a :class:`~repro.obs.live.TelemetryHub`) streams
+    observe-only live progress; mutually exclusive with ``executor``.
     """
     import importlib
 
@@ -185,7 +204,7 @@ def build_figure(
     if quick and name != "fig7":
         kwargs.setdefault("topologies", 4)
         kwargs.setdefault("member_sets", 2)
-    executor, owned = _resolve_executor(executor, jobs, policy)
+    executor, owned = _resolve_executor(executor, jobs, policy, telemetry)
     try:
         return runner(obs=obs, executor=executor, **kwargs)
     finally:

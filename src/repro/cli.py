@@ -11,13 +11,27 @@ Commands
     Run the message-level simulator on a random topology, optionally
     injecting a worst-case failure, and print the event summary.
 ``obs``
-    Render a previously captured observability run report.
+    Observability artifacts: ``report`` renders a captured run report,
+    ``tail`` replays a telemetry flight record, ``export`` renders a run
+    report as OpenMetrics text, ``diff`` compares two run reports.
 ``info``
     Version and component inventory.
 
 The run-producing commands accept ``--obs-out PATH`` to capture a
 structured run report (metric counters, span timings, event accounting)
 as JSON; ``repro obs report PATH`` renders it afterwards.
+
+Live telemetry
+--------------
+``figures`` and ``scenario`` also stream while running: ``--progress``
+renders a live progress line to stderr (throughput, ETA, in-flight,
+fault counts), ``--telemetry-out PATH`` appends every lifecycle record
+(scenario started / finished / retried / timed out / crashed, worker
+heartbeats with span-stack snapshots) to an NDJSON flight record, and
+``--openmetrics-out PATH`` keeps an OpenMetrics textfile refreshed for
+node-exporter-style scraping.  All three are observe-only: stdout tables
+are byte-identical with or without them.  ``repro obs tail`` replays a
+flight record after the fact.
 
 Parallel execution
 ------------------
@@ -88,6 +102,20 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
         "--inject-fault", action="append", default=[], metavar="KIND:INDEX",
         help=argparse.SUPPRESS,  # testing/CI hook: crash|hang|error:INDEX
     )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="render a live progress line to stderr while the sweep runs",
+    )
+    parser.add_argument(
+        "--telemetry-out", metavar="PATH",
+        help="append live telemetry records (lifecycle events, worker "
+             "heartbeats) to an NDJSON flight record at PATH",
+    )
+    parser.add_argument(
+        "--openmetrics-out", metavar="PATH",
+        help="keep an OpenMetrics textfile at PATH refreshed with live "
+             "sweep metrics (atomic replace, scrape-safe)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -137,6 +165,35 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render a run report captured with --obs-out"
     )
     obs_report.add_argument("path", help="run report JSON file")
+    obs_tail = obs_sub.add_parser(
+        "tail", help="replay a telemetry flight record (--telemetry-out)"
+    )
+    obs_tail.add_argument("path", help="NDJSON flight record file")
+    obs_tail.add_argument(
+        "--last", type=int, metavar="N",
+        help="only the last N records (the full kind summary still prints)",
+    )
+    obs_export = obs_sub.add_parser(
+        "export", help="render a run report in an exchange format"
+    )
+    obs_export.add_argument("path", help="run report JSON file")
+    obs_export.add_argument(
+        "--format", choices=["openmetrics"], default="openmetrics",
+        help="output format (default: openmetrics)",
+    )
+    obs_export.add_argument(
+        "--out", metavar="PATH",
+        help="write to PATH instead of stdout",
+    )
+    obs_diff = obs_sub.add_parser(
+        "diff", help="compare two run reports (counters, span-time ratios)"
+    )
+    obs_diff.add_argument("path_a", help="baseline run report JSON file")
+    obs_diff.add_argument("path_b", help="candidate run report JSON file")
+    obs_diff.add_argument(
+        "--fail-over", type=float, metavar="RATIO",
+        help="exit nonzero when any span-time ratio (b/a) exceeds RATIO",
+    )
 
     sub.add_parser("info", help="version and component inventory")
     return parser
@@ -171,7 +228,50 @@ def _make_obs(args: argparse.Namespace):
     return Observability()
 
 
-def _make_executor(args: argparse.Namespace):
+def _check_out_dir(flag: str, path: str) -> None:
+    """Fail fast (exit 2) when an output path's directory is missing."""
+    parent = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(parent):
+        print(
+            f"repro: error: {flag} directory does not exist: {parent}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
+
+def _make_telemetry(args: argparse.Namespace):
+    """A TelemetryHub wired to the sinks the flags asked for, else None.
+
+    ``--progress`` adds a stderr progress renderer, ``--telemetry-out``
+    an NDJSON flight recorder, ``--openmetrics-out`` an OpenMetrics
+    textfile exporter.  No flags, no hub — the executors then skip all
+    telemetry work.
+    """
+    progress = getattr(args, "progress", False)
+    telemetry_out = getattr(args, "telemetry_out", None)
+    openmetrics_out = getattr(args, "openmetrics_out", None)
+    if not progress and telemetry_out is None and openmetrics_out is None:
+        return None
+    from repro.obs import (
+        FlightRecorder,
+        OpenMetricsSink,
+        ProgressSink,
+        TelemetryHub,
+    )
+
+    sinks = []
+    if progress:
+        sinks.append(ProgressSink())
+    if telemetry_out is not None:
+        _check_out_dir("--telemetry-out", telemetry_out)
+        sinks.append(FlightRecorder(telemetry_out))
+    if openmetrics_out is not None:
+        _check_out_dir("--openmetrics-out", openmetrics_out)
+        sinks.append(OpenMetricsSink(openmetrics_out))
+    return TelemetryHub(sinks=sinks)
+
+
+def _make_executor(args: argparse.Namespace, telemetry=None):
     """Build the executor requested by ``--jobs`` / ``--executor`` and the
     resilience flags.
 
@@ -221,7 +321,9 @@ def _make_executor(args: argparse.Namespace):
                 policy_kwargs["checkpoint_dir"] = args.checkpoint_dir
             policy_kwargs["resume"] = bool(getattr(args, "resume", False))
             policy = ExecPolicy(**policy_kwargs)
-        executor = make_executor(kind, jobs=jobs, policy=policy)
+        executor = make_executor(
+            kind, jobs=jobs, policy=policy, telemetry=telemetry
+        )
         for spec in getattr(args, "inject_fault", []):
             fault, sep, index = spec.partition(":")
             if not sep or not index.lstrip("-").isdigit():
@@ -254,7 +356,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments.fig10 import run_figure10
 
     obs = _make_obs(args)
-    executor = _make_executor(args)
+    telemetry = _make_telemetry(args)
+    executor = _make_executor(args, telemetry=telemetry)
     topologies, member_sets = (4, 2) if args.quick else (10, 10)
     runs = {
         7: lambda: run_figure7(topologies=5, obs=obs, executor=executor),
@@ -267,11 +370,15 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                                  executor=executor),
     }
     figures_run = [args.figure] if args.figure else [7, 8, 9, 10]
-    with executor:
-        for figure in figures_run:
-            print(f"--- Figure {figure} ---")
-            print(runs[figure]().render())
-            print()
+    try:
+        with executor:
+            for figure in figures_run:
+                print(f"--- Figure {figure} ---")
+                print(runs[figure]().render())
+                print()
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     _write_obs_report(args, obs, {
         "command": "figures",
         "figures": figures_run,
@@ -298,8 +405,13 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         reshape_enabled=not args.no_reshape,
     )
     obs = _make_obs(args)
-    with _make_executor(args) as executor:
-        result, = executor.map_scenarios([config], obs=obs)
+    telemetry = _make_telemetry(args)
+    try:
+        with _make_executor(args, telemetry=telemetry) as executor:
+            result, = executor.map_scenarios([config], obs=obs)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     print(f"scenario: {config.describe()}")
     print(f"source {result.source}, avg degree "
           f"{result.average_degree:.2f}, reshapes {result.smrp_reshapes}, "
@@ -341,6 +453,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     _make_executor(args).close()
     if args.jobs > 1:
         print("note: simulate is a single work unit; --jobs has no effect")
+    if (
+        getattr(args, "progress", False)
+        or getattr(args, "telemetry_out", None)
+        or getattr(args, "openmetrics_out", None)
+    ):
+        print("note: live telemetry covers scenario sweeps; a simulate "
+              "run emits no lifecycle events")
 
     topology = waxman_topology(
         WaxmanConfig(n=args.n, alpha=0.4, beta=0.3, seed=args.seed)
@@ -390,21 +509,91 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_obs(args: argparse.Namespace) -> int:
+def _load_report_or_fail(path: str):
     import json
 
     from repro.errors import ConfigurationError
-    from repro.obs import load_run_report, render_run_report
+    from repro.obs import load_run_report
 
     try:
-        report = load_run_report(args.path)
+        return load_run_report(path)
+    except FileNotFoundError:
+        print(f"repro: error: no such file: {path}", file=sys.stderr)
+        raise _ObsError
+    except (ConfigurationError, json.JSONDecodeError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        raise _ObsError
+
+
+class _ObsError(Exception):
+    """Internal: an obs subcommand already printed its error; exit 1."""
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    handlers = {
+        "report": _cmd_obs_report,
+        "tail": _cmd_obs_tail,
+        "export": _cmd_obs_export,
+        "diff": _cmd_obs_diff,
+    }
+    try:
+        return handlers[args.obs_command](args)
+    except _ObsError:
+        return 1
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import render_run_report
+
+    print(render_run_report(_load_report_or_fail(args.path)))
+    return 0
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.obs import load_flight_record, render_flight_record
+
+    try:
+        records = load_flight_record(args.path)
     except FileNotFoundError:
         print(f"repro: error: no such file: {args.path}", file=sys.stderr)
         return 1
-    except (ConfigurationError, json.JSONDecodeError) as exc:
+    except ConfigurationError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 1
-    print(render_run_report(report))
+    print(render_flight_record(records, last=args.last))
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs import render_openmetrics
+
+    report = _load_report_or_fail(args.path)
+    text = render_openmetrics(report)
+    if args.out is not None:
+        _check_out_dir("--out", args.out)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"openmetrics written to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff_run_reports, max_span_ratio, render_report_diff
+
+    report_a = _load_report_or_fail(args.path_a)
+    report_b = _load_report_or_fail(args.path_b)
+    diff = diff_run_reports(report_a, report_b)
+    print(render_report_diff(diff, threshold=args.fail_over))
+    if args.fail_over is not None and max_span_ratio(diff) > args.fail_over:
+        print(
+            f"repro: obs diff: span-time ratio exceeds "
+            f"--fail-over {args.fail_over:g}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -422,7 +611,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.experiments", "figure drivers and parameter sweeps"),
         ("repro.experiments.exec",
          "ExperimentSpec, executors, resilience, substrate cache"),
-        ("repro.obs", "metrics registry, span profiling, run reports"),
+        ("repro.obs",
+         "metrics registry, span profiling, run reports, live telemetry"),
         ("repro.api", "stable facade: run_scenario / run_sweep / build_figure"),
     ]
     for name, description in components:
@@ -435,7 +625,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
           "--checkpoint-dir DIR, --resume;\n"
           "  crashed/hung scenarios are retried with backoff and completed "
           "results persist for resume,\n"
-          "  with output byte-identical to a clean serial run.")
+          "  with output byte-identical to a clean serial run.\n"
+          "live telemetry: --progress (stderr progress line), "
+          "--telemetry-out PATH (NDJSON flight record),\n"
+          "  --openmetrics-out PATH (scrapeable textfile); all "
+          "observe-only.  repro obs tail/export/diff\n"
+          "  replay a flight record, render OpenMetrics, and compare two "
+          "run reports.")
     return 0
 
 

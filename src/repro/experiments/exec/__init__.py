@@ -13,10 +13,13 @@ The pieces and how they fit:
   fault-tolerant backend: per-scenario timeouts, bounded retry with
   backoff, crash isolation, and checkpoint/resume through a
   :class:`CheckpointStore` (``checkpoint``);
-- ``worker`` — the picklable worker-process entry points.
+- ``worker`` — the picklable worker-process entry points, which also
+  emit lifecycle records and heartbeats for an attached
+  :class:`~repro.obs.live.TelemetryHub` (observe-only live progress,
+  flight recording, and hang attribution).
 
-``make_executor(kind, jobs, policy)`` is the CLI-facing factory.  The
-public API is also re-exported at :mod:`repro.api`.
+``make_executor(kind, jobs, policy, telemetry)`` is the CLI-facing
+factory.  The public API is also re-exported at :mod:`repro.api`.
 """
 
 from repro.experiments.exec.cache import SubstrateCache, process_cache

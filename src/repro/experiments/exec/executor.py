@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
+from time import monotonic
 from typing import Sequence
 
 from repro.errors import ConfigurationError
@@ -47,6 +48,11 @@ class Executor(ABC):
 
     #: Machine-readable kind, mirrored in run-report metadata.
     kind: str = "abstract"
+
+    #: Optional :class:`~repro.obs.live.TelemetryHub` receiving lifecycle
+    #: records while a batch is in flight.  Observe-only by contract:
+    #: results are identical with or without one attached.
+    telemetry = None
 
     @abstractmethod
     def map_scenarios(
@@ -104,8 +110,11 @@ class SerialExecutor(Executor):
 
     kind = "serial"
 
-    def __init__(self, cache: SubstrateCache | None = None) -> None:
+    def __init__(
+        self, cache: SubstrateCache | None = None, telemetry=None
+    ) -> None:
         self.cache = cache if cache is not None else SubstrateCache()
+        self.telemetry = telemetry
 
     def map_scenarios(
         self,
@@ -113,10 +122,27 @@ class SerialExecutor(Executor):
         obs: Observability | None = None,
     ) -> list[ScenarioResult]:
         obs = obs if obs is not None else NULL_OBS
+        hub = self.telemetry
+        if hub is not None:
+            hub.begin(len(configs), meta={"executor": self.kind, "jobs": 1})
         results = []
-        for config in configs:
-            results.append(run_scenario(config, obs=obs, cache=self.cache))
-            obs.counter("exec.scenarios").inc()
+        try:
+            for index, config in enumerate(configs):
+                if hub is not None:
+                    hub.publish("scenario.start", index=index, attempt=0)
+                started = monotonic()
+                results.append(run_scenario(config, obs=obs, cache=self.cache))
+                obs.counter("exec.scenarios").inc()
+                if hub is not None:
+                    hub.publish(
+                        "scenario.finish",
+                        index=index,
+                        attempt=0,
+                        duration_s=round(monotonic() - started, 6),
+                    )
+        finally:
+            if hub is not None:
+                hub.end()
         return results
 
     def __repr__(self) -> str:
@@ -142,12 +168,13 @@ class ParallelExecutor(Executor):
 
     kind = "process"
 
-    def __init__(self, jobs: int | None = None) -> None:
+    def __init__(self, jobs: int | None = None, telemetry=None) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.telemetry = telemetry
         self._pool = None
 
     def _ensure_pool(self):
@@ -166,19 +193,33 @@ class ParallelExecutor(Executor):
 
         obs = obs if obs is not None else NULL_OBS
         capture = obs.enabled
+        hub = self.telemetry
         pool = self._ensure_pool()
-        tasks = [(config, capture) for config in configs]
+        tasks = [(config, capture, hub is not None) for config in configs]
         chunksize = max(1, len(tasks) // (self.jobs * 4)) if tasks else 1
         results: list[ScenarioResult] = []
-        # ``map`` yields in input order; merging worker reports while
-        # draining it keeps the combined report deterministic.
-        for result, report in pool.map(
-            run_scenario_task, tasks, chunksize=chunksize
-        ):
-            if report is not None:
-                merge_report_into(obs, report)
-            results.append(result)
-            obs.counter("exec.scenarios").inc()
+        if hub is not None:
+            hub.begin(
+                len(configs), meta={"executor": self.kind, "jobs": self.jobs}
+            )
+        try:
+            # ``map`` yields in input order; merging worker reports while
+            # draining it keeps the combined report deterministic.  The
+            # pool offers no side channel, so lifecycle records arrive
+            # worker-stamped alongside each result rather than live.
+            for index, (result, report, records) in enumerate(
+                pool.map(run_scenario_task, tasks, chunksize=chunksize)
+            ):
+                if report is not None:
+                    merge_report_into(obs, report)
+                results.append(result)
+                obs.counter("exec.scenarios").inc()
+                if hub is not None:
+                    for record in records:
+                        hub.forward(record, index=index, attempt=0)
+        finally:
+            if hub is not None:
+                hub.end()
         if capture:
             obs.gauge("exec.jobs").set(self.jobs)
             obs.counter("exec.worker_reports_merged").inc(len(results))
@@ -194,7 +235,9 @@ class ParallelExecutor(Executor):
         return f"ParallelExecutor(jobs={self.jobs}, {state})"
 
 
-def make_executor(kind: str = "serial", jobs: int = 1, policy=None) -> Executor:
+def make_executor(
+    kind: str = "serial", jobs: int = 1, policy=None, telemetry=None
+) -> Executor:
     """Build an executor from CLI-style parameters.
 
     ``jobs`` must be >= 1.  ``kind='serial'`` with ``jobs > 1`` is a
@@ -203,7 +246,9 @@ def make_executor(kind: str = "serial", jobs: int = 1, policy=None) -> Executor:
     :class:`~repro.experiments.exec.resilience.ExecPolicy`) selects the
     fault-tolerance envelope and is only meaningful for the resilient
     executor — passing one with another kind raises, since silently
-    dropping timeout/retry/resume settings would be worse.
+    dropping timeout/retry/resume settings would be worse.  ``telemetry``
+    (a :class:`~repro.obs.live.TelemetryHub`) attaches live sweep
+    telemetry and works with every kind.
     """
     if jobs < 1:
         raise ConfigurationError(f"--jobs must be >= 1, got {jobs}")
@@ -218,13 +263,13 @@ def make_executor(kind: str = "serial", jobs: int = 1, policy=None) -> Executor:
                 f"the serial executor runs one scenario at a time; "
                 f"--jobs {jobs} requires --executor process"
             )
-        return SerialExecutor()
+        return SerialExecutor(telemetry=telemetry)
     if kind == "process":
-        return ParallelExecutor(jobs=jobs)
+        return ParallelExecutor(jobs=jobs, telemetry=telemetry)
     if kind == "resilient":
         from repro.experiments.exec.resilience import ResilientExecutor
 
-        return ResilientExecutor(jobs=jobs, policy=policy)
+        return ResilientExecutor(jobs=jobs, policy=policy, telemetry=telemetry)
     raise ConfigurationError(
         f"unknown executor {kind!r}; expected one of {EXECUTOR_KINDS}"
     )

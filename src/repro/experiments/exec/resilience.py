@@ -27,6 +27,18 @@ retries, or checkpoint hits occurred along the way (the fault-injection
 suite asserts it).  Fault activity is visible in run reports as
 ``exec.retries`` / ``exec.timeouts`` / ``exec.crashes`` /
 ``exec.scenario_errors`` and ``exec.checkpoint.{hits,writes}``.
+
+Live telemetry rides the same pipes: when a
+:class:`~repro.obs.live.TelemetryHub` is attached (or a timeout is
+armed), each worker's dedicated result pipe also carries periodic
+``("telemetry", heartbeat)`` messages from a sampler thread, each
+holding the scenario's currently open span names.  The parent keeps the
+latest heartbeat per attempt, forwards everything to the hub's sinks,
+and — when it has to kill a hung worker — attaches that last span-stack
+snapshot to the ``scenario.timeout`` telemetry record and the
+``exec.timeout`` observability event, so a multi-hour sweep's hang is
+attributed to a code path instead of dying anonymously.  Telemetry is
+observe-only: results and merged reports are unchanged by any sink.
 """
 
 from __future__ import annotations
@@ -78,6 +90,11 @@ class ExecPolicy:
     resume:
         Serve scenarios already present in the checkpoint store from disk
         instead of recomputing them.  Requires ``checkpoint_dir``.
+    heartbeat_interval:
+        Seconds between worker heartbeats (each carrying the live
+        span-stack snapshot).  Heartbeats flow whenever a telemetry hub
+        is attached *or* a timeout is armed — the latter so a timeout
+        kill can attribute the hang even without live sinks.
     """
 
     timeout: float | None = None
@@ -86,6 +103,7 @@ class ExecPolicy:
     backoff_cap: float = 2.0
     checkpoint_dir: str | None = None
     resume: bool = False
+    heartbeat_interval: float = 5.0
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
@@ -98,6 +116,11 @@ class ExecPolicy:
             raise ConfigurationError("backoff must be non-negative")
         if self.resume and self.checkpoint_dir is None:
             raise ConfigurationError("resume requires a checkpoint directory")
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval must be positive, "
+                f"got {self.heartbeat_interval}"
+            )
 
     def backoff(self, attempt: int) -> float:
         """Seconds to wait before retry number ``attempt`` (1-based)."""
@@ -120,13 +143,15 @@ class _Task:
 class _Attempt:
     """One live worker process executing a task attempt."""
 
-    __slots__ = ("task", "proc", "conn", "deadline")
+    __slots__ = ("task", "proc", "conn", "deadline", "started", "last_heartbeat")
 
     def __init__(self, task: _Task, proc, conn, deadline: float | None):
         self.task = task
         self.proc = proc
         self.conn = conn
         self.deadline = deadline
+        self.started = time.monotonic()  # reset at the ready handshake
+        self.last_heartbeat: dict | None = None
 
 
 class ResilientExecutor(Executor):
@@ -147,7 +172,10 @@ class ResilientExecutor(Executor):
     kind = "resilient"
 
     def __init__(
-        self, jobs: int | None = None, policy: ExecPolicy | None = None
+        self,
+        jobs: int | None = None,
+        policy: ExecPolicy | None = None,
+        telemetry=None,
     ) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -155,6 +183,7 @@ class ResilientExecutor(Executor):
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.policy = policy if policy is not None else ExecPolicy()
+        self.telemetry = telemetry
         self._ctx = get_context()
         self._store = (
             CheckpointStore(self.policy.checkpoint_dir)
@@ -195,19 +224,38 @@ class ResilientExecutor(Executor):
     ) -> list[ScenarioResult]:
         obs = obs if obs is not None else NULL_OBS
         capture = obs.enabled
+        hub = self.telemetry
+        if hub is not None:
+            hub.begin(
+                len(configs), meta={"executor": self.kind, "jobs": self.jobs}
+            )
         results: list[ScenarioResult | None] = [None] * len(configs)
         reports: dict[int, dict] = {}
         tasks: list[_Task] = []
-        for index, config in enumerate(configs):
-            key = config.content_key() if self._store is not None else None
-            if self._store is not None and self.policy.resume:
-                cached = self._store.get(key)
-                if cached is not None:
-                    results[index] = cached
-                    obs.counter("exec.checkpoint.hits").inc()
-                    continue
-            tasks.append(_Task(index, config, key))
-        self._run_tasks(tasks, capture, obs, results, reports)
+        try:
+            for index, config in enumerate(configs):
+                key = config.content_key() if self._store is not None else None
+                if self._store is not None and self.policy.resume:
+                    cached = self._store.get(key)
+                    if cached is not None:
+                        results[index] = cached
+                        obs.counter("exec.checkpoint.hits").inc()
+                        if hub is not None:
+                            hub.publish(
+                                "scenario.finish",
+                                index=index,
+                                attempt=0,
+                                cached=True,
+                            )
+                        continue
+                tasks.append(_Task(index, config, key))
+            self._run_tasks(tasks, capture, obs, results, reports)
+        finally:
+            # The flight recorder gets its sweep.finish record even when
+            # the batch dies to retry exhaustion or an interrupt — that
+            # is exactly when a post-mortem matters.
+            if hub is not None:
+                hub.end()
         # Merge worker reports by batch (seed) index, never completion
         # order, so the combined report is deterministic under retries.
         for index in sorted(reports):
@@ -232,6 +280,7 @@ class ResilientExecutor(Executor):
     # Scheduler
     # ------------------------------------------------------------------
     def _run_tasks(self, tasks, capture, obs, results, reports) -> None:
+        hub = self.telemetry
         waiting: list[_Task] = list(tasks)
         running: list[_Attempt] = []
         try:
@@ -245,11 +294,16 @@ class ResilientExecutor(Executor):
                 if running:
                     self._poll(running, waiting, obs, results, reports)
                 else:
-                    # Every remaining task is backing off; sleep it out.
+                    # Every remaining task is backing off; sleep it out
+                    # (in tick-sized slices when a hub wants refreshes).
                     wake = min(t.not_before for t in waiting)
                     delay = wake - time.monotonic()
+                    if hub is not None:
+                        delay = min(delay, hub.tick_interval)
                     if delay > 0:
                         time.sleep(delay)
+                if hub is not None:
+                    hub.maybe_tick()
         finally:
             # Only reached non-empty on an exception (retry exhaustion or
             # a caller interrupt): reap stragglers, leak no processes.
@@ -257,11 +311,20 @@ class ResilientExecutor(Executor):
                 self._reap(attempt, kill=True)
 
     def _poll(self, running, waiting, obs, results, reports) -> None:
+        hub = self.telemetry
         now = time.monotonic()
         wakeups = [a.deadline for a in running if a.deadline is not None]
         if len(running) < self.jobs and waiting:
             wakeups.append(min(t.not_before for t in waiting))
         timeout = None if not wakeups else max(0.0, min(wakeups) - now)
+        if hub is not None:
+            # Keep waking at tick cadence so progress lines advance even
+            # while every worker is mid-scenario and silent.
+            timeout = (
+                hub.tick_interval
+                if timeout is None
+                else min(timeout, hub.tick_interval)
+            )
         handles = []
         for attempt in running:
             handles.append(attempt.conn)
@@ -269,50 +332,67 @@ class ResilientExecutor(Executor):
         signalled = set(_connection_wait(handles, timeout))
         now = time.monotonic()
         for attempt in list(running):
+            # Drain every queued message — "ready" handshake and
+            # "telemetry" heartbeats arrive interleaved ahead of the
+            # single final ok/error message.  The handshake marks the
+            # instant the scenario actually starts, so the wall-clock
+            # deadline restarts there (interpreter startup doesn't count
+            # against the timeout on spawn/forkserver platforms).
+            final = None
+            dead = False
             if attempt.conn in signalled or attempt.proc.sentinel in signalled:
-                # Drain the "ready" handshake before looking for the
-                # final message: it marks the instant the scenario
-                # actually starts, so the wall-clock deadline restarts
-                # there (interpreter startup doesn't count against the
-                # timeout on spawn/forkserver platforms).
-                message = None
-                while message is None and attempt.conn.poll():
+                while final is None and attempt.conn.poll():
                     try:
                         received = attempt.conn.recv()
                     except (EOFError, OSError):
+                        dead = True
                         break
                     if received[0] == "ready":
+                        attempt.started = time.monotonic()
                         if attempt.deadline is not None:
                             attempt.deadline = (
-                                time.monotonic() + self.policy.timeout
+                                attempt.started + self.policy.timeout
+                            )
+                    elif received[0] == "telemetry":
+                        record = received[1]
+                        if record.get("kind") == "heartbeat":
+                            attempt.last_heartbeat = record
+                        if hub is not None:
+                            hub.forward(
+                                record,
+                                index=attempt.task.index,
+                                attempt=attempt.task.attempt,
                             )
                     else:
-                        message = received
-                if message is None and attempt.proc.is_alive():
-                    continue  # just the handshake; the attempt runs on
-                if message is not None and message[0] == "ok":
-                    self._complete(attempt, message, running, obs, results, reports)
-                elif message is not None and message[0] == "error":
-                    self._fail(
-                        attempt,
-                        "scenario_errors",
-                        f"worker raised {message[1]}",
-                        running,
-                        waiting,
-                        obs,
-                        remote_traceback=message[2],
-                    )
-                else:
-                    self._fail(
-                        attempt,
-                        "crashes",
-                        f"worker died without a result "
-                        f"(exit code {attempt.proc.exitcode})",
-                        running,
-                        waiting,
-                        obs,
-                    )
+                        final = received
+                if final is None and not dead and not attempt.proc.is_alive():
+                    dead = True
+            if final is not None and final[0] == "ok":
+                self._complete(attempt, final, running, obs, results, reports)
+            elif final is not None and final[0] == "error":
+                self._fail(
+                    attempt,
+                    "scenario_errors",
+                    f"worker raised {final[1]}",
+                    running,
+                    waiting,
+                    obs,
+                    remote_traceback=final[2],
+                )
+            elif dead:
+                self._fail(
+                    attempt,
+                    "crashes",
+                    f"worker died without a result "
+                    f"(exit code {attempt.proc.exitcode})",
+                    running,
+                    waiting,
+                    obs,
+                )
             elif attempt.deadline is not None and now >= attempt.deadline:
+                # Checked even when the pipe was signalled: a hung worker
+                # whose heartbeat thread keeps the pipe busy must not be
+                # able to starve its own deadline.
                 self._fail(
                     attempt,
                     "timeouts",
@@ -334,15 +414,30 @@ class ResilientExecutor(Executor):
             elif task.attempt == 0:
                 fault = kind
                 del self._fault_plan[task.index]
+        # Heartbeats flow whenever someone can use them: a live hub, or
+        # an armed timeout (hang attribution needs the span snapshots
+        # even without sinks).
+        heartbeat = (
+            self.policy.heartbeat_interval
+            if (self.telemetry is not None or self.policy.timeout is not None)
+            else None
+        )
         recv_conn, send_conn = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=resilient_worker_main,
-            args=(send_conn, task.config, capture, fault),
+            args=(send_conn, task.config, capture, fault, heartbeat),
             daemon=True,
             name=f"repro-scenario-{task.index}",
         )
         proc.start()
         send_conn.close()  # the worker holds the only send end now
+        if self.telemetry is not None:
+            self.telemetry.publish(
+                "scenario.start",
+                index=task.index,
+                attempt=task.attempt,
+                pid=proc.pid,
+            )
         # The provisional deadline grants startup its own grace; the
         # worker's "ready" handshake replaces it with a clean
         # ``now + timeout`` once the scenario actually begins.
@@ -361,6 +456,13 @@ class ResilientExecutor(Executor):
         results[task.index] = result
         if report is not None:
             reports[task.index] = report
+        if self.telemetry is not None:
+            self.telemetry.publish(
+                "scenario.finish",
+                index=task.index,
+                attempt=task.attempt,
+                duration_s=round(time.monotonic() - attempt.started, 6),
+            )
         if self._store is not None and task.key is not None:
             if self._store.put(task.key, result):
                 obs.counter("exec.checkpoint.writes").inc()
@@ -380,6 +482,40 @@ class ResilientExecutor(Executor):
         running.remove(attempt)
         self._reap(attempt, kill=kill)
         obs.counter(f"exec.{counter}").inc()
+        spans: list | None = None
+        if counter == "timeouts":
+            # Hang attribution: the last heartbeat's span-stack snapshot
+            # is the best available answer to "where was it stuck?".
+            heartbeat = attempt.last_heartbeat
+            if heartbeat is not None:
+                spans = heartbeat.get("spans") or []
+            obs.emit(
+                "exec.timeout",
+                index=task.index,
+                attempt=task.attempt,
+                spans=spans,
+            )
+            if spans:
+                reason = f"{reason}; last seen in span {' > '.join(spans)}"
+        if self.telemetry is not None:
+            record_kind = {
+                "timeouts": "scenario.timeout",
+                "crashes": "scenario.crash",
+                "scenario_errors": "scenario.error",
+            }[counter]
+            fields: dict = {
+                "index": task.index,
+                "attempt": task.attempt,
+                "reason": reason,
+            }
+            if counter == "timeouts":
+                fields["timeout_s"] = self.policy.timeout
+                fields["spans"] = spans
+                if attempt.last_heartbeat is not None:
+                    fields["last_heartbeat_elapsed_s"] = (
+                        attempt.last_heartbeat.get("elapsed_s")
+                    )
+            self.telemetry.publish(record_kind, **fields)
         if task.attempt >= self.policy.retries:
             detail = reason
             if remote_traceback:
@@ -389,8 +525,17 @@ class ResilientExecutor(Executor):
             )
         task.attempt += 1
         obs.counter("exec.retries").inc()
-        task.not_before = time.monotonic() + self.policy.backoff(task.attempt)
+        backoff = self.policy.backoff(task.attempt)
+        task.not_before = time.monotonic() + backoff
         waiting.append(task)
+        if self.telemetry is not None:
+            self.telemetry.publish(
+                "scenario.retry",
+                index=task.index,
+                attempt=task.attempt,
+                reason=reason,
+                backoff_s=round(backoff, 6),
+            )
 
     def _reap(self, attempt: _Attempt, kill: bool = False) -> None:
         try:

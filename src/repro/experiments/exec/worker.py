@@ -4,31 +4,45 @@ Everything here must be importable by name in a fresh interpreter (the
 ``ProcessPoolExecutor`` contract): the task function is a module-level
 callable, its payload and return value are plain picklable values.
 
-A scenario work unit travels as ``(ScenarioConfig, capture_obs)`` and
-comes back as ``(ScenarioResult, worker run-report | None)``.  The worker
-runs each scenario against the per-process substrate cache
+A scenario work unit travels as ``(ScenarioConfig, capture_obs,
+telemetry)`` and comes back as ``(ScenarioResult, worker run-report |
+None, telemetry records)``.  The worker runs each scenario against the
+per-process substrate cache
 (:func:`~repro.experiments.exec.cache.process_cache`), so scenarios
 landing on the same worker share generated topologies and SPF state.
 When observability capture is on, each task records into a fresh
 :class:`~repro.obs.Observability` and ships back its run report; the
 parent merges reports in seed order (:mod:`repro.obs.merge`), keeping the
-combined report deterministic regardless of completion order.
+combined report deterministic regardless of completion order.  When
+telemetry is on, the worker stamps ``scenario.start`` / ``scenario.finish``
+lifecycle records (wall-clock time, pid, duration) that ride back on the
+same result channel for the parent's
+:class:`~repro.obs.live.TelemetryHub`.
 
 Two entry points:
 
 - :func:`run_scenario_task` — the pool task of the
-  :class:`~repro.experiments.exec.executor.ParallelExecutor`;
+  :class:`~repro.experiments.exec.executor.ParallelExecutor`; its result
+  tuple is the only channel back, so lifecycle records are delivered
+  with the result (a pool worker has no side channel for mid-scenario
+  heartbeats — that is the resilient executor's dedicated-pipe
+  privilege);
 - :func:`resilient_worker_main` — the process main of one
   :class:`~repro.experiments.exec.resilience.ResilientExecutor` attempt,
-  speaking the one-message pipe protocol described there (and honouring
-  the executor's injected test faults).
+  speaking the multi-message pipe protocol described there: a ``ready``
+  handshake, periodic ``telemetry`` heartbeats from a sampler thread
+  (each carrying the live span-stack snapshot, which is what makes hang
+  attribution possible), then exactly one final ``ok``/``error``
+  message (and honouring the executor's injected test faults).
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 import traceback
+from time import perf_counter
 
 from repro.experiments.runner import ScenarioResult, run_scenario
 from repro.experiments.scenario import ScenarioConfig
@@ -43,20 +57,72 @@ FAULT_KINDS = ("crash", "hang", "error")
 #: before this elapses.
 _HANG_SECONDS = 3600.0
 
+#: Span the injected "hang" fault sleeps under, so heartbeat snapshots
+#: (and therefore the timeout record's hang attribution) have a concrete
+#: location to report — exactly what a real wedged code path would show.
+HANG_SPAN = "fault.injected_hang"
+
 
 def run_scenario_task(
-    task: tuple[ScenarioConfig, bool],
-) -> tuple[ScenarioResult, dict | None]:
-    """Execute one scenario work unit inside a worker process."""
-    config, capture_obs = task
+    task: tuple[ScenarioConfig, bool, bool],
+) -> tuple[ScenarioResult, dict | None, list[dict]]:
+    """Execute one scenario work unit inside a pool worker process."""
+    config, capture_obs, telemetry = task
+    records: list[dict] = []
+    if telemetry:
+        records.append(
+            {"kind": "scenario.start", "t": round(time.time(), 6),
+             "pid": os.getpid()}
+        )
+    started = perf_counter()
     if capture_obs:
         from repro.obs import Observability, build_run_report
 
         obs = Observability()
         result = run_scenario(config, obs=obs, cache=process_cache())
-        return result, build_run_report(obs)
-    result = run_scenario(config, cache=process_cache())
-    return result, None
+        report = build_run_report(obs)
+    else:
+        result = run_scenario(config, cache=process_cache())
+        report = None
+    if telemetry:
+        records.append(
+            {"kind": "scenario.finish", "t": round(time.time(), 6),
+             "pid": os.getpid(),
+             "duration_s": round(perf_counter() - started, 6)}
+        )
+    return result, report, records
+
+
+class _HeartbeatSampler(threading.Thread):
+    """Worker-side heartbeat thread: periodically ships the live
+    span-stack snapshot up the result pipe.
+
+    Runs as a daemon so a wedged scenario cannot be kept alive by its
+    own monitor; sends go through the worker's pipe lock so heartbeats
+    never interleave with the final result message.
+    """
+
+    def __init__(self, send, profiler, interval: float) -> None:
+        super().__init__(name="repro-heartbeat", daemon=True)
+        self._send = send
+        self._profiler = profiler
+        self._interval = interval
+        self.stop = threading.Event()
+
+    def run(self) -> None:
+        started = time.monotonic()
+        while not self.stop.wait(self._interval):
+            record = {
+                "kind": "heartbeat",
+                "t": round(time.time(), 6),
+                "pid": os.getpid(),
+                "spans": self._profiler.stack_snapshot(),
+                "elapsed_s": round(time.monotonic() - started, 3),
+            }
+            try:
+                self._send(("telemetry", record))
+            except (OSError, ValueError, BrokenPipeError):
+                return  # parent gone; nothing left to report to
 
 
 def resilient_worker_main(
@@ -64,6 +130,7 @@ def resilient_worker_main(
     config: ScenarioConfig,
     capture_obs: bool,
     fault: str | None = None,
+    heartbeat_interval: float | None = None,
 ) -> None:
     """Process main of one resilient scenario attempt.
 
@@ -71,8 +138,12 @@ def resilient_worker_main(
     restarts the per-attempt wall-clock deadline on it, so interpreter
     startup and imports (which on spawn/forkserver platforms can rival a
     tight :attr:`~repro.experiments.exec.resilience.ExecPolicy.timeout`)
-    do not count against the scenario.  Exactly one *final* message then
-    follows:
+    do not count against the scenario.  When ``heartbeat_interval`` is
+    set, a sampler thread then emits ``("telemetry", record)`` heartbeat
+    messages every interval, each carrying the scenario's currently open
+    span names — the parent keeps the latest one per attempt and attaches
+    it to the timeout record if it has to kill this worker (hang
+    attribution).  Exactly one *final* message follows:
 
     - ``("ok", ScenarioResult, run-report | None)`` on success;
     - ``("error", summary, traceback)`` when the scenario raised — a
@@ -85,16 +156,35 @@ def resilient_worker_main(
     ``fault`` is the executor's test-injection hook and does nothing in
     production runs.
     """
+    send_lock = threading.Lock()
+
+    def send(message):
+        with send_lock:
+            conn.send(message)
+
+    sampler = None
     try:
-        conn.send(("ready",))
+        send(("ready",))
+        from repro.obs import Observability, build_run_report
+
+        # Spans must be live whenever heartbeats are on — the snapshot
+        # is the heartbeat's payload — even if no run report ships back.
+        obs = Observability(
+            enabled=capture_obs or heartbeat_interval is not None
+        )
+        if heartbeat_interval is not None:
+            sampler = _HeartbeatSampler(send, obs.spans, heartbeat_interval)
+            sampler.start()
         if fault == "crash":
             os._exit(86)  # die wordlessly, as a segfaulted worker would
         if fault == "hang":
-            time.sleep(_HANG_SECONDS)
+            with obs.span(HANG_SPAN):
+                time.sleep(_HANG_SECONDS)
         if fault == "error":
             raise RuntimeError("injected transient error")
-        result, report = run_scenario_task((config, capture_obs))
-        conn.send(("ok", result, report))
+        result = run_scenario(config, obs=obs, cache=process_cache())
+        report = build_run_report(obs) if capture_obs else None
+        send(("ok", result, report))
     except (KeyboardInterrupt, SystemExit):
         # An interrupt (e.g. Ctrl-C hitting the whole process group) is
         # the parent unwinding, not a transient scenario failure: saying
@@ -104,12 +194,15 @@ def resilient_worker_main(
         raise
     except BaseException as exc:  # noqa: BLE001 - the pipe is the error channel
         try:
-            conn.send(
+            send(
                 ("error", f"{type(exc).__name__}: {exc}", traceback.format_exc())
             )
         except OSError:
             pass  # parent already gone; exiting is all that is left
     finally:
+        if sampler is not None:
+            sampler.stop.set()
+            sampler.join(timeout=2.0)
         try:
             conn.close()
         except OSError:

@@ -30,13 +30,31 @@ Examples
 
 from __future__ import annotations
 
+from repro.obs.diff import (
+    diff_run_reports,
+    max_span_ratio,
+    render_report_diff,
+    span_totals,
+)
 from repro.obs.events import DEFAULT_MAX_EVENTS, EventLog, load_jsonl, read_jsonl
 from repro.obs.export import (
+    OPENMETRICS_PREFIX,
     REPORT_VERSION,
     build_run_report,
     load_run_report,
+    openmetrics_from_snapshot,
+    render_openmetrics,
     render_run_report,
     write_run_report,
+)
+from repro.obs.live import RECORD_VERSION, TelemetryHub
+from repro.obs.sinks import (
+    FlightRecorder,
+    OpenMetricsSink,
+    ProgressSink,
+    TelemetrySink,
+    load_flight_record,
+    render_flight_record,
 )
 from repro.obs.merge import (
     merge_report_into,
@@ -112,4 +130,22 @@ __all__ = [
     "merge_report_into",
     "merge_reports_into",
     "merge_run_reports",
+    # Live telemetry (repro.obs.live / repro.obs.sinks)
+    "RECORD_VERSION",
+    "TelemetryHub",
+    "TelemetrySink",
+    "ProgressSink",
+    "FlightRecorder",
+    "OpenMetricsSink",
+    "load_flight_record",
+    "render_flight_record",
+    # OpenMetrics export
+    "OPENMETRICS_PREFIX",
+    "openmetrics_from_snapshot",
+    "render_openmetrics",
+    # Run-report diffing
+    "diff_run_reports",
+    "max_span_ratio",
+    "render_report_diff",
+    "span_totals",
 ]

@@ -1,0 +1,155 @@
+"""Run-report diffing for regression triage (``repro obs diff``).
+
+Two captured ``--obs-out`` run reports are compared along the axes that
+matter for triaging a regression between two builds or configurations:
+
+- **counter deltas** — algorithm/work counters that changed (a different
+  ``recovery.repair.spf_runs`` or ``smrp.joins`` total means behaviour
+  changed, not just timing);
+- **span-time ratios** — per-span wall-clock of report *b* relative to
+  report *a*, aggregated by span name across the whole tree (recursion
+  depths sum), so a hot path that got slower stands out;
+- **event accounting** — recorded/dropped totals side by side.
+
+``repro obs diff a.json b.json --fail-over R`` exits nonzero when any
+span-time ratio exceeds ``R``, making the diff usable as a CI tripwire.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+#: Spans faster than this (seconds) in *both* reports are ignored by the
+#: threshold check: ratios of near-zero timings are noise, not signal.
+SPAN_NOISE_FLOOR_S = 1e-4
+
+
+def span_totals(tree: dict) -> dict[str, tuple[int, float]]:
+    """``name -> (calls, total seconds)`` aggregated across a span tree.
+
+    The report-dict counterpart of :meth:`SpanProfiler.totals`: a span
+    name appearing at several depths is summed into one row.
+    """
+    out: dict[str, tuple[int, float]] = {}
+
+    def visit(node: dict) -> None:
+        for child in node.get("children", []):
+            calls, total = out.get(child["name"], (0, 0.0))
+            out[child["name"]] = (
+                calls + child.get("calls", 0),
+                total + child.get("total_s", 0.0),
+            )
+            visit(child)
+
+    visit(tree or {})
+    return out
+
+
+def diff_run_reports(a: dict, b: dict) -> dict:
+    """Structured comparison of two run reports.
+
+    Returns::
+
+        {
+          "counters": {name: {"a": .., "b": .., "delta": ..}},   # changed only
+          "spans":    {name: {"a_s": .., "b_s": .., "ratio": ..}},
+          "events":   {"a": {...}, "b": {...}},
+        }
+
+    Span ``ratio`` is ``b_s / a_s``; a span absent (or zero) in ``a`` but
+    timed in ``b`` gets ``inf``, and one that vanished gets ``0.0``.
+    Ratios of spans below :data:`SPAN_NOISE_FLOOR_S` on both sides are
+    reported as ``None`` (noise).
+    """
+    for name, report in (("a", a), ("b", b)):
+        if not isinstance(report, dict) or "metrics" not in report:
+            raise ConfigurationError(
+                f"report {name!r} is not a repro run report"
+            )
+
+    counters_a = a["metrics"].get("counters", {})
+    counters_b = b["metrics"].get("counters", {})
+    counters = {}
+    for name in sorted(set(counters_a) | set(counters_b)):
+        va, vb = counters_a.get(name, 0), counters_b.get(name, 0)
+        if va != vb:
+            counters[name] = {"a": va, "b": vb, "delta": vb - va}
+
+    totals_a = span_totals(a.get("spans", {}))
+    totals_b = span_totals(b.get("spans", {}))
+    spans = {}
+    for name in sorted(set(totals_a) | set(totals_b)):
+        _, ta = totals_a.get(name, (0, 0.0))
+        _, tb = totals_b.get(name, (0, 0.0))
+        if ta < SPAN_NOISE_FLOOR_S and tb < SPAN_NOISE_FLOOR_S:
+            ratio = None
+        elif ta > 0:
+            ratio = tb / ta
+        else:
+            ratio = math.inf if tb > 0 else 0.0
+        spans[name] = {"a_s": ta, "b_s": tb, "ratio": ratio}
+
+    return {
+        "counters": counters,
+        "spans": spans,
+        "events": {"a": a.get("events", {}), "b": b.get("events", {})},
+    }
+
+
+def max_span_ratio(diff: dict) -> float:
+    """The worst span-time ratio in a diff (0.0 when nothing is timed)."""
+    ratios = [
+        entry["ratio"]
+        for entry in diff.get("spans", {}).values()
+        if entry.get("ratio") is not None
+    ]
+    return max(ratios, default=0.0)
+
+
+def render_report_diff(diff: dict, threshold: float | None = None) -> str:
+    """Human-readable rendering of :func:`diff_run_reports` output."""
+    lines: list[str] = []
+    counters = diff.get("counters", {})
+    if counters:
+        lines.append(f"counters changed ({len(counters)}):")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            entry = counters[name]
+            lines.append(
+                f"  {name:<{width}}  {entry['a']} -> {entry['b']} "
+                f"({entry['delta']:+d})"
+            )
+    else:
+        lines.append("counters: identical")
+
+    spans = diff.get("spans", {})
+    timed = {n: e for n, e in spans.items() if e.get("ratio") is not None}
+    if timed:
+        lines.append("")
+        lines.append("span-time ratios (b/a):")
+        width = max(len(n) for n in timed)
+        for name in sorted(timed, key=lambda n: -(
+            timed[n]["ratio"] if math.isfinite(timed[n]["ratio"]) else 1e18
+        )):
+            entry = timed[name]
+            ratio = entry["ratio"]
+            shown = "inf" if math.isinf(ratio) else f"{ratio:.2f}x"
+            flag = ""
+            if threshold is not None and ratio > threshold:
+                flag = f"  <-- over --fail-over {threshold:g}"
+            lines.append(
+                f"  {name:<{width}}  {entry['a_s']:.6f}s -> "
+                f"{entry['b_s']:.6f}s  {shown}{flag}"
+            )
+
+    events = diff.get("events", {})
+    ea, eb = events.get("a", {}), events.get("b", {})
+    if ea or eb:
+        lines.append("")
+        lines.append(
+            f"events: {ea.get('recorded', 0)} -> {eb.get('recorded', 0)} "
+            f"recorded, {ea.get('dropped', 0)} -> {eb.get('dropped', 0)} dropped"
+        )
+    return "\n".join(lines)

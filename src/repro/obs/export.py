@@ -10,6 +10,7 @@ assert against instead of re-deriving counts.
 from __future__ import annotations
 
 import json
+import re
 from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
@@ -90,10 +91,15 @@ def render_run_report(report: dict) -> str:
         lines.append("histograms:")
         for name in sorted(histograms):
             h = histograms[name]
+            # Mid-run partial state may include a registered histogram
+            # with zero observations: guard the mean and render missing
+            # extrema as em-dashes instead of "None".
             mean = h["sum"] / h["count"] if h["count"] else 0.0
+            low = "—" if h["min"] is None else h["min"]
+            high = "—" if h["max"] is None else h["max"]
             lines.append(
                 f"  {name}: n={h['count']} mean={mean:.3f} "
-                f"min={h['min']} max={h['max']}"
+                f"min={low} max={high}"
             )
             lower = None
             for bound, count in zip(h["bounds"], h["counts"]):
@@ -122,6 +128,77 @@ def render_run_report(report: dict) -> str:
             f"{events.get('dropped', 0)} dropped"
         )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics exposition
+# ----------------------------------------------------------------------
+#: Metric-name prefix for every exported series.
+OPENMETRICS_PREFIX = "repro"
+
+
+def _openmetrics_name(name: str, prefix: str = OPENMETRICS_PREFIX) -> str:
+    """Map a dotted repro metric name onto the OpenMetrics charset."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    full = f"{prefix}_{cleaned}" if prefix else cleaned
+    if full and full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def _openmetrics_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return format(float(value), "g")
+
+
+def openmetrics_from_snapshot(
+    snapshot: dict, prefix: str = OPENMETRICS_PREFIX
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as OpenMetrics text.
+
+    Counters become ``<name>_total`` samples, gauges plain samples, and
+    histograms the standard ``_bucket{le=...}`` / ``_sum`` / ``_count``
+    series with *cumulative* bucket counts (repro's registry keeps
+    per-bucket counts).  The exposition always terminates with ``# EOF``.
+    Shared by both ``repro obs export --format openmetrics`` and the
+    live :class:`~repro.obs.sinks.OpenMetricsSink` textfile exporter.
+    """
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        om = _openmetrics_name(name, prefix)
+        lines.append(f"# TYPE {om} counter")
+        lines.append(f"{om}_total {_openmetrics_value(value)}")
+    for name, payload in sorted(snapshot.get("gauges", {}).items()):
+        om = _openmetrics_name(name, prefix)
+        lines.append(f"# TYPE {om} gauge")
+        lines.append(f"{om} {_openmetrics_value(payload['value'])}")
+    for name, payload in sorted(snapshot.get("histograms", {}).items()):
+        om = _openmetrics_name(name, prefix)
+        lines.append(f"# TYPE {om} histogram")
+        cumulative = 0
+        for bound, count in zip(payload["bounds"], payload["counts"]):
+            cumulative += count
+            lines.append(
+                f'{om}_bucket{{le="{_openmetrics_value(float(bound))}"}} '
+                f"{cumulative}"
+            )
+        lines.append(f'{om}_bucket{{le="+Inf"}} {payload["count"]}')
+        lines.append(f"{om}_sum {_openmetrics_value(payload['sum'])}")
+        lines.append(f"{om}_count {payload['count']}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def render_openmetrics(report: dict, prefix: str = OPENMETRICS_PREFIX) -> str:
+    """OpenMetrics exposition of a run report's metrics snapshot."""
+    if not isinstance(report, dict) or "metrics" not in report:
+        raise ConfigurationError(
+            "not a repro run report (missing a 'metrics' section)"
+        )
+    return openmetrics_from_snapshot(report["metrics"], prefix=prefix)
 
 
 def _render_span_tree(node: dict, depth: int) -> list[str]:

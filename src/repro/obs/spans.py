@@ -115,6 +115,19 @@ class SpanProfiler:
         """The timing tree as nested dicts (root has no timing of its own)."""
         return self.root.to_dict()
 
+    def stack_snapshot(self) -> list[str]:
+        """Names of the currently open spans, outermost first.
+
+        Safe to call from another thread (the telemetry heartbeat
+        sampler): the stack is copied before reading and a race with a
+        concurrent push/pop degrades to an empty snapshot, never an
+        exception on the caller.
+        """
+        try:
+            return [node.name for node in list(self._stack)[1:]]
+        except Exception:  # pragma: no cover - only under heavy races
+            return []
+
     def merge_report(self, report: dict) -> None:
         """Fold a :meth:`report` tree produced elsewhere into this one.
 

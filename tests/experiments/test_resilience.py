@@ -191,10 +191,10 @@ class TestFaultRecovery:
             def close(self):
                 pass
 
-        def interrupted(task):
+        def interrupted(config, **kwargs):
             raise KeyboardInterrupt
 
-        monkeypatch.setattr(worker, "run_scenario_task", interrupted)
+        monkeypatch.setattr(worker, "run_scenario", interrupted)
         config = SPEC.scenario_configs()[0]
         with pytest.raises(KeyboardInterrupt):
             worker.resilient_worker_main(FakeConn(), config, False)

@@ -176,3 +176,171 @@ class TestObs:
                 "--obs-out", "/nonexistent-dir/run.json",
             ])
         assert "--obs-out directory does not exist" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    SCENARIO = [
+        "scenario", "--n", "30", "--group-size", "6",
+        "--alpha", "0.6", "--topology-seed", "2", "--member-seed", "3",
+    ]
+
+    def test_scenario_with_all_sinks_is_byte_identical(self, capsys, tmp_path):
+        assert main(self.SCENARIO) == 0
+        plain = capsys.readouterr().out
+        flight = str(tmp_path / "flight.ndjson")
+        prom = str(tmp_path / "metrics.prom")
+        code = main(self.SCENARIO + [
+            "--executor", "resilient", "--progress",
+            "--telemetry-out", flight, "--openmetrics-out", prom,
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        # The observe-only invariant: stdout is byte-identical; progress
+        # went to stderr, records and metrics to side files.
+        assert captured.out == plain
+        assert "sweep finished" in captured.err
+        import json
+
+        records = [
+            json.loads(line)
+            for line in open(flight, encoding="utf-8")
+        ]
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "sweep.start" and kinds[-1] == "sweep.finish"
+        assert "scenario.finish" in kinds
+        assert "# EOF" in open(prom, encoding="utf-8").read()
+
+    def test_telemetry_out_rejects_missing_directory(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.SCENARIO + [
+                "--telemetry-out", "/nonexistent-dir/flight.ndjson",
+            ])
+        assert excinfo.value.code == 2
+        assert (
+            "--telemetry-out directory does not exist"
+            in capsys.readouterr().err
+        )
+
+    def test_simulate_notes_telemetry_scope(self, capsys, tmp_path):
+        code = main([
+            "simulate", "--n", "20", "--members", "3", "--seed", "4",
+            "--progress",
+        ])
+        assert code == 0
+        assert "telemetry covers scenario sweeps" in capsys.readouterr().out
+
+
+class TestObsTail:
+    def _record_flight(self, tmp_path):
+        path = str(tmp_path / "flight.ndjson")
+        code = main([
+            "scenario", "--n", "30", "--group-size", "6",
+            "--telemetry-out", path,
+        ])
+        assert code == 0
+        return path
+
+    def test_tail_renders_timeline(self, capsys, tmp_path):
+        path = self._record_flight(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "tail", path]) == 0
+        out = capsys.readouterr().out
+        assert "flight record:" in out
+        assert "sweep started" in out
+        assert "record kinds:" in out
+
+    def test_tail_last_elides(self, capsys, tmp_path):
+        path = self._record_flight(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "tail", path, "--last", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "earlier records elided" in out
+
+    def test_tail_missing_file(self, capsys):
+        assert main(["obs", "tail", "/nonexistent/flight.ndjson"]) == 1
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestObsExport:
+    def _capture_report(self, tmp_path):
+        path = str(tmp_path / "run.json")
+        assert main([
+            "scenario", "--n", "30", "--group-size", "6", "--obs-out", path,
+        ]) == 0
+        return path
+
+    def test_export_openmetrics_to_stdout(self, capsys, tmp_path):
+        path = self._capture_report(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "export", path, "--format", "openmetrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_smrp_joins counter" in out
+        assert out.endswith("# EOF\n")
+
+    def test_export_to_file(self, capsys, tmp_path):
+        path = self._capture_report(tmp_path)
+        out_path = str(tmp_path / "metrics.prom")
+        capsys.readouterr()
+        assert main(["obs", "export", path, "--out", out_path]) == 0
+        text = open(out_path, encoding="utf-8").read()
+        assert text.endswith("# EOF\n")
+        assert out_path in capsys.readouterr().out
+
+    def test_export_rejects_non_report(self, capsys, tmp_path):
+        junk = tmp_path / "junk.json"
+        junk.write_text("{}")
+        assert main(["obs", "export", str(junk)]) == 1
+        assert "not a repro run report" in capsys.readouterr().err
+
+
+class TestObsDiff:
+    def _capture(self, tmp_path, name, seed):
+        path = str(tmp_path / name)
+        assert main([
+            "scenario", "--n", "30", "--group-size", "6",
+            "--topology-seed", str(seed), "--obs-out", path,
+        ]) == 0
+        return path
+
+    def test_self_diff_identical_counters(self, capsys, tmp_path):
+        path = self._capture(tmp_path, "a.json", 0)
+        capsys.readouterr()
+        assert main(["obs", "diff", path, path]) == 0
+        out = capsys.readouterr().out
+        assert "counters: identical" in out
+
+    def test_different_runs_show_counter_deltas(self, capsys, tmp_path):
+        a = self._capture(tmp_path, "a.json", 0)
+        b = self._capture(tmp_path, "b.json", 5)
+        capsys.readouterr()
+        assert main(["obs", "diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "counters changed" in out
+        assert "span-time ratios" in out
+
+    def test_fail_over_trips_nonzero_exit(self, capsys, tmp_path):
+        import json
+
+        a = self._capture(tmp_path, "a.json", 0)
+        report = json.load(open(a, encoding="utf-8"))
+        # Inflate every span tenfold in the candidate.
+        def inflate(node):
+            node["total_s"] = node.get("total_s", 0.0) * 10
+            for child in node.get("children", []):
+                inflate(child)
+        inflate(report["spans"])
+        b = str(tmp_path / "b.json")
+        json.dump(report, open(b, "w", encoding="utf-8"))
+        capsys.readouterr()
+        assert main(["obs", "diff", a, b, "--fail-over", "2.0"]) == 1
+        captured = capsys.readouterr()
+        assert "over --fail-over 2" in captured.out
+        assert "exceeds" in captured.err
+
+    def test_diff_rejects_non_report(self, capsys, tmp_path):
+        a = self._capture(tmp_path, "a.json", 0)
+        junk = tmp_path / "junk.json"
+        junk.write_text("{}")
+        capsys.readouterr()
+        assert main(["obs", "diff", a, str(junk)]) == 1
+        assert "not a repro run report" in capsys.readouterr().err
