@@ -14,12 +14,22 @@ Commands
     Observability artifacts: ``report`` renders a captured run report,
     ``tail`` replays a telemetry flight record, ``export`` renders a run
     report as OpenMetrics text, ``diff`` compares two run reports.
+``trace``
+    Causal restoration traces: ``analyze`` prints per-phase latency
+    breakdowns and critical paths, ``export`` converts an NDJSON trace
+    to Chrome trace-event JSON (open it at https://ui.perfetto.dev),
+    ``diff`` compares two analyses, ``figure`` renders the
+    restoration-latency-by-phase figure family.
 ``info``
     Version and component inventory.
 
 The run-producing commands accept ``--obs-out PATH`` to capture a
 structured run report (metric counters, span timings, event accounting)
-as JSON; ``repro obs report PATH`` renders it afterwards.
+as JSON; ``repro obs report PATH`` renders it afterwards.  They also
+accept ``--trace-out PATH`` to record causal restoration episodes in
+simulated time (:mod:`repro.obs.tracing`) as an NDJSON trace; tracing
+is observe-only, so stdout tables stay byte-identical with or without
+it, and the confirmation line goes to stderr.
 
 Live telemetry
 --------------
@@ -132,6 +142,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="only this figure")
     figures.add_argument("--obs-out", metavar="PATH",
                          help="write an observability run report (JSON)")
+    figures.add_argument("--trace-out", metavar="PATH",
+                         help="write causal restoration episodes (NDJSON)")
     _add_executor_args(figures)
 
     scenario = sub.add_parser("scenario", help="run one seeded scenario")
@@ -146,6 +158,8 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--no-reshape", action="store_true")
     scenario.add_argument("--obs-out", metavar="PATH",
                           help="write an observability run report (JSON)")
+    scenario.add_argument("--trace-out", metavar="PATH",
+                          help="write causal restoration episodes (NDJSON)")
     _add_executor_args(scenario)
 
     simulate = sub.add_parser("simulate", help="message-level simulation")
@@ -157,6 +171,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="inject the first member's worst-case failure")
     simulate.add_argument("--obs-out", metavar="PATH",
                           help="write an observability run report (JSON)")
+    simulate.add_argument("--trace-out", metavar="PATH",
+                          help="write causal restoration episodes (NDJSON)")
     _add_executor_args(simulate)
 
     obs = sub.add_parser("obs", help="observability run artifacts")
@@ -195,6 +211,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero when any span-time ratio (b/a) exceeds RATIO",
     )
 
+    trace = sub.add_parser("trace", help="causal restoration traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_analyze = trace_sub.add_parser(
+        "analyze", help="per-phase latency breakdown of a trace"
+    )
+    trace_analyze.add_argument("path", help="NDJSON trace (--trace-out)")
+    trace_analyze.add_argument(
+        "--check", action="store_true",
+        help="validate span nesting and critical-path sums; exit 1 on "
+             "any violation",
+    )
+    trace_export = trace_sub.add_parser(
+        "export", help="convert a trace to another format"
+    )
+    trace_export.add_argument("path", help="NDJSON trace (--trace-out)")
+    trace_export.add_argument(
+        "--format", choices=["chrome", "ndjson"], default="chrome",
+        help="output format (default: chrome trace-event JSON, loadable "
+             "at https://ui.perfetto.dev)",
+    )
+    trace_export.add_argument(
+        "--out", metavar="PATH",
+        help="write to PATH instead of stdout",
+    )
+    trace_diff = trace_sub.add_parser(
+        "diff", help="compare the phase breakdowns of two traces"
+    )
+    trace_diff.add_argument("path_a", help="baseline NDJSON trace")
+    trace_diff.add_argument("path_b", help="candidate NDJSON trace")
+    trace_diff.add_argument(
+        "--fail-over", type=float, metavar="RATIO",
+        help="exit nonzero when any per-phase relative delta exceeds RATIO",
+    )
+    trace_figure = trace_sub.add_parser(
+        "figure", help="restoration latency breakdown by phase"
+    )
+    trace_figure.add_argument("--quick", action="store_true",
+                              help="reduced grid (4x2 scenarios)")
+    trace_figure.add_argument(
+        "--trace-out", metavar="PATH",
+        help="also write the episodes behind the figure (NDJSON)",
+    )
+    _add_executor_args(trace_figure)
+
     sub.add_parser("info", help="version and component inventory")
     return parser
 
@@ -206,26 +266,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         "scenario": _cmd_scenario,
         "simulate": _cmd_simulate,
         "obs": _cmd_obs,
+        "trace": _cmd_trace,
         "info": _cmd_info,
     }
     return handlers[args.command](args)
 
 
 def _make_obs(args: argparse.Namespace):
-    """An enabled Observability when ``--obs-out`` was given, else None."""
-    if getattr(args, "obs_out", None) is None:
+    """The run's Observability, or None when no capture flag was given.
+
+    ``--obs-out`` enables the metrics/spans/events instruments;
+    ``--trace-out`` attaches a restoration tracer.  A trace-only run
+    keeps the other instruments disabled, so the tracer is the only
+    live instrumentation.
+    """
+    obs_out = getattr(args, "obs_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    if obs_out is None and trace_out is None:
         return None
     # Fail fast on an unwritable destination rather than after the run.
-    parent = os.path.dirname(os.path.abspath(args.obs_out))
-    if not os.path.isdir(parent):
-        print(
-            f"repro: error: --obs-out directory does not exist: {parent}",
-            file=sys.stderr,
-        )
-        raise SystemExit(2)
-    from repro.obs import Observability
+    if obs_out is not None:
+        _check_out_dir("--obs-out", obs_out)
+    if trace_out is not None:
+        _check_out_dir("--trace-out", trace_out)
+    from repro.obs import Observability, RestorationTracer
 
-    return Observability()
+    return Observability(
+        enabled=obs_out is not None,
+        tracer=RestorationTracer() if trace_out is not None else None,
+    )
 
 
 def _check_out_dir(flag: str, path: str) -> None:
@@ -338,12 +407,38 @@ def _make_executor(args: argparse.Namespace, telemetry=None):
 
 
 def _write_obs_report(args: argparse.Namespace, obs, meta: dict) -> None:
-    if obs is None:
+    if obs is None or getattr(args, "obs_out", None) is None:
         return
     from repro.obs import write_run_report
 
     write_run_report(obs.run_report(meta=meta), args.obs_out)
     print(f"\nobservability report written to {args.obs_out}")
+
+
+def _write_trace_out(args: argparse.Namespace, obs) -> None:
+    """Write the tracer's episodes as NDJSON when ``--trace-out`` was on.
+
+    The confirmation goes to stderr: tracing is observe-only and stdout
+    must stay byte-identical to an untraced run.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is None or obs is None or obs.tracer is None:
+        return
+    from repro.obs import write_trace_ndjson
+
+    tracer = obs.tracer
+    tracer.finalize()
+    count = write_trace_ndjson(
+        tracer.episodes,
+        trace_out,
+        dropped=tracer.dropped,
+        trimmed=tracer.trimmed,
+        abandoned=tracer.abandoned,
+    )
+    print(
+        f"restoration trace ({count} episodes) written to {trace_out}",
+        file=sys.stderr,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -386,6 +481,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         "executor": executor.kind,
         "jobs": args.jobs,
     })
+    _write_trace_out(args, obs)
     return 0
 
 
@@ -439,6 +535,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         "config": config.describe(),
         "jobs": args.jobs,
     })
+    _write_trace_out(args, obs)
     return 0
 
 
@@ -506,6 +603,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "d_thresh": args.d_thresh,
         "fail_worst": bool(args.fail_worst),
     })
+    _write_trace_out(args, obs)
     return 0
 
 
@@ -597,6 +695,133 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace_or_fail(path: str):
+    from repro.errors import ConfigurationError
+    from repro.obs import read_trace_ndjson
+
+    try:
+        return read_trace_ndjson(path)
+    except FileNotFoundError:
+        print(f"repro: error: no such file: {path}", file=sys.stderr)
+        raise _ObsError
+    except ConfigurationError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        raise _ObsError
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    handlers = {
+        "analyze": _cmd_trace_analyze,
+        "export": _cmd_trace_export,
+        "diff": _cmd_trace_diff,
+        "figure": _cmd_trace_figure,
+    }
+    try:
+        return handlers[args.trace_command](args)
+    except _ObsError:
+        return 1
+
+
+def _cmd_trace_analyze(args: argparse.Namespace) -> int:
+    from repro.obs import TraceAnalyzer
+
+    trace_file = _load_trace_or_fail(args.path)
+    analyzer = TraceAnalyzer(trace_file.episodes)
+    print(analyzer.render())
+    if args.check:
+        problems = analyzer.check()
+        if problems:
+            for problem in problems:
+                print(f"repro: trace check: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"trace check passed: {len(trace_file.episodes)} episodes valid",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import chrome_trace_document
+    from repro.obs.tracing import write_trace_ndjson
+
+    trace_file = _load_trace_or_fail(args.path)
+    if args.out is not None:
+        _check_out_dir("--out", args.out)
+    if args.format == "chrome":
+        document = chrome_trace_document(trace_file.episodes)
+        text = json.dumps(document, sort_keys=True, indent=1) + "\n"
+        if args.out is not None:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"chrome trace ({len(trace_file.episodes)} episodes) "
+                  f"written to {args.out} — open it at https://ui.perfetto.dev")
+        else:
+            sys.stdout.write(text)
+        return 0
+    if args.out is None:
+        print(
+            "repro: error: --format ndjson requires --out "
+            "(the NDJSON writer targets a file)",
+            file=sys.stderr,
+        )
+        return 1
+    count = write_trace_ndjson(
+        trace_file.episodes,
+        args.out,
+        dropped=trace_file.dropped,
+        trimmed=trace_file.trimmed,
+        abandoned=trace_file.abandoned,
+    )
+    print(f"trace ({count} episodes) written to {args.out}")
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.obs.tracing import TraceAnalyzer, diff_analyses
+
+    file_a = _load_trace_or_fail(args.path_a)
+    file_b = _load_trace_or_fail(args.path_b)
+    text, max_delta = diff_analyses(
+        TraceAnalyzer(file_a.episodes), TraceAnalyzer(file_b.episodes)
+    )
+    print(text)
+    if args.fail_over is not None and max_delta > args.fail_over:
+        print(
+            f"repro: trace diff: per-phase relative delta exceeds "
+            f"--fail-over {args.fail_over:g}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_trace_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.figphases import run_phase_figure
+
+    obs = _make_obs(args)
+    telemetry = _make_telemetry(args)
+    executor = _make_executor(args, telemetry=telemetry)
+    topologies, member_sets = (4, 2) if args.quick else (10, 10)
+    try:
+        with executor:
+            result = run_phase_figure(
+                topologies=topologies,
+                member_sets=member_sets,
+                obs=obs,
+                executor=executor,
+            )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    print("--- Restoration latency breakdown by phase ---")
+    print(result.render())
+    _write_trace_out(args, obs)
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
 
@@ -631,7 +856,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
           "  --openmetrics-out PATH (scrapeable textfile); all "
           "observe-only.  repro obs tail/export/diff\n"
           "  replay a flight record, render OpenMetrics, and compare two "
-          "run reports.")
+          "run reports.\n"
+          "restoration tracing: --trace-out PATH records causal "
+          "restoration episodes in simulated time;\n"
+          "  repro trace analyze/export/diff/figure render per-phase "
+          "latency breakdowns, Perfetto-loadable\n"
+          "  Chrome trace JSON, analysis diffs, and the "
+          "latency-by-phase figure.")
     return 0
 
 

@@ -141,4 +141,13 @@ def enumerate_candidates(
     if obs is not None:
         obs.counter("routing.candidates.batched_searches").inc()
         obs.counter("routing.candidates.evaluated").inc(len(candidates))
+        tracer = getattr(obs, "tracer", None)
+        if tracer is not None:
+            # When a restoration episode is open (DES recovery/reshape in
+            # flight), the candidate search shows up inside it as an
+            # instant span; otherwise this is a no-op.
+            tracer.ambient_instant(
+                "search.candidates", joiner,
+                payload={"evaluated": len(candidates)},
+            )
     return candidates

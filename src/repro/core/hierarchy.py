@@ -165,6 +165,7 @@ class HierarchicalMulticast:
         failures: FailureSet,
         route_cache=None,
         route_obs=None,
+        obs=None,
     ) -> HierarchicalRecoveryReport:
         """Repair every domain a failure touches; others stay untouched.
 
@@ -175,6 +176,8 @@ class HierarchicalMulticast:
         SPF state across repairs exactly as in
         :func:`~repro.core.recovery.repair_tree` (domain sub-topologies
         carry their own cache tokens, so entries never cross domains).
+        An ``obs`` with a restoration tracer attached yields one episode
+        per member re-attached, domain by domain.
         """
         report = HierarchicalRecoveryReport()
         for domain_id, protocol in sorted(self._protocols.items()):
@@ -197,6 +200,7 @@ class HierarchicalMulticast:
                 protocol.tree,
                 domain_failures,
                 strategy="local",
+                obs=obs,
                 route_cache=route_cache,
                 route_obs=route_obs,
             )

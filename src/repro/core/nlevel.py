@@ -162,6 +162,7 @@ class NLevelMulticast:
         failures: FailureSet,
         route_cache=None,
         route_obs=None,
+        obs=None,
     ) -> NLevelRecoveryReport:
         """Repair every affected domain inside its own sub-topology.
 
@@ -175,6 +176,9 @@ class NLevelMulticast:
           parent's relay membership switches to it, and everything else
           stays untouched.  Without a live standby the domain is reported
           dead.
+
+        An ``obs`` with a restoration tracer attached yields one episode
+        per member re-attached (``origin="repair"``), domain by domain.
         """
         report = NLevelRecoveryReport()
         self._failover_dead_agents(failures, report)
@@ -187,6 +191,7 @@ class NLevelMulticast:
                 protocol.tree,
                 local,
                 strategy="local",
+                obs=obs,
                 route_cache=route_cache,
                 route_obs=route_obs,
             )

@@ -338,6 +338,14 @@ class SMRPProtocol:
     def recover(self, member: NodeId, failures: FailureSet) -> RecoveryResult:
         """Local-detour restoration of ``member`` (measurement only)."""
         with self.obs.span("smrp.recover"):
+            tracer = self.obs.tracer
+            if tracer is not None:
+                # Episodes opened under this entry point are labelled with
+                # the protocol API that produced them.
+                with tracer.origin("smrp.recover"):
+                    return local_detour_recovery(
+                        self.topology, self.tree, member, failures, obs=self.obs
+                    )
             return local_detour_recovery(
                 self.topology, self.tree, member, failures, obs=self.obs
             )

@@ -33,6 +33,7 @@ from repro.errors import RecoveryError, UnrecoverableFailureError
 from repro.graph.topology import Edge, NodeId, Topology, edge_key
 from repro.multicast.tree import MulticastTree
 from repro.obs import NULL_OBS, Observability
+from repro.obs.tracing import Episode, RestorationTracer
 from repro.routing.failure_view import NO_FAILURES, FailureSet
 from repro.routing.link_state import ConvergenceModel
 from repro.routing.spf import ShortestPaths, dijkstra
@@ -129,20 +130,32 @@ def local_detour_recovery(
     report cache traffic without double-counting recovery attempts).
     """
     obs = obs if obs is not None else NULL_OBS
-    route_obs = route_obs if route_obs is not None else obs
+    tracer = obs.tracer
     obs.counter("recovery.local.attempts").inc()
+    route_obs = route_obs if route_obs is not None else obs
     surviving = tree.surviving_component(failures)
     if not surviving:
         obs.counter("recovery.local.unrecoverable").inc()
+        if tracer is not None:
+            _trace_unrecoverable_episode(
+                tracer, member, "local", failures, "source failed"
+            )
         raise UnrecoverableFailureError(member, "the source itself has failed")
     if member in surviving:
         obs.counter("recovery.local.already_connected").inc()
-        return _already_connected(tree, member, "local")
+        result = _already_connected(tree, member, "local")
+        if tracer is not None:
+            _trace_recovery_episode(tracer, topology, tree, result, failures)
+        return result
 
     paths = _member_paths(topology, member, failures, route_cache, route_obs)
     reachable = [node for node in surviving if node in paths.dist]
     if not reachable:
         obs.counter("recovery.local.unrecoverable").inc()
+        if tracer is not None:
+            _trace_unrecoverable_episode(
+                tracer, member, "local", failures, "no path to surviving tree"
+            )
         raise UnrecoverableFailureError(
             member, f"no non-faulty path to the surviving tree ({failures.describe()})"
         )
@@ -150,7 +163,7 @@ def local_detour_recovery(
     detour = _truncate_at_first_contact(paths.path_to(target), surviving)
     attach = detour[-1]
     obs.histogram("recovery.local.hops").observe(len(detour) - 1)
-    return RecoveryResult(
+    result = RecoveryResult(
         member=member,
         strategy="local",
         attach_node=attach,
@@ -160,6 +173,9 @@ def local_detour_recovery(
         new_end_to_end_delay=tree.delay_from_source(attach)
         + topology.path_delay(detour),
     )
+    if tracer is not None:
+        _trace_recovery_episode(tracer, topology, tree, result, failures)
+    return result
 
 
 def global_detour_recovery(
@@ -180,19 +196,32 @@ def global_detour_recovery(
     ``route_cache`` / ``route_obs`` as in :func:`local_detour_recovery`.
     """
     obs = obs if obs is not None else NULL_OBS
-    route_obs = route_obs if route_obs is not None else obs
+    tracer = obs.tracer
     obs.counter("recovery.global.attempts").inc()
+    route_obs = route_obs if route_obs is not None else obs
     surviving = tree.surviving_component(failures)
     if not surviving:
         obs.counter("recovery.global.unrecoverable").inc()
+        if tracer is not None:
+            _trace_unrecoverable_episode(
+                tracer, member, "global", failures, "source failed"
+            )
         raise UnrecoverableFailureError(member, "the source itself has failed")
     if member in surviving:
         obs.counter("recovery.global.already_connected").inc()
-        return _already_connected(tree, member, "global")
+        result = _already_connected(tree, member, "global")
+        if tracer is not None:
+            _trace_recovery_episode(tracer, topology, tree, result, failures)
+        return result
 
     paths = _member_paths(topology, member, failures, route_cache, route_obs)
     if tree.source not in paths.dist:
         obs.counter("recovery.global.unrecoverable").inc()
+        if tracer is not None:
+            _trace_unrecoverable_episode(
+                tracer, member, "global", failures,
+                "source unreachable after re-convergence",
+            )
         raise UnrecoverableFailureError(
             member, f"source unreachable after re-convergence ({failures.describe()})"
         )
@@ -200,7 +229,7 @@ def global_detour_recovery(
     detour = _truncate_at_first_contact(rejoin, surviving)
     attach = detour[-1]
     obs.histogram("recovery.global.hops").observe(len(detour) - 1)
-    return RecoveryResult(
+    result = RecoveryResult(
         member=member,
         strategy="global",
         attach_node=attach,
@@ -210,6 +239,9 @@ def global_detour_recovery(
         new_end_to_end_delay=tree.delay_from_source(attach)
         + topology.path_delay(detour),
     )
+    if tracer is not None:
+        _trace_recovery_episode(tracer, topology, tree, result, failures)
+    return result
 
 
 def estimate_restoration_latency(
@@ -239,6 +271,106 @@ def estimate_restoration_latency(
     times = model.convergence_times(topology, failures)
     member_ready = times.get(result.member, model.detection_delay)
     return member_ready + signaling
+
+
+# ----------------------------------------------------------------------
+# Causal tracing of the closed-form latency model
+# ----------------------------------------------------------------------
+def _trace_recovery_episode(
+    tracer: RestorationTracer,
+    topology: Topology,
+    tree: MulticastTree,
+    result: RecoveryResult,
+    failures: FailureSet,
+    origin: str = "measure",
+    convergence: ConvergenceModel | None = None,
+    signaling_delay_factor: float = 1.0,
+) -> None:
+    """Emit one restoration episode for a measured recovery.
+
+    The span tree is synthesized from the *same* latency model as
+    :func:`estimate_restoration_latency`, phase by phase, so the
+    episode's critical path sums to exactly the latency the figures
+    report: ``detect`` (local) or ``converge`` (global) covers the wait
+    before the member can act, a zero-width ``search`` marks the
+    candidate selection (the model charges no time for computation), and
+    ``signal`` covers the round-trip graft, tiled by per-link
+    ``signal.hop`` children along the restoration path.
+    """
+    model = convergence or ConvergenceModel()
+    latency = estimate_restoration_latency(
+        topology, tree, result, failures, model, signaling_delay_factor
+    )
+    episode = Episode.new(
+        tracer.next_episode_id(result.member, result.strategy),
+        tracer.scenario_key,
+        result.member,
+        result.strategy,
+        tracer.current_origin(origin),
+        failures.describe(),
+        0.0,
+        outcome="already_connected" if result.already_connected else "restored",
+    )
+    if result.strategy == "local":
+        ready = model.detection_delay
+        episode.add("detect", result.member, 0.0, ready,
+                    payload={"detection_delay": model.detection_delay})
+    else:
+        times = model.convergence_times(topology, failures)
+        ready = times.get(result.member, model.detection_delay)
+        episode.add("converge", result.member, 0.0, ready,
+                    payload={"detection_delay": model.detection_delay})
+    episode.add("search", result.member, ready, ready, payload={
+        "attach_node": result.attach_node,
+        "recovery_hops": result.recovery_hops,
+        "already_connected": result.already_connected,
+    })
+    if result.recovery_distance > 0:
+        signal = episode.add("signal", result.member, ready, latency, payload={
+            "recovery_distance": result.recovery_distance,
+        })
+        cursor = ready
+        path = result.restoration_path
+        for u, v in zip(path, path[1:]):
+            step = 2.0 * signaling_delay_factor * topology.delay(u, v)
+            episode.add("signal.hop", v, cursor, cursor + step, parent=signal,
+                        payload={"link": f"{u}-{v}"})
+            cursor += step
+    episode.close(latency)
+    tracer.emit(episode)
+
+
+def _trace_unrecoverable_episode(
+    tracer: RestorationTracer,
+    member: NodeId,
+    strategy: str,
+    failures: FailureSet,
+    reason: str,
+    origin: str = "measure",
+) -> None:
+    """Emit an episode for a member the strategy could not restore.
+
+    There is no restoration latency to attribute; the episode covers
+    only the detection window (the member learned of the failure and
+    found no path), with the reason in the root payload.  The analyzer
+    excludes these from latency statistics.
+    """
+    detection = ConvergenceModel().detection_delay
+    episode = Episode.new(
+        tracer.next_episode_id(member, strategy),
+        tracer.scenario_key,
+        member,
+        strategy,
+        tracer.current_origin(origin),
+        failures.describe(),
+        0.0,
+        outcome="unrecoverable",
+    )
+    episode.root.payload["reason"] = reason
+    episode.add("detect", member, 0.0, detection,
+                payload={"detection_delay": detection})
+    episode.close(detection)
+    tracer.emit(episode)
 
 
 @dataclass
@@ -391,6 +523,13 @@ def repair_tree(
             if strategy == "local":
                 options.sort(key=lambda item: (item[0], item[1]))
             chosen_distance, chosen_member, chosen = options[0]
+            if obs.tracer is not None:
+                # One episode per member actually re-attached, against the
+                # tree as it stood when that member was chosen.
+                _trace_recovery_episode(
+                    obs.tracer, topology, repaired, chosen, failures,
+                    origin="repair",
+                )
             graft = list(reversed(chosen.restoration_path))
             repaired.graft(graft)
             report.recoveries.append(chosen)

@@ -74,8 +74,32 @@ def evaluate_reshape(
 
     ``route_cache`` (optional failure-aware
     :class:`~repro.routing.route_cache.RouteCache`) memoises the delay-
-    bound SPF; ``obs`` attributes its cache traffic.
+    bound SPF; ``obs`` attributes its cache traffic.  When ``obs`` has a
+    restoration tracer with an episode open (a reshape pass running while
+    a DES recovery is in flight), the evaluation is recorded inside that
+    episode as an instant span.
     """
+    decision = _evaluate_reshape(
+        topology, tree, node, d_thresh, failures, route_cache, obs
+    )
+    tracer = getattr(obs, "tracer", None)
+    if tracer is not None:
+        tracer.ambient_instant(
+            "reshape.evaluate", node,
+            payload={"performed": decision.performed, "reason": decision.reason},
+        )
+    return decision
+
+
+def _evaluate_reshape(
+    topology: Topology,
+    tree: MulticastTree,
+    node: NodeId,
+    d_thresh: float,
+    failures: FailureSet = NO_FAILURES,
+    route_cache=None,
+    obs=None,
+) -> ReshapeDecision:
     if not tree.is_on_tree(node):
         raise NotOnTreeError(node)
     if node == tree.source:

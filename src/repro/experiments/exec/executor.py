@@ -129,7 +129,12 @@ class SerialExecutor(Executor):
         try:
             for index, config in enumerate(configs):
                 if hub is not None:
-                    hub.publish("scenario.start", index=index, attempt=0)
+                    hub.publish(
+                        "scenario.start",
+                        index=index,
+                        attempt=0,
+                        key=config.content_key(),
+                    )
                 started = monotonic()
                 results.append(run_scenario(config, obs=obs, cache=self.cache))
                 obs.counter("exec.scenarios").inc()
@@ -138,6 +143,7 @@ class SerialExecutor(Executor):
                         "scenario.finish",
                         index=index,
                         attempt=0,
+                        key=config.content_key(),
                         duration_s=round(monotonic() - started, 6),
                     )
         finally:
@@ -193,9 +199,12 @@ class ParallelExecutor(Executor):
 
         obs = obs if obs is not None else NULL_OBS
         capture = obs.enabled
+        trace = obs.tracer is not None
         hub = self.telemetry
         pool = self._ensure_pool()
-        tasks = [(config, capture, hub is not None) for config in configs]
+        tasks = [
+            (config, capture, hub is not None, trace) for config in configs
+        ]
         chunksize = max(1, len(tasks) // (self.jobs * 4)) if tasks else 1
         results: list[ScenarioResult] = []
         if hub is not None:

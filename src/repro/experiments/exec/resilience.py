@@ -132,10 +132,10 @@ class _Task:
 
     __slots__ = ("index", "config", "key", "attempt", "not_before")
 
-    def __init__(self, index: int, config: ScenarioConfig, key: str | None):
+    def __init__(self, index: int, config: ScenarioConfig, key: str):
         self.index = index
         self.config = config
-        self.key = key
+        self.key = key  # ScenarioConfig.content_key(): checkpoint + telemetry id
         self.attempt = 0  # attempts already failed
         self.not_before = 0.0  # monotonic instant the next attempt may start
 
@@ -224,6 +224,7 @@ class ResilientExecutor(Executor):
     ) -> list[ScenarioResult]:
         obs = obs if obs is not None else NULL_OBS
         capture = obs.enabled
+        trace = obs.tracer is not None
         hub = self.telemetry
         if hub is not None:
             hub.begin(
@@ -234,7 +235,7 @@ class ResilientExecutor(Executor):
         tasks: list[_Task] = []
         try:
             for index, config in enumerate(configs):
-                key = config.content_key() if self._store is not None else None
+                key = config.content_key()
                 if self._store is not None and self.policy.resume:
                     cached = self._store.get(key)
                     if cached is not None:
@@ -245,11 +246,12 @@ class ResilientExecutor(Executor):
                                 "scenario.finish",
                                 index=index,
                                 attempt=0,
+                                key=key,
                                 cached=True,
                             )
                         continue
                 tasks.append(_Task(index, config, key))
-            self._run_tasks(tasks, capture, obs, results, reports)
+            self._run_tasks(tasks, capture, trace, obs, results, reports)
         finally:
             # The flight recorder gets its sweep.finish record even when
             # the batch dies to retry exhaustion or an interrupt — that
@@ -279,7 +281,7 @@ class ResilientExecutor(Executor):
     # ------------------------------------------------------------------
     # Scheduler
     # ------------------------------------------------------------------
-    def _run_tasks(self, tasks, capture, obs, results, reports) -> None:
+    def _run_tasks(self, tasks, capture, trace, obs, results, reports) -> None:
         hub = self.telemetry
         waiting: list[_Task] = list(tasks)
         running: list[_Attempt] = []
@@ -290,7 +292,7 @@ class ResilientExecutor(Executor):
                 while ready and len(running) < self.jobs:
                     task = ready.pop(0)
                     waiting.remove(task)
-                    running.append(self._start_attempt(task, capture))
+                    running.append(self._start_attempt(task, capture, trace))
                 if running:
                     self._poll(running, waiting, obs, results, reports)
                 else:
@@ -404,7 +406,9 @@ class ResilientExecutor(Executor):
                     kill=True,
                 )
 
-    def _start_attempt(self, task: _Task, capture: bool) -> _Attempt:
+    def _start_attempt(
+        self, task: _Task, capture: bool, trace: bool = False
+    ) -> _Attempt:
         fault = None
         armed = self._fault_plan.get(task.index)
         if armed is not None:
@@ -425,7 +429,7 @@ class ResilientExecutor(Executor):
         recv_conn, send_conn = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=resilient_worker_main,
-            args=(send_conn, task.config, capture, fault, heartbeat),
+            args=(send_conn, task.config, capture, fault, heartbeat, trace),
             daemon=True,
             name=f"repro-scenario-{task.index}",
         )
@@ -436,6 +440,7 @@ class ResilientExecutor(Executor):
                 "scenario.start",
                 index=task.index,
                 attempt=task.attempt,
+                key=task.key,
                 pid=proc.pid,
             )
         # The provisional deadline grants startup its own grace; the
@@ -461,9 +466,10 @@ class ResilientExecutor(Executor):
                 "scenario.finish",
                 index=task.index,
                 attempt=task.attempt,
+                key=task.key,
                 duration_s=round(time.monotonic() - attempt.started, 6),
             )
-        if self._store is not None and task.key is not None:
+        if self._store is not None:
             if self._store.put(task.key, result):
                 obs.counter("exec.checkpoint.writes").inc()
 
@@ -506,6 +512,7 @@ class ResilientExecutor(Executor):
             fields: dict = {
                 "index": task.index,
                 "attempt": task.attempt,
+                "key": task.key,
                 "reason": reason,
             }
             if counter == "timeouts":
@@ -533,6 +540,7 @@ class ResilientExecutor(Executor):
                 "scenario.retry",
                 index=task.index,
                 attempt=task.attempt,
+                key=task.key,
                 reason=reason,
                 backoff_s=round(backoff, 6),
             )

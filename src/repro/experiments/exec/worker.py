@@ -5,19 +5,25 @@ Everything here must be importable by name in a fresh interpreter (the
 callable, its payload and return value are plain picklable values.
 
 A scenario work unit travels as ``(ScenarioConfig, capture_obs,
-telemetry)`` and comes back as ``(ScenarioResult, worker run-report |
-None, telemetry records)``.  The worker runs each scenario against the
-per-process substrate cache
+telemetry, trace)`` and comes back as ``(ScenarioResult, worker
+run-report | None, telemetry records)``.  The worker runs each scenario
+against the per-process substrate cache
 (:func:`~repro.experiments.exec.cache.process_cache`), so scenarios
 landing on the same worker share generated topologies and SPF state.
 When observability capture is on, each task records into a fresh
 :class:`~repro.obs.Observability` and ships back its run report; the
 parent merges reports in seed order (:mod:`repro.obs.merge`), keeping the
 combined report deterministic regardless of completion order.  When
-telemetry is on, the worker stamps ``scenario.start`` / ``scenario.finish``
-lifecycle records (wall-clock time, pid, duration) that ride back on the
-same result channel for the parent's
-:class:`~repro.obs.live.TelemetryHub`.
+restoration tracing is on (``trace``), the worker additionally attaches
+a fresh :class:`~repro.obs.tracing.RestorationTracer`; its episodes
+ride back inside the run report's ``tracing`` section, and the parent's
+merge (:func:`~repro.obs.merge.merge_report_into`) absorbs them —
+episode ids are seeded from each scenario's content key, so the merged
+episode set is identical to a serial run's regardless of worker
+placement.  When telemetry is on, the worker stamps ``scenario.start``
+/ ``scenario.finish`` lifecycle records (wall-clock time, pid,
+duration, the scenario content key) that ride back on the same result
+channel for the parent's :class:`~repro.obs.live.TelemetryHub`.
 
 Two entry points:
 
@@ -64,21 +70,26 @@ HANG_SPAN = "fault.injected_hang"
 
 
 def run_scenario_task(
-    task: tuple[ScenarioConfig, bool, bool],
+    task: tuple[ScenarioConfig, bool, bool, bool],
 ) -> tuple[ScenarioResult, dict | None, list[dict]]:
     """Execute one scenario work unit inside a pool worker process."""
-    config, capture_obs, telemetry = task
+    config, capture_obs, telemetry, trace = task
     records: list[dict] = []
+    key = config.content_key()
     if telemetry:
         records.append(
             {"kind": "scenario.start", "t": round(time.time(), 6),
-             "pid": os.getpid()}
+             "pid": os.getpid(), "key": key}
         )
     started = perf_counter()
-    if capture_obs:
+    if capture_obs or trace:
         from repro.obs import Observability, build_run_report
 
-        obs = Observability()
+        obs = Observability(enabled=capture_obs)
+        if trace:
+            from repro.obs.tracing import RestorationTracer
+
+            obs.tracer = RestorationTracer()
         result = run_scenario(config, obs=obs, cache=process_cache())
         report = build_run_report(obs)
     else:
@@ -87,7 +98,7 @@ def run_scenario_task(
     if telemetry:
         records.append(
             {"kind": "scenario.finish", "t": round(time.time(), 6),
-             "pid": os.getpid(),
+             "pid": os.getpid(), "key": key,
              "duration_s": round(perf_counter() - started, 6)}
         )
     return result, report, records
@@ -131,6 +142,7 @@ def resilient_worker_main(
     capture_obs: bool,
     fault: str | None = None,
     heartbeat_interval: float | None = None,
+    trace: bool = False,
 ) -> None:
     """Process main of one resilient scenario attempt.
 
@@ -154,7 +166,9 @@ def resilient_worker_main(
     parent through the process sentinel; one that never answers
     (``"hang"``) is terminated at the policy's wall-clock timeout.
     ``fault`` is the executor's test-injection hook and does nothing in
-    production runs.
+    production runs.  ``trace`` attaches a restoration tracer; its
+    episodes ship back inside the run report's ``tracing`` section (the
+    report then ships even when ``capture_obs`` is off).
     """
     send_lock = threading.Lock()
 
@@ -172,6 +186,10 @@ def resilient_worker_main(
         obs = Observability(
             enabled=capture_obs or heartbeat_interval is not None
         )
+        if trace:
+            from repro.obs.tracing import RestorationTracer
+
+            obs.tracer = RestorationTracer()
         if heartbeat_interval is not None:
             sampler = _HeartbeatSampler(send, obs.spans, heartbeat_interval)
             sampler.start()
@@ -183,7 +201,9 @@ def resilient_worker_main(
         if fault == "error":
             raise RuntimeError("injected transient error")
         result = run_scenario(config, obs=obs, cache=process_cache())
-        report = build_run_report(obs) if capture_obs else None
+        report = (
+            build_run_report(obs) if (capture_obs or trace) else None
+        )
         send(("ok", result, report))
     except (KeyboardInterrupt, SystemExit):
         # An interrupt (e.g. Ctrl-C hitting the whole process group) is

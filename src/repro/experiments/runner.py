@@ -202,6 +202,10 @@ def run_scenario(
     exactly what Dijkstra would recompute).
     """
     obs = obs if obs is not None else NULL_OBS
+    if obs.tracer is not None:
+        # Episode ids and headers carry the scenario content key, the same
+        # key checkpoints and flight records use — traces join offline.
+        obs.tracer.begin_scenario(config.content_key())
     route_cache = cache.routes if cache is not None else None
     with obs.span("scenario.topology"):
         if cache is not None:

@@ -69,20 +69,45 @@ from repro.obs.registry import (
     MetricsRegistry,
 )
 from repro.obs.spans import SpanNode, SpanProfiler
+from repro.obs.tracing import (
+    Episode,
+    RestorationTracer,
+    TraceAnalyzer,
+    TraceSpan,
+    chrome_trace_document,
+    critical_path,
+    episodes_from_chrome,
+    read_trace_ndjson,
+    validate_episode,
+    write_chrome_trace,
+    write_trace_ndjson,
+)
 
 
 class Observability:
-    """Facade bundling a registry, a span profiler, and an event log."""
+    """Facade bundling a registry, a span profiler, and an event log.
 
-    __slots__ = ("enabled", "metrics", "spans", "events")
+    ``tracer`` is the optional fourth instrument: a
+    :class:`~repro.obs.tracing.RestorationTracer` collecting causal
+    restoration episodes in simulated time.  It defaults to ``None`` —
+    unlike the always-present metrics/spans/events, tracing is attached
+    explicitly (``--trace-out``) and instrumented code guards on
+    ``obs.tracer is not None``.
+    """
+
+    __slots__ = ("enabled", "metrics", "spans", "events", "tracer")
 
     def __init__(
-        self, enabled: bool = True, max_events: int | None = DEFAULT_MAX_EVENTS
+        self,
+        enabled: bool = True,
+        max_events: int | None = DEFAULT_MAX_EVENTS,
+        tracer: "RestorationTracer | None" = None,
     ) -> None:
         self.enabled = enabled
         self.metrics = MetricsRegistry(enabled=enabled)
         self.spans = SpanProfiler(enabled=enabled)
         self.events = EventLog(enabled=enabled, max_records=max_events)
+        self.tracer = tracer
 
     # -- delegation shorthands ------------------------------------------
     def counter(self, name: str):
@@ -148,4 +173,16 @@ __all__ = [
     "max_span_ratio",
     "render_report_diff",
     "span_totals",
+    # Causal restoration tracing (repro.obs.tracing)
+    "RestorationTracer",
+    "Episode",
+    "TraceSpan",
+    "TraceAnalyzer",
+    "critical_path",
+    "validate_episode",
+    "read_trace_ndjson",
+    "write_trace_ndjson",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "episodes_from_chrome",
 ]

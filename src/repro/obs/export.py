@@ -30,7 +30,7 @@ def build_run_report(obs: "Observability", meta: dict | None = None) -> dict:
     stay in their worker, only the counts travel.
     """
     events = obs.events
-    return {
+    report = {
         "version": REPORT_VERSION,
         "meta": dict(meta or {}),
         "metrics": obs.metrics.snapshot(),
@@ -40,6 +40,12 @@ def build_run_report(obs: "Observability", meta: dict | None = None) -> dict:
             "dropped": events.dropped + events.absorbed_dropped,
         },
     }
+    tracer = getattr(obs, "tracer", None)
+    if tracer is not None:
+        # Causal restoration episodes ride the same worker->parent channel
+        # as metrics; the parent's tracer absorbs them in seed order.
+        report["tracing"] = tracer.report()
+    return report
 
 
 def write_run_report(report: dict, path: str) -> None:
@@ -126,6 +132,15 @@ def render_run_report(report: dict) -> str:
         lines.append(
             f"events: {events.get('recorded', 0)} recorded, "
             f"{events.get('dropped', 0)} dropped"
+        )
+
+    tracing = report.get("tracing")
+    if tracing is not None:
+        lines.append("")
+        lines.append(
+            f"tracing: {len(tracing.get('episodes', []))} episodes, "
+            f"{tracing.get('dropped', 0)} dropped, "
+            f"{tracing.get('trimmed', 0)} spans trimmed"
         )
     return "\n".join(lines)
 

@@ -29,19 +29,25 @@ Kinds and their extra fields:
 
 =================  ====================================================
 ``sweep.start``    ``total`` (work units in the batch), ``meta``
-``scenario.start`` ``index``, ``attempt``, ``pid``
-``scenario.finish`` ``index``, ``attempt``, ``duration_s``, ``cached``?
-``scenario.retry`` ``index``, ``attempt`` (next, 0-based), ``reason``,
-                   ``backoff_s``
-``scenario.timeout`` ``index``, ``attempt``, ``timeout_s``, ``spans``
-                   (the last heartbeat's span-stack snapshot — hang
-                   attribution), ``last_heartbeat_elapsed_s``
-``scenario.crash`` ``index``, ``attempt``, ``reason``
-``scenario.error`` ``index``, ``attempt``, ``reason``
+``scenario.start`` ``index``, ``attempt``, ``pid``, ``key``
+``scenario.finish`` ``index``, ``attempt``, ``key``, ``duration_s``,
+                   ``cached``?
+``scenario.retry`` ``index``, ``attempt`` (next, 0-based), ``key``,
+                   ``reason``, ``backoff_s``
+``scenario.timeout`` ``index``, ``attempt``, ``key``, ``timeout_s``,
+                   ``spans`` (the last heartbeat's span-stack snapshot
+                   — hang attribution), ``last_heartbeat_elapsed_s``
+``scenario.crash`` ``index``, ``attempt``, ``key``, ``reason``
+``scenario.error`` ``index``, ``attempt``, ``key``, ``reason``
 ``heartbeat``      ``index``, ``attempt``, ``pid``, ``spans``
                    (open span names, outermost first), ``elapsed_s``
 ``sweep.finish``   ``completed``, ``total``, ``wall_s``, fault counts
 =================  ====================================================
+
+``key`` is :meth:`~repro.experiments.scenario.ScenarioConfig.content_key`
+— the same content hash that names checkpoint entries and seeds trace
+episode ids, so a flight-recorder line, a checkpoint row, and a trace
+episode for one scenario all join on it.
 """
 
 from __future__ import annotations

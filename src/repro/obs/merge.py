@@ -12,7 +12,10 @@ the process boundary) and the parent folds it into its own instance so
 - span trees accumulate calls/seconds by name
   (:meth:`SpanProfiler.merge_report`);
 - event accounting (recorded/dropped totals) is absorbed without shipping
-  the event records themselves (:meth:`EventLog.absorb_counts`).
+  the event records themselves (:meth:`EventLog.absorb_counts`);
+- restoration-trace episodes append and their drop/trim counts **sum**
+  (:meth:`~repro.obs.tracing.RestorationTracer.absorb`) — the parent ends
+  up with exactly the episode set a serial run would have produced.
 
 Merging is deterministic when reports are folded in a deterministic
 order; the executors merge in seed order regardless of completion order.
@@ -50,6 +53,12 @@ def merge_report_into(obs: "Observability", report: dict) -> None:
         obs.events.absorb_counts(
             events.get("recorded", 0), events.get("dropped", 0)
         )
+    tracing = report.get("tracing")
+    if tracing is not None:
+        tracer = getattr(obs, "tracer", None)
+        if tracer is not None:
+            # Episodes append in merge (= seed) order; drop counts sum.
+            tracer.absorb(tracing)
 
 
 def merge_reports_into(obs: "Observability", reports: Iterable[dict]) -> int:

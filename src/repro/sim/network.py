@@ -58,6 +58,9 @@ class SimNetwork:
         #: When the most recent failure was injected (None: never).
         self.last_failure_at: float | None = None
         self._obs = obs if obs is not None and obs.enabled else None
+        #: Restoration tracer, when attached: message hops addressed to a
+        #: node with an open episode become ``signal.hop`` child spans.
+        self._tracer = obs.tracer if obs is not None else None
         #: kind -> (sent counter, bytes counter), bound lazily per kind so
         #: the transmit hot path is two dict lookups when enabled.
         self._kind_meters: dict[str, tuple[Counter, Counter]] = {}
@@ -136,7 +139,10 @@ class SimNetwork:
             meters[0].inc()
             meters[1].inc(wire_bytes(message))
         if self.trace is not None:
-            self.trace.record(self.sim.now, "send", u, message.kind, detail=f"to {v}")
+            self.trace.record(
+                self.sim.now, "send", u, message.kind, detail=f"to {v}",
+                episode_id=self._episode_id_for(message),
+            )
         if u in self._failed_nodes:
             self.stats.lost_node_failed += 1
             if self._obs is not None:
@@ -170,8 +176,48 @@ class SimNetwork:
         self.stats.delivered += 1
         if self._obs is not None:
             self._c_delivered.inc()
+        episode_id, span_id, parent_id = "", -1, -1
+        episode = self._open_episode_for(message)
+        if episode is not None:
+            # A control hop serving an in-flight restoration: record it as
+            # a child span of the episode's open repair phase, covering
+            # exactly the link's propagation window.
+            delay = self.topology.delay(message.hop_src, v)
+            parent_id = episode.current_phase()
+            span_id = episode.child(
+                "signal.hop", v, self.sim.now - delay, self.sim.now,
+                parent=parent_id,
+                payload={"kind": message.kind,
+                         "link": f"{message.hop_src}-{v}"},
+            )
+            episode_id = episode.episode.episode_id
         if self.trace is not None:
             self.trace.record(
-                self.sim.now, "recv", v, message.kind, detail=f"from {message.hop_src}"
+                self.sim.now, "recv", v, message.kind,
+                detail=f"from {message.hop_src}",
+                episode_id=episode_id, span_id=span_id, parent_id=parent_id,
             )
         receiver.receive(message)
+
+    # ------------------------------------------------------------------
+    # Restoration-episode linkage
+    # ------------------------------------------------------------------
+    def _open_episode_for(self, message: Message):
+        """The open restoration episode this message serves, if any.
+
+        Join/ack/leave messages name the node they act for (``joiner`` /
+        ``leaver``); when that node currently has an episode open, the
+        message hop belongs to its recovery signaling.
+        """
+        if self._tracer is None:
+            return None
+        target = getattr(message, "joiner", None)
+        if target is None:
+            target = getattr(message, "leaver", None)
+        if target is None:
+            return None
+        return self._tracer.open_for(target)
+
+    def _episode_id_for(self, message: Message) -> str:
+        episode = self._open_episode_for(message)
+        return episode.episode.episode_id if episode is not None else ""

@@ -484,6 +484,10 @@ class _BaseSimulation:
         self.obs = obs if obs is not None else NULL_OBS
         self.sim = Simulator(obs=obs)
         self.trace = trace if trace is not None else Trace()
+        if self.obs.tracer is not None:
+            # Restoration episodes and ambient spans (reshape evaluations,
+            # candidate searches) read the simulated clock from here on.
+            self.obs.tracer.bind_clock(lambda: self.sim.now)
         self.network = SimNetwork(self.sim, topology, trace=self.trace, obs=obs)
         metrics = self.obs.metrics
         self._c_detections = metrics.counter("sim.recovery.detections")
@@ -598,6 +602,11 @@ class _BaseSimulation:
                 if record.detected_at is not None:
                     record.restored_at = self.sim.now
                     self._c_restored.inc()
+                    if self.obs.tracer is not None:
+                        # Closes the open ``repair`` span and the episode
+                        # root at the restoration time; hops still in
+                        # flight are trimmed so causality stays valid.
+                        self.obs.tracer.close(node, self.sim.now)
                     self.obs.emit(
                         "recovery_restored",
                         node=node,
@@ -643,6 +652,22 @@ class _BaseSimulation:
         )
         self.recovery_records.append(record)
         self._c_detections.inc()
+        tracer = self.obs.tracer
+        episode = None
+        if tracer is not None:
+            # The episode spans failure injection to service restoration;
+            # ``detect`` covers the silent-upstream window, ``repair``
+            # opens now and is closed by :meth:`note_restored`.
+            episode = tracer.open(
+                detector,
+                "local",
+                self.network.current_failures.describe(),
+                record.failed_at,
+            )
+            episode.child(
+                "detect", detector, record.failed_at, record.detected_at,
+                payload={"lost_upstream": lost_upstream},
+            )
         with self.obs.span("sim.recovery.detour"):
             known_failures = self.network.current_failures
             # The node states still hold the pre-failure upstream pointers
@@ -670,8 +695,14 @@ class _BaseSimulation:
                 # recover on their own — the member-driven recovery of §3.1.
                 if self.trace is not None:
                     self.trace.record(
-                        self.sim.now, "failure", detector, "unrecoverable"
+                        self.sim.now, "failure", detector, "unrecoverable",
+                        episode_id=(
+                            episode.episode.episode_id if episode is not None
+                            else ""
+                        ),
                     )
+                if tracer is not None:
+                    tracer.abandon(detector)
                 self._c_unrecoverable.inc()
                 self.nodes[detector].mark_disconnected()
                 return
@@ -680,6 +711,18 @@ class _BaseSimulation:
             detour = tuple(toward)
         record.detour = detour
         self._h_detour_hops.observe(len(detour) - 1)
+        if episode is not None:
+            episode.instant(
+                "search", detector, self.sim.now,
+                payload={
+                    "detour_hops": len(detour) - 1,
+                    "attach_node": detour[-1],
+                },
+            )
+            episode.open_phase(
+                "repair", detector, self.sim.now,
+                payload={"detour": "-".join(str(n) for n in detour)},
+            )
         self.obs.emit(
             "recovery_detour",
             node=detector,

@@ -9,6 +9,13 @@ Filtering accepts either keyword equality filters (``category=``,
 record; ``count`` tallies matches without materialising them.  A trace
 may be bounded with ``max_records``: once full, the oldest records are
 dropped and ``dropped`` counts how many were discarded.
+
+Records are optionally *causal*: when a restoration episode is in flight
+(:mod:`repro.obs.tracing`), the emitting layer stamps the record with the
+episode id and span linkage (``episode_id``, ``span_id``, ``parent_id``),
+upgrading the flat log into a join table against the episode's span tree.
+The fields default to empty/-1 so every existing predicate-filter caller
+is unaffected.
 """
 
 from __future__ import annotations
@@ -25,16 +32,27 @@ Predicate = Callable[["TraceRecord"], bool]
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One logged event."""
+    """One logged event.
+
+    ``episode_id``/``span_id``/``parent_id`` causally link the record to
+    a restoration episode when one was open at emission time; they stay
+    at their defaults (``""``/``-1``/``-1``) for records outside any
+    episode.
+    """
 
     time: float
     category: str
     node: NodeId
     event: str
     detail: str = ""
+    episode_id: str = ""
+    span_id: int = -1
+    parent_id: int = -1
 
     def __str__(self) -> str:
         suffix = f" ({self.detail})" if self.detail else ""
+        if self.episode_id:
+            suffix += f" [{self.episode_id}]"
         return f"[{self.time:10.3f}] node {self.node:>3} {self.category}/{self.event}{suffix}"
 
 
@@ -58,7 +76,15 @@ class Trace:
             self.records = deque(self.records, maxlen=self.max_records)
 
     def record(
-        self, time: float, category: str, node: NodeId, event: str, detail: str = ""
+        self,
+        time: float,
+        category: str,
+        node: NodeId,
+        event: str,
+        detail: str = "",
+        episode_id: str = "",
+        span_id: int = -1,
+        parent_id: int = -1,
     ) -> None:
         if self.enabled:
             if (
@@ -66,7 +92,31 @@ class Trace:
                 and len(self.records) == self.max_records
             ):
                 self.dropped += 1
-            self.records.append(TraceRecord(time, category, node, event, detail))
+            self.records.append(
+                TraceRecord(
+                    time, category, node, event, detail,
+                    episode_id, span_id, parent_id,
+                )
+            )
+
+    def merge_from(self, other: "Trace") -> None:
+        """Fold another trace (e.g. a worker's) into this one.
+
+        Records append in call order; drop accounting **sums** — both the
+        records ``other`` had already discarded and any overflow this
+        trace's own bound forces during the merge.  (The historical
+        pattern of copying ``other.dropped`` over ``self.dropped``
+        silently lost this trace's own count: last-write-win instead of
+        a sum.)
+        """
+        self.dropped += other.dropped
+        for rec in other.records:
+            if (
+                self.max_records is not None
+                and len(self.records) == self.max_records
+            ):
+                self.dropped += 1
+            self.records.append(rec)
 
     def filter(
         self,

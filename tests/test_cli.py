@@ -344,3 +344,131 @@ class TestObsDiff:
         capsys.readouterr()
         assert main(["obs", "diff", a, str(junk)]) == 1
         assert "not a repro run report" in capsys.readouterr().err
+
+
+class TestTrace:
+    # topology-seed 1: all members restore under the worst-case failure,
+    # so the analysis includes the latency and phase-breakdown sections.
+    SCENARIO = [
+        "scenario", "--n", "30", "--group-size", "6",
+        "--alpha", "0.6", "--topology-seed", "1", "--member-seed", "3",
+    ]
+
+    def _record_trace(self, capsys, tmp_path):
+        path = str(tmp_path / "trace.ndjson")
+        assert main(self.SCENARIO + ["--trace-out", path]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_trace_out_is_observe_only(self, capsys, tmp_path):
+        assert main(self.SCENARIO) == 0
+        plain = capsys.readouterr().out
+        path = str(tmp_path / "trace.ndjson")
+        assert main(self.SCENARIO + ["--trace-out", path]) == 0
+        captured = capsys.readouterr()
+        # Stdout byte-identical; the confirmation goes to stderr.
+        assert captured.out == plain
+        assert path in captured.err
+
+    def test_trace_out_writes_loadable_ndjson(self, capsys, tmp_path):
+        import json
+
+        path = self._record_trace(capsys, tmp_path)
+        lines = [
+            json.loads(line) for line in open(path, encoding="utf-8")
+        ]
+        assert lines[0]["kind"] == "trace-header"
+        assert lines[0]["clock"] == "sim"
+        assert all(line["kind"] == "episode" for line in lines[1:])
+        assert len(lines) == lines[0]["episodes"] + 1
+
+    def test_trace_out_rejects_missing_directory(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.SCENARIO + [
+                "--trace-out", "/nonexistent-dir/trace.ndjson",
+            ])
+        assert excinfo.value.code == 2
+        assert (
+            "--trace-out directory does not exist" in capsys.readouterr().err
+        )
+
+    def test_analyze_renders_and_checks(self, capsys, tmp_path):
+        path = self._record_trace(capsys, tmp_path)
+        assert main(["trace", "analyze", path, "--check"]) == 0
+        captured = capsys.readouterr()
+        assert "== restoration trace analysis ==" in captured.out
+        assert "critical-path phase breakdown:" in captured.out
+        assert "trace check passed" in captured.err
+
+    def test_analyze_missing_file(self, capsys):
+        assert main(["trace", "analyze", "/nonexistent/trace.ndjson"]) == 1
+        assert "no such file" in capsys.readouterr().err
+
+    def test_analyze_rejects_garbage(self, capsys, tmp_path):
+        bad = tmp_path / "bad.ndjson"
+        bad.write_text("not json\n")
+        assert main(["trace", "analyze", str(bad)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_export_chrome_round_trips(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import episodes_from_chrome, read_trace_ndjson
+
+        path = self._record_trace(capsys, tmp_path)
+        out = str(tmp_path / "trace.json")
+        assert main(["trace", "export", path, "--out", out]) == 0
+        assert "ui.perfetto.dev" in capsys.readouterr().out
+        document = json.load(open(out, encoding="utf-8"))
+        assert document["otherData"]["format"] == "repro-restoration-trace"
+        rebuilt = episodes_from_chrome(document)
+        original = read_trace_ndjson(path).episodes
+        assert [e.to_dict() for e in rebuilt] == [
+            e.to_dict() for e in original
+        ]
+
+    def test_export_chrome_to_stdout(self, capsys, tmp_path):
+        import json
+
+        path = self._record_trace(capsys, tmp_path)
+        assert main(["trace", "export", path]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "traceEvents" in document
+
+    def test_export_ndjson_requires_out(self, capsys, tmp_path):
+        path = self._record_trace(capsys, tmp_path)
+        assert main(["trace", "export", path, "--format", "ndjson"]) == 1
+        assert "requires --out" in capsys.readouterr().err
+
+    def test_export_ndjson_is_idempotent(self, capsys, tmp_path):
+        path = self._record_trace(capsys, tmp_path)
+        out = str(tmp_path / "copy.ndjson")
+        assert main([
+            "trace", "export", path, "--format", "ndjson", "--out", out,
+        ]) == 0
+        assert (
+            open(out, encoding="utf-8").read()
+            == open(path, encoding="utf-8").read()
+        )
+
+    def test_diff_against_self_is_flat(self, capsys, tmp_path):
+        path = self._record_trace(capsys, tmp_path)
+        assert main([
+            "trace", "diff", path, path, "--fail-over", "0.0",
+        ]) == 0
+        assert "trace diff" in capsys.readouterr().out
+
+    def test_simulate_trace_out(self, capsys, tmp_path):
+        from repro.obs import read_trace_ndjson
+        from repro.obs.tracing import validate_episode
+
+        path = str(tmp_path / "sim.ndjson")
+        assert main([
+            "simulate", "--n", "20", "--members", "3", "--seed", "4",
+            "--fail-worst", "--trace-out", path,
+        ]) == 0
+        episodes = read_trace_ndjson(path).episodes
+        assert episodes
+        for episode in episodes:
+            assert episode.origin == "des"
+            assert validate_episode(episode) == []
