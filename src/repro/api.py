@@ -1,28 +1,45 @@
-"""The stable high-level API: declare an experiment, choose an executor, run.
+"""The stable high-level API: open a session, declare work, run it.
 
-This facade is the supported entry point for running the reproduction's
-experiments programmatically; the CLI is a thin wrapper over it, and the
-deep module paths (``repro.experiments.fig8`` …) remain available for
-fine-grained access.
+This facade is the supported entry point for using the reproduction
+programmatically; the CLI is a thin wrapper over it, and the deep module
+paths (``repro.experiments.fig8``, ``repro.controller.service``, …)
+remain available for fine-grained access.
 
-Three verbs cover the harness:
+The surface is **session-oriented**: :func:`open_session` builds a
+:class:`Session` that owns the execution substrate — a resolved
+:class:`Executor`, a shared :class:`SubstrateCache`, optional live
+telemetry — and exposes every verb against it:
 
-- :func:`run_scenario` — one fully seeded scenario (both trees, worst-case
-  failures, the paper's metrics);
-- :func:`run_sweep` — a declarative :class:`ExperimentSpec` expanded over
-  its seeding grid into :class:`~repro.experiments.sweeps.SweepPoint`
-  aggregates;
-- :func:`build_figure` — any of the paper's Figures 7–10 as a rendered
-  result object.
+- **scenario verbs** — :meth:`Session.run_scenario`,
+  :meth:`Session.run_sweep`, :meth:`Session.build_figure` run the
+  paper's experiments (consecutive calls share the session's caches);
+- **service verbs** — :meth:`Session.open_group` /
+  :meth:`Session.join` / :meth:`Session.leave` / :meth:`Session.fail` /
+  :meth:`Session.restore` / :meth:`Session.metrics` host live multicast
+  groups on the session's :class:`MulticastController`, and
+  :meth:`Session.run_service` executes a declarative
+  :class:`ServiceSpec` (thousands of groups, sharded over the session's
+  executor, byte-identical however sharded).
 
-Each accepts ``jobs`` (worker process count) or an explicit ``executor``;
-``jobs > 1`` fans scenario work units out over a ``ProcessPoolExecutor``
-with results merged deterministically in seed order, so parallel runs are
-byte-identical to serial ones.  Passing a ``policy``
-(:class:`ExecPolicy`) instead selects the fault-tolerant
-:class:`ResilientExecutor` — per-scenario timeouts, bounded retries,
-crash isolation, and checkpoint/resume — which preserves the same
-byte-identical guarantee even when workers crash or hang mid-sweep.
+The original module-level verbs — :func:`run_scenario`,
+:func:`run_sweep`, :func:`build_figure`, plus the new
+:func:`run_service` — remain the convenient one-shot spelling; each is
+a thin wrapper that opens a transient :class:`Session`, delegates, and
+closes it.  Their signatures and behavior are unchanged.
+
+Every entry point accepts ``jobs`` (worker process count) or an explicit
+``executor``; ``jobs > 1`` fans work units out over a
+``ProcessPoolExecutor`` with results merged deterministically in input
+order, so parallel runs are byte-identical to serial ones.  Passing a
+``policy`` (:class:`ExecPolicy`) instead selects the fault-tolerant
+:class:`ResilientExecutor` — per-unit timeouts, bounded retries, crash
+isolation, and checkpoint/resume — which preserves the same
+byte-identical guarantee even when workers crash or hang mid-batch.
+The combination rules live in one place, :func:`resolve_executor`,
+shared with the CLI.
+
+``__all__`` below is the documented public surface; anything not listed
+is an implementation detail.
 
 Examples
 --------
@@ -36,15 +53,23 @@ Examples
 
 from __future__ import annotations
 
+from repro.controller.controller import (
+    FailureDispatch,
+    GroupRestoration,
+    MulticastController,
+)
+from repro.controller.service import ServiceReport, run_service as _run_service
+from repro.controller.spec import ServiceSpec
 from repro.errors import ConfigurationError
 from repro.experiments.exec.cache import SubstrateCache
+from repro.experiments.exec.checkpoint import CheckpointStore
 from repro.experiments.exec.executor import (
     Executor,
     ParallelExecutor,
     SerialExecutor,
     make_executor,
+    resolve_executor,
 )
-from repro.experiments.exec.checkpoint import CheckpointStore
 from repro.experiments.exec.resilience import ExecPolicy, ResilientExecutor
 from repro.experiments.exec.spec import ExperimentSpec
 from repro.experiments.runner import ScenarioResult
@@ -57,16 +82,25 @@ __all__ = [
     "ExecPolicy",
     "Executor",
     "ExperimentSpec",
+    "FailureDispatch",
+    "GroupRestoration",
+    "MulticastController",
     "ParallelExecutor",
     "ResilientExecutor",
     "ScenarioConfig",
     "ScenarioResult",
     "SerialExecutor",
+    "ServiceReport",
+    "ServiceSpec",
+    "Session",
     "SubstrateCache",
     "SweepPoint",
     "build_figure",
     "make_executor",
+    "open_session",
+    "resolve_executor",
     "run_scenario",
+    "run_service",
     "run_sweep",
 ]
 
@@ -78,39 +112,249 @@ _FIGURES = {
     "fig10": ("repro.experiments.fig10", "run_figure10"),
 }
 
+#: Distinguishes "caller did not mention cache" (session builds one)
+#: from an explicit ``cache=None`` (run uncached, the historical
+#: one-shot default).
+_UNSET_CACHE = object()
 
-def _resolve_executor(
-    executor: Executor | None,
-    jobs: int,
+
+class Session:
+    """A long-lived handle over the execution substrate.
+
+    Owns a resolved :class:`Executor` (closed with the session unless
+    the caller passed a ready one in), a :class:`SubstrateCache` shared
+    by every verb, and — lazily, on first service verb — a
+    :class:`MulticastController` hosting live groups.
+
+    Parameters
+    ----------
+    topology:
+        Optional ready topology for the service verbs.  When omitted,
+        the session derives one from ``spec`` via the cache on first
+        use.
+    spec:
+        Optional default :class:`ServiceSpec`; provides the topology,
+        protocol, and :meth:`run_service` defaults.
+    executor, jobs, policy, telemetry:
+        Execution selection, reconciled by :func:`resolve_executor` —
+        identical rules and message text as the CLI.
+    cache:
+        Substrate cache for topologies and SPF state.  Omitted → the
+        session builds its own; explicitly ``None`` → verbs run
+        uncached (the historical one-shot behavior).
+    obs:
+        Default :class:`~repro.obs.Observability` for every verb.
+    """
+
+    def __init__(
+        self,
+        topology=None,
+        *,
+        spec: ServiceSpec | None = None,
+        protocol: str = "smrp",
+        smrp_config=None,
+        convergence=None,
+        executor: Executor | None = None,
+        jobs: int = 1,
+        policy: ExecPolicy | None = None,
+        telemetry=None,
+        cache=_UNSET_CACHE,
+        obs=None,
+    ) -> None:
+        self.executor, self._owned = resolve_executor(
+            executor=executor, jobs=jobs, policy=policy, telemetry=telemetry
+        )
+        self.cache = SubstrateCache() if cache is _UNSET_CACHE else cache
+        self.spec = spec
+        self.obs = obs
+        self._topology = topology
+        self._protocol = protocol
+        self._smrp_config = smrp_config
+        self._convergence = convergence
+        self._controller: MulticastController | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Substrate
+    # ------------------------------------------------------------------
+    @property
+    def topology(self):
+        """The service topology (derived from ``spec`` on first use)."""
+        if self._topology is None:
+            if self.spec is None:
+                raise ConfigurationError(
+                    "session has no topology: pass one to open_session "
+                    "or provide a ServiceSpec"
+                )
+            if self.cache is not None:
+                self._topology = self.cache.topology_for(self.spec)
+            else:
+                from repro.experiments.exec.cache import SubstrateCache
+
+                self._topology = SubstrateCache().topology_for(self.spec)
+        return self._topology
+
+    @property
+    def controller(self) -> MulticastController:
+        """The session's hosted-group controller (built on first use)."""
+        if self._controller is None:
+            spec = self.spec
+            smrp_config = self._smrp_config
+            protocol = spec.protocol if spec is not None else self._protocol
+            if smrp_config is None and spec is not None:
+                from repro.core.protocol import SMRPConfig
+
+                smrp_config = SMRPConfig(
+                    d_thresh=spec.d_thresh,
+                    reshape_enabled=spec.reshape_enabled,
+                    self_check=False,
+                )
+            self._controller = MulticastController(
+                self.topology,
+                protocol=protocol,
+                smrp_config=smrp_config,
+                cache=self.cache,
+                convergence=self._convergence,
+                obs=self.obs,
+                telemetry=self.executor.telemetry,
+            )
+        return self._controller
+
+    # ------------------------------------------------------------------
+    # Service verbs (live hosted groups)
+    # ------------------------------------------------------------------
+    def open_group(self, source, group=None, *, protocol=None, members=()):
+        """Host a new ``(source, group)`` session; see
+        :meth:`MulticastController.open_group`."""
+        return self.controller.open_group(
+            source, group, protocol=protocol, members=members
+        )
+
+    def join(self, gid, node) -> None:
+        self.controller.join(gid, node)
+
+    def leave(self, gid, node) -> None:
+        self.controller.leave(gid, node)
+
+    def fail(self, failures):
+        """Dispatch a failure to every affected hosted group."""
+        return self.controller.fail(failures)
+
+    def restore(self, failures=None) -> FailureDispatch:
+        """Repair every affected group in one pass."""
+        return self.controller.restore(failures)
+
+    def metrics(self) -> dict:
+        return self.controller.metrics()
+
+    def run_service(self, spec: ServiceSpec | dict | None = None) -> ServiceReport:
+        """Execute a declarative service run on the session's executor."""
+        spec = spec if spec is not None else self.spec
+        if spec is None:
+            raise ConfigurationError(
+                "no service spec: pass one or open the session with spec=..."
+            )
+        if isinstance(spec, dict):
+            spec = ServiceSpec.from_dict(spec)
+        return _run_service(spec, executor=self.executor, obs=self.obs)
+
+    # ------------------------------------------------------------------
+    # Scenario verbs (the paper's experiments)
+    # ------------------------------------------------------------------
+    def run_scenario(
+        self, config: ScenarioConfig | None = None, **params
+    ) -> ScenarioResult:
+        """Run one scenario against the session's cache."""
+        if config is None:
+            config = ScenarioConfig(**params)
+        elif params:
+            raise ConfigurationError(
+                "pass either a ScenarioConfig or its fields as keywords, "
+                "not both"
+            )
+        return _run_scenario(config, obs=self.obs, cache=self.cache)
+
+    def run_sweep(self, spec: ExperimentSpec | dict) -> list[SweepPoint]:
+        """Expand a declarative sweep spec on the session's executor."""
+        if isinstance(spec, dict):
+            spec = ExperimentSpec.from_dict(spec)
+        return run_spec_sweep(spec, executor=self.executor, obs=self.obs)
+
+    def build_figure(self, figure: int | str, *, quick: bool = False, **overrides):
+        """Run one of the paper's figure drivers on the session's executor."""
+        import importlib
+
+        name = figure if isinstance(figure, str) else f"fig{figure}"
+        if name not in _FIGURES:
+            raise ConfigurationError(
+                f"unknown figure {figure!r}; expected one of "
+                f"{sorted(_FIGURES)} (or 7-10)"
+            )
+        module_name, attr = _FIGURES[name]
+        runner = getattr(importlib.import_module(module_name), attr)
+        kwargs = dict(overrides)
+        if quick and name != "fig7":
+            kwargs.setdefault("topologies", 4)
+            kwargs.setdefault("member_sets", 2)
+        return runner(obs=self.obs, executor=self.executor, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the session's executor (idempotent; a caller-supplied
+        executor is left open — the caller owns its lifecycle)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owned:
+            self.executor.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        hosted = len(self._controller) if self._controller is not None else 0
+        return (
+            f"Session(executor={self.executor.kind!r}, groups={hosted}, "
+            f"{'closed' if self._closed else 'open'})"
+        )
+
+
+def open_session(
+    topology=None,
+    *,
+    spec: ServiceSpec | dict | None = None,
+    executor: Executor | None = None,
+    jobs: int = 1,
     policy: ExecPolicy | None = None,
     telemetry=None,
-) -> tuple[Executor, bool]:
-    """``(executor, owned)`` from the facade's convenience parameters."""
-    if executor is not None:
-        if jobs != 1:
-            raise ConfigurationError(
-                "pass either an executor or jobs, not both"
-            )
-        if policy is not None:
-            raise ConfigurationError(
-                "pass either an executor or a policy, not both"
-            )
-        if telemetry is not None:
-            raise ConfigurationError(
-                "pass telemetry to the executor's constructor, "
-                "not alongside a ready executor"
-            )
-        return executor, False
-    if jobs < 1:
-        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
-    if policy is not None:
-        return (
-            ResilientExecutor(jobs=jobs, policy=policy, telemetry=telemetry),
-            True,
-        )
-    if jobs > 1:
-        return ParallelExecutor(jobs=jobs, telemetry=telemetry), True
-    return SerialExecutor(telemetry=telemetry), True
+    cache=_UNSET_CACHE,
+    obs=None,
+    **options,
+) -> Session:
+    """Open a :class:`Session` — the session-oriented entry point.
+
+    Usable as a context manager; :meth:`Session.close` releases the
+    executor the session resolved (a ready ``executor`` passed in stays
+    open, matching the one-shot verbs' ownership rules).
+    """
+    if isinstance(spec, dict):
+        spec = ServiceSpec.from_dict(spec)
+    return Session(
+        topology,
+        spec=spec,
+        executor=executor,
+        jobs=jobs,
+        policy=policy,
+        telemetry=telemetry,
+        cache=cache,
+        obs=obs,
+        **options,
+    )
 
 
 def run_scenario(
@@ -126,13 +370,8 @@ def run_scenario(
     keywords (``run_scenario(n=50, group_size=10)``).  ``cache`` lets
     consecutive calls share generated topologies and SPF state.
     """
-    if config is None:
-        config = ScenarioConfig(**params)
-    elif params:
-        raise ConfigurationError(
-            "pass either a ScenarioConfig or its fields as keywords, not both"
-        )
-    return _run_scenario(config, obs=obs, cache=cache)
+    with Session(cache=cache, obs=obs) as session:
+        return session.run_scenario(config, **params)
 
 
 def run_sweep(
@@ -157,14 +396,41 @@ def run_sweep(
     observe-only and also mutually exclusive with ``executor`` (attach
     the hub when constructing the executor in that case).
     """
+    with Session(
+        executor=executor, jobs=jobs, policy=policy, telemetry=telemetry, obs=obs
+    ) as session:
+        return session.run_sweep(spec)
+
+
+def run_service(
+    spec: ServiceSpec | dict,
+    *,
+    executor: Executor | None = None,
+    jobs: int = 1,
+    policy: ExecPolicy | None = None,
+    telemetry=None,
+    obs=None,
+) -> ServiceReport:
+    """Execute a declarative multi-group service run.
+
+    ``spec`` may be a :class:`ServiceSpec` or its ``to_dict`` form.  The
+    run is cut into shard work units (``spec.shard_size`` groups each)
+    that ride the selected executor; the merged
+    :class:`ServiceReport` is byte-identical however the shards were
+    scheduled — serial, pooled, resilient, or resumed from a
+    checkpoint.
+    """
     if isinstance(spec, dict):
-        spec = ExperimentSpec.from_dict(spec)
-    executor, owned = _resolve_executor(executor, jobs, policy, telemetry)
-    try:
-        return run_spec_sweep(spec, executor=executor, obs=obs)
-    finally:
-        if owned:
-            executor.close()
+        spec = ServiceSpec.from_dict(spec)
+    with Session(
+        spec=spec,
+        executor=executor,
+        jobs=jobs,
+        policy=policy,
+        telemetry=telemetry,
+        obs=obs,
+    ) as session:
+        return session.run_service()
 
 
 def build_figure(
@@ -190,23 +456,7 @@ def build_figure(
     ``telemetry`` (a :class:`~repro.obs.live.TelemetryHub`) streams
     observe-only live progress; mutually exclusive with ``executor``.
     """
-    import importlib
-
-    name = figure if isinstance(figure, str) else f"fig{figure}"
-    if name not in _FIGURES:
-        raise ConfigurationError(
-            f"unknown figure {figure!r}; expected one of "
-            f"{sorted(_FIGURES)} (or 7-10)"
-        )
-    module_name, attr = _FIGURES[name]
-    runner = getattr(importlib.import_module(module_name), attr)
-    kwargs = dict(overrides)
-    if quick and name != "fig7":
-        kwargs.setdefault("topologies", 4)
-        kwargs.setdefault("member_sets", 2)
-    executor, owned = _resolve_executor(executor, jobs, policy, telemetry)
-    try:
-        return runner(obs=obs, executor=executor, **kwargs)
-    finally:
-        if owned:
-            executor.close()
+    with Session(
+        executor=executor, jobs=jobs, policy=policy, telemetry=telemetry, obs=obs
+    ) as session:
+        return session.build_figure(figure, quick=quick, **overrides)

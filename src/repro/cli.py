@@ -10,6 +10,14 @@ Commands
 ``simulate``
     Run the message-level simulator on a random topology, optionally
     injecting a worst-case failure, and print the event summary.
+``controller`` (alias ``serve``)
+    Host a whole multicast service: hundreds-to-thousands of groups on
+    one topology (Zipf source popularity, heavy-tailed sizes, optional
+    churn or flash-crowd workloads), inject a failure, restore every
+    affected group in one pass, and print the per-group restoration
+    table.  The run is declarative (``--spec service.json`` or
+    individual flags) and shards over the standard executors —
+    ``--jobs 4`` output is byte-identical to serial output.
 ``obs``
     Observability artifacts: ``report`` renders a captured run report,
     ``tail`` replays a telemetry flight record, ``export`` renders a run
@@ -175,6 +183,45 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write causal restoration episodes (NDJSON)")
     _add_executor_args(simulate)
 
+    controller = sub.add_parser(
+        "controller", aliases=["serve"],
+        help="host a multi-group multicast service, fail it, restore it",
+    )
+    controller.add_argument(
+        "--spec", metavar="PATH",
+        help="load the full ServiceSpec from a JSON file (individual "
+             "spec flags below are then rejected)",
+    )
+    controller.add_argument("--groups", type=int, default=200,
+                            help="hosted (source, group) sessions")
+    controller.add_argument("--sources", type=int, default=8,
+                            help="source pool size (Zipf popularity)")
+    controller.add_argument("--n", type=int, default=100)
+    controller.add_argument("--alpha", type=float, default=0.2)
+    controller.add_argument("--topology-seed", type=int, default=0)
+    controller.add_argument("--member-seed", type=int, default=0)
+    controller.add_argument("--protocol", choices=["smrp", "spf"],
+                            default="smrp")
+    controller.add_argument("--d-thresh", type=float, default=0.3)
+    controller.add_argument(
+        "--workload", choices=["static", "poisson", "flash"],
+        default="static",
+    )
+    controller.add_argument(
+        "--failure", default="auto", metavar="MODE",
+        help="none, auto (busiest hot-source link), link:U-V, or node:X",
+    )
+    controller.add_argument(
+        "--shard-size", type=int, default=50, metavar="N",
+        help="groups per shard work unit (part of the spec: checkpoint "
+             "identities do not depend on --jobs)",
+    )
+    controller.add_argument("--obs-out", metavar="PATH",
+                            help="write an observability run report (JSON)")
+    controller.add_argument("--trace-out", metavar="PATH",
+                            help="write causal restoration episodes (NDJSON)")
+    _add_executor_args(controller)
+
     obs = sub.add_parser("obs", help="observability run artifacts")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     obs_report = obs_sub.add_parser(
@@ -265,6 +312,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figures": _cmd_figures,
         "scenario": _cmd_scenario,
         "simulate": _cmd_simulate,
+        "controller": _cmd_controller,
+        "serve": _cmd_controller,
         "obs": _cmd_obs,
         "trace": _cmd_trace,
         "info": _cmd_info,
@@ -353,7 +402,7 @@ def _make_executor(args: argparse.Namespace, telemetry=None):
     ``--inject-fault``.
     """
     from repro.errors import ConfigurationError
-    from repro.experiments.exec.executor import make_executor
+    from repro.experiments.exec.executor import resolve_executor
 
     jobs = getattr(args, "jobs", 1)
     kind = getattr(args, "executor", None)
@@ -364,12 +413,7 @@ def _make_executor(args: argparse.Namespace, telemetry=None):
         or getattr(args, "resume", False)
         or bool(getattr(args, "inject_fault", []))
     )
-    if kind is None:
-        if resilience_flags:
-            kind = "resilient"
-        else:
-            kind = "process" if jobs > 1 else "serial"
-    elif kind != "resilient" and resilience_flags:
+    if kind is not None and kind != "resilient" and resilience_flags:
         print(
             "repro: error: --timeout/--retries/--checkpoint-dir/--resume/"
             f"--inject-fault require --executor resilient, not {kind}",
@@ -378,7 +422,7 @@ def _make_executor(args: argparse.Namespace, telemetry=None):
         raise SystemExit(2)
     try:
         policy = None
-        if kind == "resilient":
+        if kind == "resilient" or resilience_flags:
             from repro.experiments.exec.resilience import ExecPolicy
 
             policy_kwargs = {}
@@ -390,8 +434,10 @@ def _make_executor(args: argparse.Namespace, telemetry=None):
                 policy_kwargs["checkpoint_dir"] = args.checkpoint_dir
             policy_kwargs["resume"] = bool(getattr(args, "resume", False))
             policy = ExecPolicy(**policy_kwargs)
-        executor = make_executor(
-            kind, jobs=jobs, policy=policy, telemetry=telemetry
+        # The shared combination-rule authority — the facade rejects the
+        # same bad combinations with the same message text.
+        executor, _ = resolve_executor(
+            kind=kind, jobs=jobs, policy=policy, telemetry=telemetry
         )
         for spec in getattr(args, "inject_fault", []):
             fault, sep, index = spec.partition(":")
@@ -602,6 +648,84 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "seed": args.seed,
         "d_thresh": args.d_thresh,
         "fail_worst": bool(args.fail_worst),
+    })
+    _write_trace_out(args, obs)
+    return 0
+
+
+#: ``controller`` flags that mirror ServiceSpec fields, with their CLI
+#: defaults — used to reject flag/--spec mixtures instead of silently
+#: ignoring the flags.
+_CONTROLLER_SPEC_FLAGS = {
+    "groups": 200,
+    "sources": 8,
+    "n": 100,
+    "alpha": 0.2,
+    "topology_seed": 0,
+    "member_seed": 0,
+    "protocol": "smrp",
+    "d_thresh": 0.3,
+    "workload": "static",
+    "failure": "auto",
+    "shard_size": 50,
+}
+
+
+def _controller_spec(args: argparse.Namespace):
+    """The run's ServiceSpec from ``--spec`` JSON or individual flags."""
+    from repro.controller import ServiceSpec
+    from repro.errors import ConfigurationError
+
+    if args.spec is not None:
+        overridden = [
+            f"--{name.replace('_', '-')}"
+            for name, default in _CONTROLLER_SPEC_FLAGS.items()
+            if getattr(args, name) != default
+        ]
+        if overridden:
+            raise ConfigurationError(
+                f"--spec replaces the whole service spec; drop "
+                f"{', '.join(sorted(overridden))}"
+            )
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                return ServiceSpec.from_json(handle.read())
+        except FileNotFoundError:
+            raise ConfigurationError(f"no such file: {args.spec}") from None
+    return ServiceSpec(
+        **{name: getattr(args, name) for name in _CONTROLLER_SPEC_FLAGS}
+    )
+
+
+def _cmd_controller(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+
+    try:
+        spec = _controller_spec(args)
+    except ConfigurationError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    obs = _make_obs(args)
+    telemetry = _make_telemetry(args)
+    executor = _make_executor(args, telemetry=telemetry)
+    try:
+        with executor:
+            from repro.api import run_service
+
+            report = run_service(spec, executor=executor, obs=obs)
+    except ConfigurationError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    print(report.render_table())
+    _write_obs_report(args, obs, {
+        "command": "controller",
+        "spec": spec.describe(),
+        "key": spec.content_key(),
+        "executor": executor.kind,
+        "jobs": args.jobs,
     })
     _write_trace_out(args, obs)
     return 0
@@ -836,9 +960,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.experiments", "figure drivers and parameter sweeps"),
         ("repro.experiments.exec",
          "ExperimentSpec, executors, resilience, substrate cache"),
+        ("repro.controller",
+         "multi-group service: ServiceSpec, controller, sharded runs"),
         ("repro.obs",
          "metrics registry, span profiling, run reports, live telemetry"),
-        ("repro.api", "stable facade: run_scenario / run_sweep / build_figure"),
+        ("repro.api",
+         "stable facade: sessions, run_scenario/run_sweep/"
+         "build_figure/run_service"),
     ]
     for name, description in components:
         print(f"  {name:24} {description}")

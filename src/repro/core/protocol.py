@@ -29,7 +29,12 @@ from repro.core.candidates import enumerate_candidates
 from repro.core.join import PathSelection, select_path
 from repro.core.leave import LeaveOutcome, process_leave
 from repro.core.query import enumerate_candidates_query
-from repro.core.recovery import RecoveryResult, local_detour_recovery
+from repro.core.recovery import (
+    RecoveryResult,
+    TreeRepairReport,
+    local_detour_recovery,
+    repair_tree,
+)
 from repro.core.reshape import ReshapeDecision, apply_reshape, evaluate_reshape
 from repro.core.state import StateManager
 from repro.routing.failure_view import NO_FAILURES, FailureSet
@@ -349,6 +354,33 @@ class SMRPProtocol:
             return local_detour_recovery(
                 self.topology, self.tree, member, failures, obs=self.obs
             )
+
+    def repair(self, failures: FailureSet) -> TreeRepairReport:
+        """Whole-session restoration: repair the tree, rebind the state.
+
+        Unlike :meth:`recover` — a per-member measurement that leaves the
+        session untouched — this *mutates* the session the way §3.2.3's
+        hierarchical recovery would: disconnected members re-attach via
+        local detours (nearest-first, so restored members compound), the
+        repaired tree replaces the current one, and the per-node SHR
+        state is rebuilt against it.  Each protocol instance owns its
+        tree and state outright, so concurrent hosted groups repaired
+        against the same failure stay fully isolated from one another.
+        """
+        with self.obs.span("smrp.repair"):
+            report = repair_tree(
+                self.topology,
+                self.tree,
+                failures,
+                strategy="local",
+                obs=self.obs,
+                route_cache=self.route_cache,
+            )
+            self.tree = report.repaired_tree
+            self.state.rebind(self.tree)
+            if self.config.self_check:
+                check_tree_invariants(self.tree)
+        return report
 
     def shr_values(self) -> dict[NodeId, int]:
         """Current ``SHR_{S,R}`` for every on-tree node."""

@@ -139,6 +139,17 @@ class StateManager:
             self.states[node] = state
         self._shr_dirty = False
 
+    def rebind(self, tree: MulticastTree) -> None:
+        """Re-anchor the manager to a replacement tree (session repair).
+
+        Cumulative message counters and surviving nodes' Condition-I
+        baselines carry over; the rebuild itself carries no message
+        charge — restoration signaling is accounted by the recovery path
+        that produced the replacement tree.
+        """
+        self.tree = tree
+        self.rebuild()
+
     # ------------------------------------------------------------------
     # Event notifications (message accounting)
     # ------------------------------------------------------------------

@@ -40,6 +40,17 @@ _DEPRECATED_EXPORTS = {
     "run_figure9": ("repro.experiments.fig9", "run_figure9"),
     "Figure10Result": ("repro.experiments.fig10", "Figure10Result"),
     "run_figure10": ("repro.experiments.fig10", "run_figure10"),
+    # Execution-layer stragglers: these once leaked through this package
+    # too; the documented home for all of them is ``repro.api.__all__``.
+    "ExperimentSpec": ("repro.experiments.exec.spec", "ExperimentSpec"),
+    "Executor": ("repro.experiments.exec.executor", "Executor"),
+    "SerialExecutor": ("repro.experiments.exec.executor", "SerialExecutor"),
+    "ParallelExecutor": ("repro.experiments.exec.executor", "ParallelExecutor"),
+    "ResilientExecutor": ("repro.experiments.exec.resilience", "ResilientExecutor"),
+    "ExecPolicy": ("repro.experiments.exec.resilience", "ExecPolicy"),
+    "CheckpointStore": ("repro.experiments.exec.checkpoint", "CheckpointStore"),
+    "SubstrateCache": ("repro.experiments.exec.cache", "SubstrateCache"),
+    "make_executor": ("repro.experiments.exec.executor", "make_executor"),
 }
 
 __all__ = list(_DEPRECATED_EXPORTS)

@@ -1,16 +1,19 @@
-"""Content-keyed checkpoint store for completed scenario work units.
+"""Content-keyed checkpoint store for completed work units.
 
-A :class:`CheckpointStore` persists every completed
-:class:`~repro.experiments.runner.ScenarioResult` as one JSONL record in
-``<directory>/results.jsonl``, keyed by
-:meth:`ScenarioConfig.content_key
-<repro.experiments.scenario.ScenarioConfig.content_key>` (the same
-SHA-256-of-canonical-JSON construction as
-``ExperimentSpec.content_key``).  Because keys are content identities —
-not positions in a particular sweep — a store can be shared across
-batches, figures, and interrupted runs: any later sweep that contains the
-same ``(spec, seed)`` work unit resumes from the stored result instead of
-recomputing it.
+A :class:`CheckpointStore` persists every completed work-unit result as
+one JSONL record in ``<directory>/results.jsonl``, keyed by the unit's
+``content_key()`` (the SHA-256-of-canonical-JSON construction shared by
+``ScenarioConfig``, ``ExperimentSpec``, and the controller's service
+shards).  Because keys are content identities — not positions in a
+particular sweep — a store can be shared across batches, figures, and
+interrupted runs: any later sweep that contains the same ``(spec, seed)``
+work unit resumes from the stored result instead of recomputing it.
+
+Records carry a ``type`` tag naming the payload class (``"scenario"``
+for :class:`~repro.experiments.runner.ScenarioResult` — also the implied
+type of tag-less records from older stores — and ``"service_shard"`` for
+:class:`~repro.controller.service.ShardResult`), so one store format
+serves every work-unit kind without guessing at payload shapes.
 
 Durability model: records are appended and flushed line-by-line, so a
 crash loses at most the line being written; :meth:`load` *truncates* a
@@ -37,6 +40,39 @@ STORE_VERSION = 1
 #: The single append-only record file inside a checkpoint directory.
 RESULTS_FILENAME = "results.jsonl"
 
+#: Payload type tag -> (module, class) able to ``from_dict`` the record.
+#: Lazy import paths keep the store free of a dependency on every result
+#: kind it can hold (the controller package imports this module).
+RESULT_TYPES = {
+    "scenario": ("repro.experiments.runner", "ScenarioResult"),
+    "service_shard": ("repro.controller.service", "ShardResult"),
+}
+
+
+def _result_class(type_name: str):
+    try:
+        module_name, attr = RESULT_TYPES[type_name]
+    except KeyError:
+        raise CheckpointError(
+            f"unknown checkpoint payload type {type_name!r}; "
+            f"expected one of {sorted(RESULT_TYPES)}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def _type_of(result) -> str:
+    if isinstance(result, ScenarioResult):
+        return "scenario"
+    type_name = getattr(result, "checkpoint_type", None)
+    if type_name is None or type_name not in RESULT_TYPES:
+        raise CheckpointError(
+            f"result {type(result).__name__} declares no registered "
+            f"checkpoint_type; expected one of {sorted(RESULT_TYPES)}"
+        )
+    return type_name
+
 
 class CheckpointStore:
     """Append-only, content-keyed store of completed scenario results."""
@@ -44,7 +80,7 @@ class CheckpointStore:
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
         self.path = self.directory / RESULTS_FILENAME
-        self._index: dict[str, ScenarioResult] = {}
+        self._index: dict[str, object] = {}
         self._writer = None
         self.directory.mkdir(parents=True, exist_ok=True)
         self.load()
@@ -95,7 +131,8 @@ class CheckpointStore:
                         f"{record.get('store_version')!r}"
                     )
                 key = record["key"]
-                result = ScenarioResult.from_dict(record["result"])
+                payload_cls = _result_class(record.get("type", "scenario"))
+                result = payload_cls.from_dict(record["result"])
             except CheckpointError:
                 raise
             except (json.JSONDecodeError, KeyError, TypeError) as exc:
@@ -117,7 +154,7 @@ class CheckpointStore:
                 fh.write(b"\n")
         return len(self._index)
 
-    def get(self, key: str) -> ScenarioResult | None:
+    def get(self, key: str):
         return self._index.get(key)
 
     def __contains__(self, key: str) -> bool:
@@ -129,16 +166,22 @@ class CheckpointStore:
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
-    def put(self, key: str, result: ScenarioResult) -> bool:
+    def put(self, key: str, result, describe: str | None = None) -> bool:
         """Persist one completed result; returns False when already stored
         (content keys make duplicate completions a no-op, e.g. the same
-        scenario appearing in two overlapping sweeps)."""
+        scenario appearing in two overlapping sweeps).  ``describe`` is a
+        human-readable provenance string stored alongside the payload; it
+        defaults to the scenario's config description when available."""
         if key in self._index:
             return False
+        if describe is None:
+            config = getattr(result, "config", None)
+            describe = config.describe() if config is not None else ""
         record = {
             "store_version": STORE_VERSION,
             "key": key,
-            "config": result.config.describe(),
+            "type": _type_of(result),
+            "config": describe,
             "result": result.to_dict(),
         }
         if self._writer is None:

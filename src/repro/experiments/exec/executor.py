@@ -1,9 +1,12 @@
-"""Executors: how a batch of scenario work units actually runs.
+"""Executors: how a batch of work units actually runs.
 
-An :class:`Executor` turns a list of
-:class:`~repro.experiments.scenario.ScenarioConfig` work units into
-:class:`~repro.experiments.runner.ScenarioResult` values, in input order,
-regardless of *how* they run:
+An :class:`Executor` turns a list of work units into their results, in
+input order, regardless of *how* they run.  A work unit is either a
+:class:`~repro.experiments.scenario.ScenarioConfig` or any object
+implementing the work-unit protocol (``run(obs=..., cache=...)``,
+``content_key()``, ``describe()`` — see
+:func:`~repro.experiments.exec.worker.execute_unit`), which is how the
+controller's service shards share this machinery:
 
 - :class:`SerialExecutor` — in-process, one scenario at a time, against a
   long-lived :class:`~repro.experiments.exec.cache.SubstrateCache`;
@@ -18,7 +21,12 @@ cache hit/miss *splits* differ (per-worker caches see fewer cross-scenario
 hits, though hits + misses totals agree) and span *timings* naturally
 differ.  ``Executor.run_sweep`` adds the shared
 spec-driven sweep loop on top, so every later scaling backend (sharding,
-async, remote) only has to implement :meth:`Executor.map_scenarios`.
+async, remote) only has to implement :meth:`Executor.map_units`.
+
+:func:`resolve_executor` is the one place the convenience parameters of
+the facade and the CLI (``executor=`` / ``jobs=`` / ``policy=`` /
+``telemetry=``) are reconciled, so both surfaces reject bad combinations
+with the same message text.
 """
 
 from __future__ import annotations
@@ -30,17 +38,18 @@ from typing import Sequence
 
 from repro.errors import ConfigurationError
 from repro.obs import NULL_OBS, Observability, merge_report_into
-from repro.experiments.runner import ScenarioResult, run_scenario
+from repro.experiments.runner import ScenarioResult
 from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.exec.cache import SubstrateCache
 from repro.experiments.exec.spec import ExperimentSpec
+from repro.experiments.exec.worker import execute_unit
 
 #: Executor kinds accepted by :func:`make_executor` and the CLI.
 EXECUTOR_KINDS = ("serial", "process", "resilient")
 
 
 class Executor(ABC):
-    """Strategy for running scenario work units.
+    """Strategy for running work units.
 
     Executors are context managers; :meth:`close` releases pooled
     resources (a no-op for the serial executor).
@@ -55,12 +64,24 @@ class Executor(ABC):
     telemetry = None
 
     @abstractmethod
+    def map_units(
+        self,
+        units: Sequence,
+        obs: Observability | None = None,
+    ) -> list:
+        """Run every work unit; results come back in input order."""
+
     def map_scenarios(
         self,
         configs: Sequence[ScenarioConfig],
         obs: Observability | None = None,
     ) -> list[ScenarioResult]:
-        """Run every config; results come back in input (seed) order."""
+        """Run every config; results come back in input (seed) order.
+
+        Kept as the scenario-flavoured name of :meth:`map_units` — every
+        pre-existing call site and executor subclass keeps working.
+        """
+        return self.map_units(configs, obs=obs)
 
     def run_sweep(
         self, spec: ExperimentSpec, obs: Observability | None = None
@@ -116,34 +137,34 @@ class SerialExecutor(Executor):
         self.cache = cache if cache is not None else SubstrateCache()
         self.telemetry = telemetry
 
-    def map_scenarios(
+    def map_units(
         self,
-        configs: Sequence[ScenarioConfig],
+        units: Sequence,
         obs: Observability | None = None,
-    ) -> list[ScenarioResult]:
+    ) -> list:
         obs = obs if obs is not None else NULL_OBS
         hub = self.telemetry
         if hub is not None:
-            hub.begin(len(configs), meta={"executor": self.kind, "jobs": 1})
+            hub.begin(len(units), meta={"executor": self.kind, "jobs": 1})
         results = []
         try:
-            for index, config in enumerate(configs):
+            for index, unit in enumerate(units):
                 if hub is not None:
                     hub.publish(
                         "scenario.start",
                         index=index,
                         attempt=0,
-                        key=config.content_key(),
+                        key=unit.content_key(),
                     )
                 started = monotonic()
-                results.append(run_scenario(config, obs=obs, cache=self.cache))
+                results.append(execute_unit(unit, obs=obs, cache=self.cache))
                 obs.counter("exec.scenarios").inc()
                 if hub is not None:
                     hub.publish(
                         "scenario.finish",
                         index=index,
                         attempt=0,
-                        key=config.content_key(),
+                        key=unit.content_key(),
                         duration_s=round(monotonic() - started, 6),
                     )
         finally:
@@ -190,26 +211,24 @@ class ParallelExecutor(Executor):
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         return self._pool
 
-    def map_scenarios(
+    def map_units(
         self,
-        configs: Sequence[ScenarioConfig],
+        units: Sequence,
         obs: Observability | None = None,
-    ) -> list[ScenarioResult]:
-        from repro.experiments.exec.worker import run_scenario_task
+    ) -> list:
+        from repro.experiments.exec.worker import run_unit_task
 
         obs = obs if obs is not None else NULL_OBS
         capture = obs.enabled
         trace = obs.tracer is not None
         hub = self.telemetry
         pool = self._ensure_pool()
-        tasks = [
-            (config, capture, hub is not None, trace) for config in configs
-        ]
+        tasks = [(unit, capture, hub is not None, trace) for unit in units]
         chunksize = max(1, len(tasks) // (self.jobs * 4)) if tasks else 1
-        results: list[ScenarioResult] = []
+        results: list = []
         if hub is not None:
             hub.begin(
-                len(configs), meta={"executor": self.kind, "jobs": self.jobs}
+                len(units), meta={"executor": self.kind, "jobs": self.jobs}
             )
         try:
             # ``map`` yields in input order; merging worker reports while
@@ -217,7 +236,7 @@ class ParallelExecutor(Executor):
             # pool offers no side channel, so lifecycle records arrive
             # worker-stamped alongside each result rather than live.
             for index, (result, report, records) in enumerate(
-                pool.map(run_scenario_task, tasks, chunksize=chunksize)
+                pool.map(run_unit_task, tasks, chunksize=chunksize)
             ):
                 if report is not None:
                     merge_report_into(obs, report)
@@ -282,3 +301,54 @@ def make_executor(
     raise ConfigurationError(
         f"unknown executor {kind!r}; expected one of {EXECUTOR_KINDS}"
     )
+
+
+def resolve_executor(
+    *,
+    executor: Executor | None = None,
+    kind: str | None = None,
+    jobs: int = 1,
+    policy=None,
+    telemetry=None,
+) -> tuple[Executor, bool]:
+    """Reconcile the convenience parameters into ``(executor, owned)``.
+
+    The single combination-rule authority shared by :mod:`repro.api` and
+    the CLI, so both reject the same bad combinations with the same
+    message text (the CLI maps :class:`ConfigurationError` to exit 2).
+
+    A ready ``executor`` wins and must come alone — ``jobs``, ``kind``,
+    ``policy``, and ``telemetry`` all conflict with it (``owned`` is
+    False: the caller keeps its lifecycle).  Otherwise the kind is
+    inferred: a ``policy`` implies the resilient executor, ``jobs > 1``
+    the process pool, else serial; an explicit ``kind`` is validated
+    against ``jobs``/``policy`` by :func:`make_executor` (``owned`` is
+    True: the caller must :meth:`~Executor.close` it).
+    """
+    if executor is not None:
+        if kind is not None:
+            raise ConfigurationError(
+                "pass either an executor or an executor kind, not both"
+            )
+        if jobs != 1:
+            raise ConfigurationError(
+                "pass either an executor or jobs, not both"
+            )
+        if policy is not None:
+            raise ConfigurationError(
+                "pass either an executor or a policy, not both"
+            )
+        if telemetry is not None:
+            raise ConfigurationError(
+                "pass telemetry to the executor's constructor, "
+                "not alongside a ready executor"
+            )
+        return executor, False
+    if jobs < 1:
+        raise ConfigurationError(f"--jobs must be >= 1, got {jobs}")
+    if kind is None:
+        if policy is not None:
+            kind = "resilient"
+        else:
+            kind = "process" if jobs > 1 else "serial"
+    return make_executor(kind, jobs=jobs, policy=policy, telemetry=telemetry), True

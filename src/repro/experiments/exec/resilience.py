@@ -52,8 +52,6 @@ from typing import Sequence
 
 from repro.errors import ConfigurationError, RetryExhaustedError
 from repro.obs import NULL_OBS, Observability, merge_report_into
-from repro.experiments.runner import ScenarioResult
-from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.exec.checkpoint import CheckpointStore
 from repro.experiments.exec.executor import Executor
 from repro.experiments.exec.spec import ExperimentSpec
@@ -128,14 +126,14 @@ class ExecPolicy:
 
 
 class _Task:
-    """One scenario work unit's retry state inside a batch."""
+    """One work unit's retry state inside a batch."""
 
-    __slots__ = ("index", "config", "key", "attempt", "not_before")
+    __slots__ = ("index", "unit", "key", "attempt", "not_before")
 
-    def __init__(self, index: int, config: ScenarioConfig, key: str):
+    def __init__(self, index: int, unit, key: str):
         self.index = index
-        self.config = config
-        self.key = key  # ScenarioConfig.content_key(): checkpoint + telemetry id
+        self.unit = unit
+        self.key = key  # unit.content_key(): checkpoint + telemetry id
         self.attempt = 0  # attempts already failed
         self.not_before = 0.0  # monotonic instant the next attempt may start
 
@@ -217,25 +215,25 @@ class ResilientExecutor(Executor):
     # ------------------------------------------------------------------
     # Executor interface
     # ------------------------------------------------------------------
-    def map_scenarios(
+    def map_units(
         self,
-        configs: Sequence[ScenarioConfig],
+        units: Sequence,
         obs: Observability | None = None,
-    ) -> list[ScenarioResult]:
+    ) -> list:
         obs = obs if obs is not None else NULL_OBS
         capture = obs.enabled
         trace = obs.tracer is not None
         hub = self.telemetry
         if hub is not None:
             hub.begin(
-                len(configs), meta={"executor": self.kind, "jobs": self.jobs}
+                len(units), meta={"executor": self.kind, "jobs": self.jobs}
             )
-        results: list[ScenarioResult | None] = [None] * len(configs)
+        results: list = [None] * len(units)
         reports: dict[int, dict] = {}
         tasks: list[_Task] = []
         try:
-            for index, config in enumerate(configs):
-                key = config.content_key()
+            for index, unit in enumerate(units):
+                key = unit.content_key()
                 if self._store is not None and self.policy.resume:
                     cached = self._store.get(key)
                     if cached is not None:
@@ -250,7 +248,7 @@ class ResilientExecutor(Executor):
                                 cached=True,
                             )
                         continue
-                tasks.append(_Task(index, config, key))
+                tasks.append(_Task(index, unit, key))
             self._run_tasks(tasks, capture, trace, obs, results, reports)
         finally:
             # The flight recorder gets its sweep.finish record even when
@@ -262,7 +260,7 @@ class ResilientExecutor(Executor):
         # order, so the combined report is deterministic under retries.
         for index in sorted(reports):
             merge_report_into(obs, reports[index])
-        obs.counter("exec.scenarios").inc(len(configs))
+        obs.counter("exec.scenarios").inc(len(units))
         if capture:
             obs.gauge("exec.jobs").set(self.jobs)
             obs.counter("exec.worker_reports_merged").inc(len(reports))
@@ -429,7 +427,7 @@ class ResilientExecutor(Executor):
         recv_conn, send_conn = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=resilient_worker_main,
-            args=(send_conn, task.config, capture, fault, heartbeat, trace),
+            args=(send_conn, task.unit, capture, fault, heartbeat, trace),
             daemon=True,
             name=f"repro-scenario-{task.index}",
         )
@@ -470,7 +468,7 @@ class ResilientExecutor(Executor):
                 duration_s=round(time.monotonic() - attempt.started, 6),
             )
         if self._store is not None:
-            if self._store.put(task.key, result):
+            if self._store.put(task.key, result, describe=task.unit.describe()):
                 obs.counter("exec.checkpoint.writes").inc()
 
     def _fail(
@@ -528,7 +526,7 @@ class ResilientExecutor(Executor):
             if remote_traceback:
                 detail = f"{reason}\n{remote_traceback}"
             raise RetryExhaustedError(
-                task.index, task.config.describe(), task.attempt + 1, detail
+                task.index, task.unit.describe(), task.attempt + 1, detail
             )
         task.attempt += 1
         obs.counter("exec.retries").inc()

@@ -4,12 +4,16 @@ Everything here must be importable by name in a fresh interpreter (the
 ``ProcessPoolExecutor`` contract): the task function is a module-level
 callable, its payload and return value are plain picklable values.
 
-A scenario work unit travels as ``(ScenarioConfig, capture_obs,
-telemetry, trace)`` and comes back as ``(ScenarioResult, worker
-run-report | None, telemetry records)``.  The worker runs each scenario
+A work unit travels as ``(unit, capture_obs, telemetry, trace)`` and
+comes back as ``(result, worker run-report | None, telemetry records)``.
+A unit is either a :class:`~repro.experiments.scenario.ScenarioConfig`
+(executed via :func:`~repro.experiments.runner.run_scenario`) or any
+object with a ``run(obs=..., cache=...)`` method — the seam that lets
+the controller's service shards ride the same executors as scenario
+sweeps (:func:`execute_unit` dispatches).  The worker runs each unit
 against the per-process substrate cache
-(:func:`~repro.experiments.exec.cache.process_cache`), so scenarios
-landing on the same worker share generated topologies and SPF state.
+(:func:`~repro.experiments.exec.cache.process_cache`), so units landing
+on the same worker share generated topologies and SPF state.
 When observability capture is on, each task records into a fresh
 :class:`~repro.obs.Observability` and ships back its run report; the
 parent merges reports in seed order (:mod:`repro.obs.merge`), keeping the
@@ -27,7 +31,7 @@ channel for the parent's :class:`~repro.obs.live.TelemetryHub`.
 
 Two entry points:
 
-- :func:`run_scenario_task` — the pool task of the
+- :func:`run_unit_task` — the pool task of the
   :class:`~repro.experiments.exec.executor.ParallelExecutor`; its result
   tuple is the only channel back, so lifecycle records are delivered
   with the result (a pool worker has no side channel for mid-scenario
@@ -50,7 +54,8 @@ import time
 import traceback
 from time import perf_counter
 
-from repro.experiments.runner import ScenarioResult, run_scenario
+from repro.errors import ExecutionError
+from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.exec.cache import process_cache
 
@@ -69,10 +74,29 @@ _HANG_SECONDS = 3600.0
 HANG_SPAN = "fault.injected_hang"
 
 
-def run_scenario_task(
-    task: tuple[ScenarioConfig, bool, bool, bool],
-) -> tuple[ScenarioResult, dict | None, list[dict]]:
-    """Execute one scenario work unit inside a pool worker process."""
+def execute_unit(unit, obs=None, cache=None):
+    """Run one work unit and return its result.
+
+    The dispatch seam of the execution layer: a
+    :class:`~repro.experiments.scenario.ScenarioConfig` runs through
+    :func:`~repro.experiments.runner.run_scenario`; anything else must
+    provide ``run(obs=..., cache=...)`` (plus ``content_key()`` and
+    ``describe()`` for scheduling and checkpointing) — the protocol the
+    controller's service shards implement.
+    """
+    if isinstance(unit, ScenarioConfig):
+        return run_scenario(unit, obs=obs, cache=cache)
+    run = getattr(unit, "run", None)
+    if run is None:
+        raise ExecutionError(
+            f"work unit {unit!r} is neither a ScenarioConfig nor provides "
+            f"a run(obs=..., cache=...) method"
+        )
+    return run(obs=obs, cache=cache)
+
+
+def run_unit_task(task: tuple) -> tuple:
+    """Execute one work unit inside a pool worker process."""
     config, capture_obs, telemetry, trace = task
     records: list[dict] = []
     key = config.content_key()
@@ -90,10 +114,10 @@ def run_scenario_task(
             from repro.obs.tracing import RestorationTracer
 
             obs.tracer = RestorationTracer()
-        result = run_scenario(config, obs=obs, cache=process_cache())
+        result = execute_unit(config, obs=obs, cache=process_cache())
         report = build_run_report(obs)
     else:
-        result = run_scenario(config, cache=process_cache())
+        result = execute_unit(config, cache=process_cache())
         report = None
     if telemetry:
         records.append(
@@ -102,6 +126,10 @@ def run_scenario_task(
              "duration_s": round(perf_counter() - started, 6)}
         )
     return result, report, records
+
+
+#: Backwards-compatible name from when scenarios were the only unit kind.
+run_scenario_task = run_unit_task
 
 
 class _HeartbeatSampler(threading.Thread):
@@ -138,13 +166,13 @@ class _HeartbeatSampler(threading.Thread):
 
 def resilient_worker_main(
     conn,
-    config: ScenarioConfig,
+    unit,
     capture_obs: bool,
     fault: str | None = None,
     heartbeat_interval: float | None = None,
     trace: bool = False,
 ) -> None:
-    """Process main of one resilient scenario attempt.
+    """Process main of one resilient work-unit attempt.
 
     The worker first sends a ``("ready",)`` handshake — the parent
     restarts the per-attempt wall-clock deadline on it, so interpreter
@@ -200,7 +228,7 @@ def resilient_worker_main(
                 time.sleep(_HANG_SECONDS)
         if fault == "error":
             raise RuntimeError("injected transient error")
-        result = run_scenario(config, obs=obs, cache=process_cache())
+        result = execute_unit(unit, obs=obs, cache=process_cache())
         report = (
             build_run_report(obs) if (capture_obs or trace) else None
         )

@@ -63,18 +63,36 @@ class GroupEvent:
             raise ConfigurationError(f"event time must be non-negative: {self}")
 
 
+def _event_order(event: GroupEvent) -> tuple[float, NodeId, str]:
+    """Canonical replay order: ``(time, member, action)``.
+
+    Simultaneous events sort by member id, then action name — ``"join"``
+    before ``"leave"`` — so a node joining and leaving at the same instant
+    deterministically ends up *out* of the group, no matter in which order
+    the events were recorded.
+    """
+    return (event.time, event.node, event.action.value)
+
+
 @dataclass
 class GroupWorkload:
     """An ordered stream of membership events.
 
-    Events are kept sorted by (time, node) so replays are deterministic.
+    Events are kept sorted by ``(time, node, action)`` so replays are
+    deterministic — including workloads built by passing an unsorted
+    ``events`` list straight to the constructor, which previously skipped
+    the sort that :meth:`add` applies and broke :meth:`members_at`'s
+    early-exit scan.
     """
 
     events: list[GroupEvent] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self.events.sort(key=_event_order)
+
     def add(self, event: GroupEvent) -> None:
         self.events.append(event)
-        self.events.sort(key=lambda e: (e.time, e.node, e.action.value))
+        self.events.sort(key=_event_order)
 
     def __iter__(self) -> Iterator[GroupEvent]:
         return iter(self.events)

@@ -106,3 +106,25 @@ class SPFMulticastProtocol:
         for member in members:
             self.join(member)
         return self.tree
+
+    def repair(self, failures: FailureSet) -> "TreeRepairReport":
+        """Whole-session restoration via global SPF detours.
+
+        The PIM/MOSPF baseline behaviour: every disconnected member
+        re-joins along its re-converged shortest path (failed components
+        withdrawn), and the repaired tree replaces the current one.
+        """
+        from repro.core.recovery import repair_tree
+
+        report = repair_tree(
+            self.topology,
+            self.tree,
+            failures,
+            strategy="global",
+            obs=self.obs,
+            route_cache=self.route_cache,
+        )
+        self.tree = report.repaired_tree
+        if self.self_check:
+            check_tree_invariants(self.tree)
+        return report

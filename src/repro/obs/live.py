@@ -42,6 +42,10 @@ Kinds and their extra fields:
 ``heartbeat``      ``index``, ``attempt``, ``pid``, ``spans``
                    (open span names, outermost first), ``elapsed_s``
 ``sweep.finish``   ``completed``, ``total``, ``wall_s``, fault counts
+``group.restore``  ``group`` (``source:number``), ``protocol``,
+                   ``affected``, ``restored``, ``unrecoverable``,
+                   ``strategy``, ``latency_s`` — one per multicast
+                   group repaired by a controller restoration pass
 =================  ====================================================
 
 ``key`` is :meth:`~repro.experiments.scenario.ScenarioConfig.content_key`
@@ -63,6 +67,13 @@ RECORD_VERSION = 1
 #: Bucket bounds (seconds) for the live per-scenario duration histogram.
 SCENARIO_SECONDS_BUCKETS: tuple[float, ...] = (
     0.05, 0.1, 0.25, 0.5, 1, 2, 5, 10, 30, 60, 120, 300,
+)
+
+#: Bucket bounds (model time units) for per-group restoration latency —
+#: spans the local-detour floor (~detection delay) up to slow global
+#: detours behind long re-convergence waits.
+GROUP_RESTORE_LATENCY_BUCKETS: tuple[float, ...] = (
+    25, 50, 75, 100, 150, 200, 300, 500, 1000, 2000,
 )
 
 
@@ -231,6 +242,22 @@ class TelemetryHub:
             counters("telemetry.heartbeats").inc()
             if index is not None:
                 self.last_heartbeat[index] = record
+        elif kind == "group.restore":
+            counters("telemetry.groups.restored").inc()
+            counters("telemetry.groups.members_restored").inc(
+                record.get("restored", 0)
+            )
+            unrecoverable = record.get("unrecoverable", 0)
+            if unrecoverable:
+                counters("telemetry.groups.members_unrecoverable").inc(
+                    unrecoverable
+                )
+            latency = record.get("latency_s")
+            if latency is not None:
+                self.metrics.histogram(
+                    "telemetry.group_restore_latency_s",
+                    GROUP_RESTORE_LATENCY_BUCKETS,
+                ).observe(latency)
 
     # ------------------------------------------------------------------
     # Rolling view

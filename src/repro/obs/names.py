@@ -27,6 +27,11 @@ METRIC_NAMES: frozenset[str] = frozenset({
     "cache.topology.evictions",
     "cache.topology.hit_rate",
     "cache.topology.size",
+    "controller.failures_dispatched",
+    "controller.groups_affected",
+    "controller.groups_opened",
+    "controller.members_restored",
+    "controller.workload_events",
     "demo.widgets",
     "exec.checkpoint.hits",
     "exec.checkpoint.writes",
@@ -75,6 +80,7 @@ METRIC_NAMES: frozenset[str] = frozenset({
     "telemetry.batch.completed",
     "telemetry.batch.total",
     "telemetry.eta_s",
+    "telemetry.group_restore_latency_s",
     "telemetry.in_flight",
     "telemetry.scenario_seconds",
     "telemetry.throughput_per_s",
@@ -82,6 +88,8 @@ METRIC_NAMES: frozenset[str] = frozenset({
 
 #: Span names, as passed to ``obs.span(...)`` / ``obs.spans.span(...)``.
 SPAN_NAMES: frozenset[str] = frozenset({
+    "controller.fail",
+    "controller.restore",
     "demo.work",
     "fault.injected_hang",
     "inner",
@@ -91,12 +99,15 @@ SPAN_NAMES: frozenset[str] = frozenset({
     "scenario.build.spf",
     "scenario.measure",
     "scenario.topology",
+    "service.run",
+    "service.shard",
     "sim.join.select_path",
     "sim.recovery.detour",
     "smrp.build",
     "smrp.join",
     "smrp.leave",
     "smrp.recover",
+    "smrp.repair",
     "smrp.reshape",
     "sweep.run",
 })

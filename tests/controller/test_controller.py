@@ -1,0 +1,196 @@
+"""Tests for the multi-group MulticastController registry + dispatch."""
+
+import pytest
+
+from repro.controller.controller import MulticastController
+from repro.errors import ConfigurationError
+from repro.multicast.group import GroupEvent, GroupAction, GroupWorkload
+from repro.obs import Observability
+from repro.routing.failure_view import FailureSet
+
+
+class RecordingHub:
+    """Telemetry stand-in: keeps published records in order."""
+
+    def __init__(self):
+        self.records = []
+
+    def publish(self, kind, **fields):
+        record = {"kind": kind, **fields}
+        self.records.append(record)
+        return record
+
+
+@pytest.fixture
+def controller(waxman50):
+    return MulticastController(waxman50)
+
+
+def open_spread(controller, count=6):
+    """Host ``count`` small groups on distinct sources."""
+    gids = []
+    for i in range(count):
+        gid = controller.open_group(i, members=[(i + 7) % 50, (i + 19) % 50])
+        gids.append(gid)
+    return gids
+
+
+class TestRegistry:
+    def test_group_numbers_auto_increment(self, controller):
+        assert controller.open_group(0) == (0, 0)
+        assert controller.open_group(1) == (1, 1)
+        assert controller.open_group(2, 10) == (2, 10)
+        assert controller.open_group(3) == (3, 11)
+        assert len(controller) == 4
+        assert controller.group_ids() == [(0, 0), (1, 1), (2, 10), (3, 11)]
+
+    def test_duplicate_group_rejected(self, controller):
+        controller.open_group(0, 5)
+        with pytest.raises(ConfigurationError, match="already hosted"):
+            controller.open_group(0, 5)
+
+    def test_unknown_source_rejected(self, controller):
+        with pytest.raises(ConfigurationError, match="not in the topology"):
+            controller.open_group(999)
+
+    def test_unknown_protocol_rejected(self, waxman50):
+        with pytest.raises(ConfigurationError, match="unknown protocol"):
+            MulticastController(waxman50, protocol="pim")
+        controller = MulticastController(waxman50)
+        with pytest.raises(ConfigurationError, match="unknown protocol"):
+            controller.open_group(0, protocol="pim")
+
+    def test_per_group_protocol_override(self, controller):
+        smrp = controller.open_group(0, members=[5])
+        spf = controller.open_group(1, protocol="spf", members=[6])
+        assert controller._groups[smrp].protocol == "smrp"
+        assert controller._groups[spf].protocol == "spf"
+
+    def test_join_leave_and_close(self, controller):
+        gid = controller.open_group(0, members=[5, 9])
+        controller.join(gid, 14)
+        assert controller.tree(gid).members == frozenset({5, 9, 14})
+        controller.leave(gid, 9)
+        assert controller.tree(gid).members == frozenset({5, 14})
+        controller.close_group(gid)
+        with pytest.raises(ConfigurationError, match="no hosted group"):
+            controller.tree(gid)
+
+    def test_apply_workload_is_defensive(self, controller):
+        gid = controller.open_group(0, members=[5])
+        workload = GroupWorkload([
+            GroupEvent(0.0, 5, GroupAction.JOIN),   # already a member
+            GroupEvent(0.5, 0, GroupAction.JOIN),   # the source
+            GroupEvent(1.0, 8, GroupAction.JOIN),
+            GroupEvent(2.0, 9, GroupAction.LEAVE),  # never joined
+            GroupEvent(3.0, 8, GroupAction.LEAVE),
+        ])
+        assert controller.apply_workload(gid, workload) == 2
+        assert controller.tree(gid).members == frozenset({5})
+
+
+class TestFailureDispatch:
+    def on_tree_failure(self, controller, gid):
+        link = min(controller.tree(gid).tree_links())
+        return FailureSet.links(link)
+
+    def test_fail_returns_only_affected_groups(self, controller):
+        gids = open_spread(controller)
+        target = gids[0]
+        failures = self.on_tree_failure(controller, target)
+        affected = controller.fail(failures)
+        assert target in affected
+        assert affected == sorted(affected)
+        for gid in affected:
+            assert controller.tree(gid).affected_by(failures)
+        for gid in set(gids) - set(affected):
+            assert not controller.tree(gid).affected_by(failures)
+
+    def test_empty_failure_is_a_noop_dispatch(self, controller):
+        open_spread(controller)
+        assert controller.fail(FailureSet()) == []
+        dispatch = controller.restore()
+        assert dispatch.rows == ()
+        assert dispatch.affected == 0
+
+    def test_restore_without_fail_raises(self, controller):
+        open_spread(controller)
+        with pytest.raises(ConfigurationError, match="nothing to restore"):
+            controller.restore()
+
+    def test_restore_consumes_the_pending_failure(self, controller):
+        gids = open_spread(controller)
+        controller.fail(self.on_tree_failure(controller, gids[0]))
+        controller.restore()
+        with pytest.raises(ConfigurationError, match="nothing to restore"):
+            controller.restore()
+
+    def test_one_pass_restores_every_affected_group(self, controller):
+        gids = open_spread(controller)
+        failures = self.on_tree_failure(controller, gids[0])
+        affected = controller.fail(failures)
+        dispatch = controller.restore()
+        assert [((r.source, r.group)) for r in dispatch.rows] == affected
+        for row in dispatch.rows:
+            # some cut members ride home on another member's detour
+            # (already_connected) — they count as affected, not restored
+            assert row.affected >= row.restored + row.unrecoverable
+            tree = controller.tree((row.source, row.group))
+            # repaired trees no longer traverse the failed link
+            assert not tree.affected_by(failures)
+        assert failures.describe() in dispatch.describe()
+
+    def test_restore_accepts_inline_failures(self, controller):
+        gids = open_spread(controller)
+        failures = self.on_tree_failure(controller, gids[0])
+        dispatch = controller.restore(failures)
+        assert dispatch.affected >= 1
+
+    def test_closed_groups_leave_the_index(self, controller):
+        gids = open_spread(controller)
+        failures = self.on_tree_failure(controller, gids[0])
+        assert gids[0] in controller.fail(failures)
+        controller.restore()
+        controller.close_group(gids[0])
+        assert gids[0] not in controller.fail(failures)
+
+    def test_node_failure_dispatch(self, controller):
+        gid = controller.open_group(0, members=[5, 9, 14])
+        relay = next(
+            node
+            for node in controller.tree(gid).on_tree_nodes()
+            if node != 0
+        )
+        affected = controller.fail(FailureSet.nodes(relay))
+        assert gid in affected
+
+    def test_telemetry_record_per_restored_group(self, waxman50):
+        hub = RecordingHub()
+        controller = MulticastController(waxman50, telemetry=hub)
+        gids = open_spread(controller)
+        dispatch = controller.restore(
+            self.on_tree_failure(controller, gids[0])
+        )
+        restores = [r for r in hub.records if r["kind"] == "group.restore"]
+        assert len(restores) == dispatch.affected
+        assert restores[0]["group"] == (
+            f"{dispatch.rows[0].source}:{dispatch.rows[0].group}"
+        )
+
+    def test_counters_and_metrics_snapshot(self, waxman50):
+        obs = Observability()
+        controller = MulticastController(waxman50, obs=obs)
+        gids = open_spread(controller, count=4)
+        failures = self.on_tree_failure(controller, gids[0])
+        dispatch = controller.restore(failures)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["controller.groups_opened"] == 4
+        assert counters["controller.failures_dispatched"] == 1
+        assert counters["controller.groups_affected"] == dispatch.affected
+        assert counters["controller.members_restored"] == dispatch.restored
+        metrics = controller.metrics()
+        assert metrics["groups"] == 4
+        assert metrics["restorations"] == dispatch.affected
+        assert metrics["members"] == sum(
+            len(controller.tree(gid).members) for gid in gids
+        )

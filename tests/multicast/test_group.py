@@ -63,6 +63,58 @@ class TestWorkload:
             GroupWorkload.static_joins([1], spacing=0.0)
 
 
+class TestEventOrdering:
+    """Regression: direct construction must sort like add() does."""
+
+    def test_constructor_sorts_unsorted_events(self):
+        events = [
+            GroupEvent(5.0, 1, GroupAction.JOIN),
+            GroupEvent(1.0, 3, GroupAction.JOIN),
+            GroupEvent(2.0, 2, GroupAction.JOIN),
+        ]
+        direct = GroupWorkload(events)
+        incremental = GroupWorkload()
+        for event in [
+            GroupEvent(5.0, 1, GroupAction.JOIN),
+            GroupEvent(1.0, 3, GroupAction.JOIN),
+            GroupEvent(2.0, 2, GroupAction.JOIN),
+        ]:
+            incremental.add(event)
+        assert direct.events == incremental.events
+        assert [e.time for e in direct] == [1.0, 2.0, 5.0]
+
+    def test_members_at_with_unsorted_construction(self):
+        # Before the constructor sorted, an out-of-order list broke
+        # members_at's early-exit scan: the 1.0 join hid behind the 3.0
+        # leave and members_at(2.0) wrongly came back empty.
+        direct = GroupWorkload([
+            GroupEvent(3.0, 7, GroupAction.LEAVE),
+            GroupEvent(1.0, 7, GroupAction.JOIN),
+        ])
+        assert direct.members_at(2.0) == {7}
+        assert direct.members_at(4.0) == set()
+
+    def test_simultaneous_events_canonical_order(self):
+        # Same instant: member id breaks the tie, then join sorts before
+        # leave — a node joining and leaving at t deterministically ends
+        # up out of the group, whatever the recording order.
+        forward = GroupWorkload([
+            GroupEvent(2.0, 9, GroupAction.JOIN),
+            GroupEvent(2.0, 9, GroupAction.LEAVE),
+            GroupEvent(2.0, 4, GroupAction.JOIN),
+        ])
+        backward = GroupWorkload([
+            GroupEvent(2.0, 9, GroupAction.LEAVE),
+            GroupEvent(2.0, 4, GroupAction.JOIN),
+            GroupEvent(2.0, 9, GroupAction.JOIN),
+        ])
+        assert forward.events == backward.events
+        assert forward.members_at(2.0) == {4}
+        assert [(e.node, e.action.value) for e in forward] == [
+            (4, "join"), (9, "join"), (9, "leave"),
+        ]
+
+
 class TestChurn:
     def test_events_within_duration(self, waxman50):
         rng = np.random.default_rng(4)

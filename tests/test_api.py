@@ -4,12 +4,17 @@ import warnings
 
 import pytest
 
+import repro.api as api
 from repro.api import (
     ExperimentSpec,
     ScenarioConfig,
     SerialExecutor,
+    ServiceSpec,
+    Session,
     build_figure,
+    open_session,
     run_scenario,
+    run_service,
     run_sweep,
 )
 from repro.errors import ConfigurationError
@@ -86,11 +91,82 @@ class TestBuildFigure:
             build_figure(11)
 
 
+class TestSession:
+    SERVICE = ServiceSpec(n=50, groups=6, sources=3, shard_size=3)
+
+    def test_context_manager_owns_its_executor(self):
+        with open_session() as session:
+            assert session.executor.kind == "serial"
+        assert "closed" in repr(session)
+
+    def test_supplied_executor_stays_open(self):
+        with SerialExecutor() as ex:
+            session = open_session(executor=ex)
+            session.close()
+            ex.map_scenarios([])  # still usable: the caller owns it
+
+    def test_executor_conflicts_use_shared_rules(self):
+        with SerialExecutor() as ex:
+            with pytest.raises(ConfigurationError, match="not both"):
+                open_session(executor=ex, jobs=2)
+
+    def test_service_verbs_host_live_groups(self, waxman50):
+        with open_session(waxman50) as session:
+            gid = session.open_group(0, members=[5, 9])
+            session.join(gid, 14)
+            session.leave(gid, 9)
+            assert session.metrics()["groups"] == 1
+            from repro.routing.failure_view import FailureSet
+
+            link = min(session.controller.tree(gid).tree_links())
+            dispatch = session.restore(FailureSet.links(link))
+            assert dispatch.affected == 1
+
+    def test_topology_requires_spec_or_argument(self):
+        with open_session() as session:
+            with pytest.raises(ConfigurationError, match="no topology"):
+                session.topology
+
+    def test_spec_provides_topology_and_protocol(self):
+        with open_session(spec=self.SERVICE.to_dict()) as session:
+            assert session.spec == self.SERVICE
+            assert session.topology.has_node(0)
+            assert session.controller.protocol == "smrp"
+
+    def test_run_service_needs_a_spec(self):
+        with open_session() as session:
+            with pytest.raises(ConfigurationError, match="no service spec"):
+                session.run_service()
+
+    def test_run_service_matches_one_shot_verb(self):
+        one_shot = run_service(self.SERVICE)
+        with open_session(spec=self.SERVICE) as session:
+            via_session = session.run_service()
+        assert via_session.render_table() == one_shot.render_table()
+
+    def test_scenario_verbs_share_the_session_cache(self):
+        with open_session() as session:
+            first = session.run_scenario(n=24, group_size=5, alpha=0.5)
+            second = session.run_scenario(n=24, group_size=5, alpha=0.5)
+            assert first.summary() == second.summary()
+            assert session.cache.stats["topologies"]["hits"] >= 1
+
+    def test_public_surface_is_all(self):
+        exported = {
+            name for name in dir(api)
+            if not name.startswith("_") and name in api.__all__
+        }
+        assert exported == set(api.__all__)
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+
 class TestDeprecationShims:
     @pytest.mark.parametrize(
         "name",
         ["ScenarioConfig", "run_scenario", "run_sweep", "run_figure8",
-         "SweepPoint"],
+         "SweepPoint", "SubstrateCache", "make_executor", "ExecPolicy",
+         "CheckpointStore", "ResilientExecutor"],
     )
     def test_legacy_import_warns_and_resolves(self, name):
         import repro.experiments as experiments

@@ -472,3 +472,78 @@ class TestTrace:
         for episode in episodes:
             assert episode.origin == "des"
             assert validate_episode(episode) == []
+
+
+class TestController:
+    ARGS = [
+        "controller", "--n", "50", "--groups", "10", "--sources", "4",
+        "--shard-size", "4",
+    ]
+
+    def test_hosts_and_restores(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "hosted: 10 groups" in out
+        assert "worst restoration latency" in out
+
+    def test_serve_alias_sharded_matches_serial(self, capsys):
+        assert main(self.ARGS) == 0
+        serial = capsys.readouterr().out
+        assert main(["serve", *self.ARGS[1:], "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_spec_file_round_trips_the_flags(self, capsys, tmp_path):
+        from repro.controller import ServiceSpec
+
+        assert main(self.ARGS) == 0
+        from_flags = capsys.readouterr().out
+        path = str(tmp_path / "spec.json")
+        spec = ServiceSpec(n=50, groups=10, sources=4, shard_size=4)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(spec.to_json())
+        assert main(["controller", "--spec", path]) == 0
+        assert capsys.readouterr().out == from_flags
+
+    def test_spec_file_rejects_extra_flags(self, capsys, tmp_path):
+        path = str(tmp_path / "spec.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{}")
+        code = main(["controller", "--spec", path, "--groups", "7"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--spec replaces the whole service spec" in err
+        assert "--groups" in err
+
+    def test_missing_spec_file_is_exit_2(self, capsys):
+        assert main(["controller", "--spec", "/nope/spec.json"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_bad_spec_value_is_exit_2(self, capsys):
+        assert main(["controller", "--groups", "0"]) == 2
+        assert "repro: error" in capsys.readouterr().err
+
+    def test_bad_failure_mode_is_exit_2(self, capsys):
+        assert main([
+            "controller", "--n", "30", "--groups", "2", "--sources", "2",
+            "--failure", "link:999-998",
+        ]) == 2
+        assert "no link" in capsys.readouterr().err
+
+    def test_obs_out_report(self, capsys, tmp_path):
+        path = str(tmp_path / "controller.json")
+        assert main([*self.ARGS, "--obs-out", path]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", path]) == 0
+        out = capsys.readouterr().out
+        assert "controller.groups_opened" in out
+
+    def test_telemetry_flight_record_tails(self, capsys, tmp_path):
+        path = str(tmp_path / "flight.ndjson")
+        assert main([*self.ARGS, "--telemetry-out", path]) == 0
+        capsys.readouterr()
+        assert main(["obs", "tail", path]) == 0
+        assert "group.restore" in capsys.readouterr().out
+
+    def test_info_documents_the_controller(self, capsys):
+        assert main(["info"]) == 0
+        assert "repro.controller" in capsys.readouterr().out
