@@ -12,6 +12,7 @@ import pytest
 from repro.graph.waxman import WaxmanConfig, waxman_topology
 from repro.core.protocol import SMRPConfig, SMRPProtocol
 from repro.multicast.spf_protocol import SPFMulticastProtocol
+from repro.routing.batch import dijkstra_multi
 from repro.routing.spf import dijkstra
 from repro.sim.engine import Simulator
 
@@ -21,9 +22,23 @@ def topology100():
     return waxman_topology(WaxmanConfig(n=100, alpha=0.2, beta=0.25, seed=0)).topology
 
 
+@pytest.fixture(scope="module")
+def topology1000():
+    return waxman_topology(WaxmanConfig(n=1000, alpha=0.2, beta=0.25, seed=0)).topology
+
+
 def test_dijkstra_100_nodes(benchmark, topology100):
     result = benchmark(lambda: dijkstra(topology100, 0))
     assert len(result.dist) == 100
+
+
+def test_dijkstra_multi_1000_nodes(benchmark, topology1000):
+    """Controller-scale restoration batch: ~64 roots in one kernel call."""
+    roots = topology1000.nodes()[::16]
+    dijkstra_multi(topology1000, roots[:1])  # warm CSR + batch plan
+    result = benchmark(lambda: dijkstra_multi(topology1000, roots))
+    assert len(result) == len(roots)
+    assert len(result.paths(roots[0]).dist) >= 1
 
 
 def test_waxman_generation(benchmark):

@@ -27,6 +27,7 @@ between failures costs nothing extra.
 
 from __future__ import annotations
 
+import os
 from dataclasses import asdict, dataclass
 
 from repro.core.protocol import SMRPConfig, SMRPProtocol
@@ -44,6 +45,21 @@ GroupId = tuple
 
 #: Protocol engines the controller can host, by spec name.
 _ENGINES = ("smrp", "spf")
+
+
+def _batch_restore_default() -> bool:
+    """Resolve the ``REPRO_BATCH_RESTORE`` environment toggle (default on).
+
+    An environment variable rather than a spec field so existing
+    :class:`~repro.controller.spec.ServiceSpec` content keys (and the
+    checkpoints hashed from them) are untouched — batching changes how
+    many kernel runs a restoration takes, never its result, and the
+    variable is inherited by pool workers so sharded runs follow suit.
+    """
+    value = os.environ.get("REPRO_BATCH_RESTORE")
+    if value is None:
+        return True
+    return value.strip().lower() not in ("0", "false", "no", "off", "")
 
 
 @dataclass(frozen=True)
@@ -142,6 +158,17 @@ class MulticastController:
         Optional :class:`~repro.obs.live.TelemetryHub`; each restored
         group publishes one ``group.restore`` record.  Observe-only:
         results are identical with or without a hub.
+    batch_restoration:
+        When True (the default; overridable via the
+        ``REPRO_BATCH_RESTORE`` environment variable), a failure
+        dispatch buckets every affected session's disconnected members
+        by ``(weight, failure set)`` and pre-computes their post-failure
+        SPF state with one multi-root kernel run per bucket
+        (:meth:`~repro.routing.route_cache.RouteCache.warm_batch` on the
+        shared route cache).  The per-group repairs then consume warmed,
+        byte-identical entries instead of issuing one scalar kernel run
+        per member — :class:`GroupRestoration` rows are identical either
+        way (CI diffs them for real).
     """
 
     def __init__(
@@ -154,6 +181,7 @@ class MulticastController:
         convergence: ConvergenceModel | None = None,
         obs: Observability | None = None,
         telemetry=None,
+        batch_restoration: bool | None = None,
     ) -> None:
         if protocol not in _ENGINES:
             raise ConfigurationError(
@@ -166,6 +194,11 @@ class MulticastController:
         self.convergence = convergence
         self.obs = obs if obs is not None else NULL_OBS
         self.telemetry = telemetry
+        self.batch_restoration = (
+            _batch_restore_default()
+            if batch_restoration is None
+            else bool(batch_restoration)
+        )
         self._groups: dict[GroupId, _HostedGroup] = {}
         self._by_link: dict[Edge, set] = {}
         self._by_node: dict[NodeId, set] = {}
@@ -310,7 +343,14 @@ class MulticastController:
     def fail(self, failures: FailureSet) -> list[GroupId]:
         """Dispatch a failure event: one index pass finds every group
         whose tree it touches.  Returns the affected group ids (sorted)
-        and arms :meth:`restore`."""
+        and arms :meth:`restore`.
+
+        With ``batch_restoration`` on and a shared route cache present,
+        the dispatch also buckets every affected session's disconnected
+        members by ``(weight, failure set)`` and pre-computes their
+        post-failure SPF state — one multi-root kernel run per bucket —
+        so the armed :meth:`restore` repairs from warmed cache entries.
+        """
         if failures.is_empty:
             self._pending = (failures, [])
             return []
@@ -330,7 +370,57 @@ class MulticastController:
         self._last_checked = len(candidates)
         self.obs.counter("controller.failures_dispatched").inc()
         self.obs.counter("controller.groups_affected").inc(len(affected))
+        if affected:
+            self._warm_restoration_routes(failures, affected)
         return affected
+
+    def _warm_restoration_routes(self, failures: FailureSet, affected) -> None:
+        """One multi-root SPF per ``(weight, failure)`` bucket of members.
+
+        Every disconnected, still-alive member of every affected group
+        will need its post-failure SPF state during repair (the engines'
+        recovery paths all route ``weight="delay"`` lookups through the
+        shared :class:`~repro.routing.route_cache.RouteCache`); warming
+        those entries in one batched kernel run replaces one scalar run
+        per member.  Purely a kernel-scheduling change: warmed entries
+        are byte-identical, so the repairs and their
+        :class:`GroupRestoration` rows never differ from the per-group
+        path.  Skipped entirely when batching is off or no shared cache
+        exists (engines then fall back to per-member scalar runs).
+        """
+        if not self.batch_restoration or self.cache is None:
+            return
+        routes = getattr(self.cache, "routes", None)
+        if routes is None or not hasattr(routes, "warm_batch"):
+            return
+        with self.obs.span("controller.batch_warm"):
+            # All engine recovery lookups share this dispatch's failure
+            # set and route over delay, so today the bucketing yields a
+            # single (weight, failures) bucket; the shape is kept
+            # general for protocol families with per-group weights.
+            buckets: dict[str, list] = {}
+            seen: set = set()
+            for gid in affected:
+                tree = self._groups[gid].engine.tree
+                for member in tree.disconnected_members(failures):
+                    if member in seen or failures.node_failed(member):
+                        continue
+                    seen.add(member)
+                    buckets.setdefault("delay", []).append(member)
+            if not buckets:
+                return
+            self.obs.counter("controller.batch.buckets").inc(len(buckets))
+            warmed = 0
+            for weight, members in buckets.items():
+                self.obs.counter("controller.batch.bucket_size").inc(len(members))
+                warmed += routes.warm_batch(
+                    self.topology,
+                    members,
+                    weight=weight,
+                    failures=failures,
+                    obs=self.obs,
+                )
+            self.obs.counter("controller.batch.warmed").inc(warmed)
 
     def restore(self, failures: FailureSet | None = None) -> FailureDispatch:
         """Repair every affected group in one pass.

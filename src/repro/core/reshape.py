@@ -109,7 +109,7 @@ def _evaluate_reshape(
     assert upstream is not None
     # One linear pass yields every candidate's adjusted SHR (and the
     # current attachment's) instead of a quadratic per-merge-point walk.
-    table = adjusted_shr_table(tree, node)
+    table = adjusted_shr_table(tree, node, obs=obs)
     current_adjusted = table[upstream]
 
     subtree = tree.subtree_nodes(node)
@@ -126,6 +126,7 @@ def _evaluate_reshape(
         failures=failures,
         excluded_nodes=frozenset(subtree - {node}),
         mover=node,
+        obs=obs,
     )
     # Discard the degenerate candidate that re-selects the current
     # attachment through the same upstream link.

@@ -354,6 +354,10 @@ class MulticastTree:
     def __contains__(self, node: NodeId) -> bool:
         return node in self._parent
 
+    def __len__(self) -> int:
+        """Number of on-tree nodes (always ≥ 1: the source)."""
+        return len(self._parent)
+
     def __repr__(self) -> str:
         return (
             f"MulticastTree(source={self.source}, members={len(self._members)}, "

@@ -19,6 +19,7 @@ from __future__ import annotations
 #: Counter / gauge / histogram names, as passed to
 #: ``obs.counter(...)`` / ``obs.gauge(...)`` / ``obs.histogram(...)``.
 METRIC_NAMES: frozenset[str] = frozenset({
+    "cache.routes.batch_inserts",
     "cache.routes.evictions",
     "cache.routes.hit_rate",
     "cache.routes.hits",
@@ -27,6 +28,9 @@ METRIC_NAMES: frozenset[str] = frozenset({
     "cache.topology.evictions",
     "cache.topology.hit_rate",
     "cache.topology.size",
+    "controller.batch.bucket_size",
+    "controller.batch.buckets",
+    "controller.batch.warmed",
     "controller.failures_dispatched",
     "controller.groups_affected",
     "controller.groups_opened",
@@ -50,6 +54,12 @@ METRIC_NAMES: frozenset[str] = frozenset({
     "recovery.repair.members_restored",
     "recovery.repair.spf_runs",
     "recovery.repair.unrecoverable",
+    "routing.batch.calls",
+    "routing.batch.candidates_vectorized",
+    "routing.batch.roots",
+    "routing.batch.rounds",
+    "routing.batch.shr_calls",
+    "routing.batch.shr_vectorized",
     "routing.candidates.batched_searches",
     "routing.candidates.evaluated",
     "routing.kernel.barrier_calls",
@@ -88,6 +98,7 @@ METRIC_NAMES: frozenset[str] = frozenset({
 
 #: Span names, as passed to ``obs.span(...)`` / ``obs.spans.span(...)``.
 SPAN_NAMES: frozenset[str] = frozenset({
+    "controller.batch_warm",
     "controller.fail",
     "controller.restore",
     "demo.work",

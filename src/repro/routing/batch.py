@@ -1,0 +1,498 @@
+"""Multi-root SPF: one vectorized sweep over the CSR substrate.
+
+:func:`repro.routing.csr.csr_dijkstra` made a *single* source fast; a
+controller restoring hundreds of sessions after a regional failure, or a
+benchmark sweeping every source of a 1000-node topology, still pays one
+Python heap loop per root.  This module batches those runs: one
+:func:`csr_dijkstra_multi` call takes *all* the roots that share a
+``(topology state, weight, failure scenario)`` context and returns dense
+``(len(roots), n)`` distance/parent matrices plus per-root discovery
+orders, computed by a numpy-vectorized Bellman-Ford frontier sweep over
+the graph's incoming-CSR view (:meth:`~repro.routing.csr.CsrGraph.incoming`).
+The failure/barrier bitsets are compiled **once per call**, not per root.
+
+The sweep's data layout is chosen for memory behaviour, not elegance:
+candidate matrices are ``(arcs, roots)`` so the root axis is contiguous,
+node rows are *permuted into in-degree buckets*
+(:class:`_BatchPlan`) so every per-destination minimum is a plain
+``np.minimum.reduce`` over a dense ``(nodes_with_degree_d, d, roots)``
+reshape — no ``reduceat`` segment bookkeeping in the hot loop — and the
+round buffers are allocated once per chunk and reused.
+
+Bit-identity contract
+---------------------
+The scalar kernel remains the executable specification.  For every root
+the batch kernel reproduces, bit for bit:
+
+- **distances** — each ``dist[v]`` is the same IEEE-754 sum
+  ``dist[u] + w`` the scalar kernel settles with, accumulated along the
+  identical parent chain (numpy float64 addition *is* C-double
+  addition);
+- **parents** — recovered after the distance fixpoint in one
+  exact-equality pass: the final parent is the smallest predecessor
+  attaining ``dist[u] + w == dist[v]``, precisely where the scalar
+  heap's improve-then-tie-lowering sequence ends up (ties between
+  equal-length paths keep the smallest predecessor index, the
+  library-wide deterministic tie-break);
+- **first-discovery order** — the dict insertion order downstream
+  routing tables iterate.  The sweep has no heap, so the order is
+  *reconstructed* from the fixpoint.  The scalar heap pops entries in
+  lexicographic ``(dist, pushing-predecessor, node)`` order and every
+  tie-offering predecessor of ``v`` settles before ``v`` does (weights
+  are strictly positive), so ``v``'s first pop carries its *final*
+  parent: settle order is exactly ``sort by (dist, parent, node)``.
+  A node is *discovered* (appended to the order) by the first offer it
+  receives, i.e. by its earliest-settled in-neighbour whose arc is
+  usable and traversable (non-barrier, or the root itself); nodes
+  discovered by the same settling predecessor append in node-index
+  order because arc slices are pre-sorted.  Emitting root-first, then
+  ``sort by (discoverer settle rank, node)``, reproduces the heap's
+  insertion order without running it.
+
+The equivalence holds under the same *well-separated candidates*
+assumption the scalar epsilon tie-band (``1e-12``) already encodes:
+competing path lengths are either exactly equal (the common case —
+equal sums of identical floats) or separated by more than the band, and
+arc weights are strictly positive.  The hypothesis suite
+(``tests/properties/test_batch_equivalence``) asserts the full contract
+— distances, parents, and insertion order — against looped scalar runs
+on randomized topologies, failures, and barriers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graph.topology import NodeId, Topology
+from repro.routing.csr import INF, NO_PARENT, CsrGraph, compile_failures
+from repro.routing.failure_view import NO_FAILURES, FailureSet
+from repro.routing.spf import ShortestPaths, _check_args
+
+#: Cells (roots × arcs) per relaxation sweep; larger batches run in
+#: root-chunks so a 1000-root call never materializes the full candidate
+#: matrix at once.
+_CHUNK_CELLS = 4_000_000
+
+#: The scalar kernels' tie band: candidates within this of the incumbent
+#: distance are ties, resolved toward the smaller predecessor index.
+_EPS = 1e-12
+
+
+class _BatchPlan:
+    """Degree-bucketed relaxation layout for one compiled graph.
+
+    Node rows are permuted so all destinations with the same in-degree
+    are adjacent, and the incoming arcs are permuted to match; each
+    round's per-destination minimum then runs as one contiguous
+    ``minimum.reduce`` per distinct degree instead of a segmented
+    ``reduceat``.  Built once per :class:`CsrGraph` (cached on the
+    graph), independent of weights, failures, and barriers.
+    """
+
+    __slots__ = (
+        "n",
+        "num_arcs",
+        "node_order",
+        "pos_of",
+        "arc_perm",
+        "in_src_perm",
+        "src_pos_perm",
+        "dst_pos_perm",
+        "in_arc_perm",
+        "dst_node_perm",
+        "zero_rows",
+        "groups",
+    )
+
+    def __init__(self, csr: CsrGraph) -> None:
+        in_ptr, in_src, in_arc = csr.incoming()
+        n = csr.num_nodes
+        deg = np.diff(in_ptr)
+        self.n = n
+        self.num_arcs = int(in_src.shape[0])
+
+        # Rows sorted by (in-degree, node index); zero-degree rows first.
+        node_order = np.lexsort((np.arange(n), deg))
+        pos_of = np.empty(n, dtype=np.int64)
+        pos_of[node_order] = np.arange(n, dtype=np.int64)
+        self.node_order = node_order
+        self.pos_of = pos_of
+
+        # Arc positions regrouped to follow the row permutation.
+        lengths = deg[node_order]
+        starts = in_ptr[node_order]
+        ends = np.cumsum(lengths)
+        arc_perm = (
+            np.arange(self.num_arcs, dtype=np.int64)
+            - np.repeat(ends - lengths, lengths)
+            + np.repeat(starts, lengths)
+        )
+        self.arc_perm = arc_perm
+        self.in_src_perm = in_src[arc_perm]
+        self.src_pos_perm = pos_of[self.in_src_perm]
+        self.in_arc_perm = in_arc[arc_perm]
+        dst_rows = np.repeat(np.arange(n, dtype=np.int64), lengths)
+        self.dst_pos_perm = dst_rows
+        self.dst_node_perm = node_order[dst_rows]
+
+        self.zero_rows = int(np.count_nonzero(deg == 0))
+        # (degree, row_lo, row_hi, arc_lo, arc_hi) per distinct degree>0.
+        groups: list[tuple[int, int, int, int, int]] = []
+        sorted_deg = deg[node_order]
+        boundaries = np.nonzero(np.diff(sorted_deg))[0] + 1
+        row_edges = np.concatenate(([0], boundaries, [n]))
+        arc_edge = 0
+        for lo, hi in zip(row_edges[:-1], row_edges[1:]):
+            d = int(sorted_deg[lo])
+            if d == 0:
+                continue
+            count = int(hi - lo)
+            groups.append((d, int(lo), int(hi), arc_edge, arc_edge + count * d))
+            arc_edge += count * d
+        self.groups = groups
+
+    def segment_min(self, values: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Per-destination-row minimum of an ``(arcs, R)`` matrix."""
+        for d, rlo, rhi, alo, ahi in self.groups:
+            block = values[alo:ahi].reshape(rhi - rlo, d, values.shape[1])
+            np.minimum.reduce(block, axis=1, out=out[rlo:rhi])
+        return out
+
+
+def _plan_for(csr: CsrGraph) -> _BatchPlan:
+    plan = csr._batch_plan
+    if plan is None:
+        plan = _BatchPlan(csr)
+        csr._batch_plan = plan
+    return plan
+
+
+def _chunk_roots(num_roots: int, num_arcs: int) -> int:
+    """Roots per sweep chunk, bounding the candidate-matrix size."""
+    if num_roots <= 1 or num_arcs == 0:
+        return max(1, num_roots)
+    return max(1, min(num_roots, _CHUNK_CELLS // max(1, num_arcs)))
+
+
+def csr_dijkstra_multi(
+    csr: CsrGraph,
+    root_indices: Sequence[int],
+    weights,
+    mask: tuple[bytearray, bytearray] | None,
+    barriers: bytearray | None = None,
+) -> tuple[np.ndarray, np.ndarray, list[np.ndarray], int]:
+    """Shortest paths from many roots in one vectorized sweep.
+
+    Parameters mirror :func:`~repro.routing.csr.csr_dijkstra` with the
+    single root index replaced by a sequence; ``weights`` is the cached
+    array from :meth:`CsrGraph.weights` (any arc-indexed sequence
+    works).  Returns ``(dist, parent, orders, rounds)``: ``dist`` is
+    ``(len(roots), n)`` float64 (``inf`` when unreached), ``parent`` is
+    ``(len(roots), n)`` int64 (:data:`~repro.routing.csr.NO_PARENT` for
+    roots and unreached nodes), ``orders`` lists each root's node
+    indices in first-discovery order, and ``rounds`` counts relaxation
+    sweeps (for observability).
+
+    Dead roots are *not* special-cased, matching the scalar kernel: a
+    root marked in the failure bitset still gets ``dist 0`` and relaxes
+    its out-arcs (the :func:`dijkstra_multi` wrapper applies the public
+    dead-source semantics, exactly as :func:`~repro.routing.spf.dijkstra`
+    does for the scalar kernel).
+    """
+    n = csr.num_nodes
+    roots = np.asarray(list(root_indices), dtype=np.int64)
+    num_roots = roots.shape[0]
+    dist = np.full((num_roots, n), INF, dtype=np.float64)
+    parent = np.full((num_roots, n), NO_PARENT, dtype=np.int64)
+    if num_roots == 0 or n == 0:
+        return dist, parent, [], 0
+    dist[np.arange(num_roots), roots] = 0.0
+
+    plan = _plan_for(csr)
+    num_arcs = plan.num_arcs
+    if num_arcs == 0:
+        orders = [roots[r : r + 1].copy() for r in range(num_roots)]
+        return dist, parent, orders, 0
+
+    w = np.asarray(weights, dtype=np.float64)[plan.in_arc_perm]
+    if mask is not None:
+        node_dead, arc_blocked = mask
+        dead = np.frombuffer(bytes(node_dead), dtype=np.uint8).astype(bool)
+        blocked = np.frombuffer(bytes(arc_blocked), dtype=np.uint8).astype(bool)
+        # The scalar kernel skips arcs that are blocked or enter a dead
+        # node; arcs *leaving* a dead non-root node never fire because
+        # the node is never reached, and a dead root's out-arcs do fire.
+        w = np.where(blocked[plan.in_arc_perm] | dead[plan.dst_node_perm], INF, w)
+    barrier = None
+    if barriers is not None:
+        flags = np.frombuffer(bytes(barriers), dtype=np.uint8).astype(bool)
+        if flags.any():
+            barrier = flags
+
+    orders: list[np.ndarray] = []
+    total_rounds = 0
+    chunk = _chunk_roots(num_roots, num_arcs)
+    for lo in range(0, num_roots, chunk):
+        hi = min(num_roots, lo + chunk)
+        rounds, dist_plan, w_eff = _sweep_chunk(
+            plan, dist[lo:hi], parent[lo:hi], roots[lo:hi], w, barrier
+        )
+        total_rounds += rounds
+        orders.extend(
+            _discovery_orders(
+                plan, dist[lo:hi], parent[lo:hi], roots[lo:hi], dist_plan, w_eff
+            )
+        )
+    return dist, parent, orders, total_rounds
+
+
+def _effective_weights(
+    plan: _BatchPlan,
+    roots: np.ndarray,
+    w: np.ndarray,
+    barrier: np.ndarray | None,
+) -> np.ndarray:
+    """Per-arc offer weights, ``(arcs, 1)`` or ``(arcs, R)`` with barriers.
+
+    Barrier sources never offer (weight ``inf``) — except each root for
+    its own column, matching the scalar kernel's "the source itself is
+    always traversable" rule.
+    """
+    if barrier is None:
+        return w[:, None]
+    gag = barrier[plan.in_src_perm][:, None] & (
+        plan.in_src_perm[:, None] != roots[None, :]
+    )
+    return np.where(gag, INF, w[:, None])
+
+
+def _sweep_chunk(
+    plan: _BatchPlan,
+    dist_out: np.ndarray,
+    parent_out: np.ndarray,
+    roots: np.ndarray,
+    w: np.ndarray,
+    barrier: np.ndarray | None,
+) -> tuple[int, np.ndarray, np.ndarray]:
+    """Relax one root chunk to fixpoint.
+
+    Returns ``(rounds, dist_plan, w_eff)`` — the round count plus the
+    plan-space distance matrix and effective weights, which the
+    discovery-order reconstruction reuses.
+    """
+    num_roots = roots.shape[0]
+    n = plan.n
+    w_eff = _effective_weights(plan, roots, w, barrier)
+    src_pos = plan.src_pos_perm
+
+    dist = np.full((n, num_roots), INF, dtype=np.float64)
+    dist[plan.pos_of[roots], np.arange(num_roots)] = 0.0
+    best = np.empty((n, num_roots), dtype=np.float64)
+    best[: plan.zero_rows] = INF  # in-degree-0 rows: never offered
+
+    rounds = 0
+    while True:
+        rounds += 1
+        for d, rlo, rhi, alo, ahi in plan.groups:
+            cand = dist[src_pos[alo:ahi]]
+            cand += w_eff[alo:ahi]
+            np.minimum.reduce(
+                cand.reshape(rhi - rlo, d, num_roots), axis=1, out=best[rlo:rhi]
+            )
+        improve = best < dist - _EPS
+        if not improve.any():
+            break
+        np.copyto(dist, best, where=improve)
+
+    # Parent recovery from the fixpoint: the smallest predecessor
+    # attaining the settled distance exactly.  Roots keep NO_PARENT
+    # (positive weights: nothing sums to 0) and so do unreached rows
+    # (masked on finite distance).
+    sentinel = np.int64(n)
+    min_u = np.full((n, num_roots), sentinel)
+    for d, rlo, rhi, alo, ahi in plan.groups:
+        cand = dist[src_pos[alo:ahi]]
+        cand += w_eff[alo:ahi]
+        cand = cand.reshape(rhi - rlo, d, num_roots)
+        src_ids = plan.in_src_perm[alo:ahi].reshape(rhi - rlo, d)
+        offered = np.where(
+            cand == dist[rlo:rhi, None, :], src_ids[:, :, None], sentinel
+        )
+        np.minimum.reduce(offered, axis=1, out=min_u[rlo:rhi])
+    parent = np.where(
+        (min_u < sentinel) & (dist < INF), min_u, np.int64(NO_PARENT)
+    )
+
+    # Back to original row labels, root-major.
+    dist_out[...] = dist[plan.pos_of].T
+    parent_out[...] = parent[plan.pos_of].T
+    return rounds, dist, w_eff
+
+
+def _discovery_orders(
+    plan: _BatchPlan,
+    dist: np.ndarray,
+    parent: np.ndarray,
+    roots: np.ndarray,
+    dist_plan: np.ndarray,
+    w_eff: np.ndarray,
+) -> list[np.ndarray]:
+    """Reconstruct each root's first-discovery order from the fixpoint.
+
+    ``dist``/``parent`` are the chunk's root-major, original-label
+    matrices; ``dist_plan``/``w_eff`` are the sweep's plan-space
+    distance matrix and effective weights, reused for the in-neighbour
+    scan.
+    """
+    num_roots, n = dist.shape
+    # Settle order per root: (dist, final parent, node) — see module doc.
+    # lexsort is stable, so equal (dist, parent) cells keep column order
+    # and the node-index key is implicit.
+    perm = np.lexsort((parent, dist), axis=-1)
+    settle_rank = np.empty((num_roots, n), dtype=np.int64)
+    np.put_along_axis(
+        settle_rank,
+        perm,
+        np.broadcast_to(np.arange(n, dtype=np.int64), (num_roots, n)),
+        axis=1,
+    )
+
+    # A settled in-neighbour offers v iff its arc is usable and it may
+    # relax (non-barrier, or the column's own root); v's discoverer is
+    # the earliest such settler.  Ranks move to plan space with an extra
+    # sentinel row so unusable arcs and unreached sources gather rank n.
+    sentinel = np.int64(n)
+    rank_plan = np.empty((n + 1, num_roots), dtype=np.int64)
+    rank_plan[:n] = np.ascontiguousarray(settle_rank.T)[plan.node_order]
+    rank_plan[rank_plan.shape[0] - 1] = sentinel
+    np.copyto(rank_plan[:n], sentinel, where=dist_plan == INF)
+    if w_eff.shape[1] == 1:
+        src_idx = np.where(np.isfinite(w_eff[:, 0]), plan.src_pos_perm, np.int64(n))
+        src_rank = rank_plan[src_idx]
+    else:  # per-root barrier gags: mask after the gather
+        src_rank = np.where(
+            np.isfinite(w_eff), rank_plan[plan.src_pos_perm], sentinel
+        )
+    disc = np.full((n, num_roots), sentinel)
+    plan.segment_min(src_rank, out=disc)  # deg-0 rows keep the sentinel
+    # disc rows are in plan space; re-label to original node indices:
+    disc_rows = np.empty((n, num_roots), dtype=np.int64)
+    disc_rows[plan.node_order] = disc
+    disc = np.ascontiguousarray(disc_rows.T)  # (R, n), original labels
+
+    # Emit root-first, then reached nodes by (discoverer rank, node) —
+    # the stable argsort keeps column order on rank ties; unreached
+    # nodes keep the sentinel rank n and sort past the count.
+    disc[np.arange(num_roots), roots] = -1
+    counts = (dist < INF).sum(axis=1)
+    sorted_cols = np.argsort(disc, axis=1, kind="stable")
+    return [sorted_cols[r, : counts[r]] for r in range(num_roots)]
+
+
+class BatchShortestPaths:
+    """Per-root :class:`~repro.routing.spf.ShortestPaths` views over one
+    multi-root kernel result.
+
+    Materialization is lazy and cached per root; a materialized view is
+    bit-identical — values, types (builtin ``float``/ids, never numpy
+    scalars), and dict insertion order — to what the per-call
+    :func:`~repro.routing.spf.dijkstra` would have returned for the same
+    ``(topology state, weight, failures)`` context.  Roots that were
+    failed in the scenario yield the same empty result the scalar
+    wrapper produces for a dead source.
+    """
+
+    __slots__ = ("weight", "_csr", "_row_of", "_dist", "_parent", "_orders", "_views")
+
+    def __init__(
+        self,
+        csr: CsrGraph,
+        weight: str,
+        row_of: dict[NodeId, int | None],
+        dist: np.ndarray,
+        parent: np.ndarray,
+        orders: list[np.ndarray],
+    ) -> None:
+        self.weight = weight
+        self._csr = csr
+        self._row_of = row_of  # root id → matrix row (None: dead root)
+        self._dist = dist
+        self._parent = parent
+        self._orders = orders
+        self._views: dict[NodeId, ShortestPaths] = {}
+
+    @property
+    def roots(self) -> list[NodeId]:
+        return list(self._row_of)
+
+    def __contains__(self, root: NodeId) -> bool:
+        return root in self._row_of
+
+    def __len__(self) -> int:
+        return len(self._row_of)
+
+    def paths(self, root: NodeId) -> ShortestPaths:
+        """The materialized single-source result for ``root``."""
+        view = self._views.get(root)
+        if view is not None:
+            return view
+        row = self._row_of[root]  # KeyError for roots outside the batch
+        view = ShortestPaths(source=root)
+        if row is not None:
+            ids = self._csr.node_ids
+            dist = self._dist[row].tolist()
+            parent = self._parent[row].tolist()
+            rdist = view.dist
+            rparent = view.parent
+            for i in self._orders[row].tolist():
+                nid = ids[i]
+                rdist[nid] = dist[i]
+                p = parent[i]
+                rparent[nid] = None if p == NO_PARENT else ids[p]
+        self._views[root] = view
+        return view
+
+
+def dijkstra_multi(
+    topology: Topology,
+    roots: Iterable[NodeId],
+    weight: str = "delay",
+    failures: FailureSet = NO_FAILURES,
+    obs=None,
+) -> BatchShortestPaths:
+    """Single-call shortest paths from every root in ``roots``.
+
+    The batch analogue of :func:`~repro.routing.spf.dijkstra`: one
+    failure compile, one vectorized kernel invocation, identical
+    per-root results.  Failed roots yield empty results (the scalar
+    wrapper's dead-source semantics); duplicate roots collapse to one
+    kernel row.
+
+    ``obs`` accounts the call under ``routing.batch.calls`` /
+    ``routing.batch.roots`` / ``routing.batch.rounds``.
+    """
+    csr = topology.csr()
+    row_of: dict[NodeId, int | None] = {}
+    indices: list[int] = []
+    for root in roots:
+        if root in row_of:
+            continue
+        _check_args(topology, root, weight)
+        if failures.node_failed(root):
+            row_of[root] = None
+        else:
+            row_of[root] = len(indices)
+            indices.append(csr.index_of[root])
+    dist, parent, orders, rounds = csr_dijkstra_multi(
+        csr,
+        indices,
+        csr.weights(weight),
+        compile_failures(csr, failures),
+    )
+    if obs is not None:
+        obs.counter("routing.batch.calls").inc()
+        obs.counter("routing.batch.roots").inc(len(indices))
+        obs.counter("routing.batch.rounds").inc(rounds)
+    return BatchShortestPaths(csr, weight, row_of, dist, parent, orders)

@@ -84,6 +84,9 @@ class CsrGraph:
         "delay",
         "cost",
         "arcs_of_edge",
+        "_weight_arrays",
+        "_incoming",
+        "_batch_plan",
     )
 
     def __init__(self, topology: "Topology") -> None:
@@ -122,6 +125,12 @@ class CsrGraph:
         self.delay = delay
         self.cost = cost
         self.arcs_of_edge = arcs_of_edge
+        self._weight_arrays: dict[str, "object"] = {}
+        self._incoming = None
+        # Degree-bucketed relaxation plan, built lazily by
+        # repro.routing.batch the first time a multi-root kernel runs
+        # over this compiled graph.
+        self._batch_plan = None
 
     @property
     def num_nodes(self) -> int:
@@ -131,9 +140,61 @@ class CsrGraph:
     def num_arcs(self) -> int:
         return len(self.nbr)
 
-    def weights(self, weight: str) -> list[float]:
-        """The per-arc weight array for ``'delay'`` or ``'cost'``."""
+    def weight_list(self, weight: str) -> list[float]:
+        """The per-arc weight *list* for ``'delay'`` or ``'cost'``.
+
+        The scalar kernels index this with Python ints inside their heap
+        loop; keeping it a plain list keeps every distance a builtin
+        ``float`` (a numpy array would leak ``np.float64`` scalars into
+        the :class:`~repro.routing.spf.ShortestPaths` dicts and break
+        their JSON round-trip).
+        """
         return self.delay if weight == "delay" else self.cost
+
+    def weights(self, weight: str):
+        """The per-arc weight array for ``'delay'`` or ``'cost'``.
+
+        Returns a cached read-only ``numpy.float64`` array — built once
+        per weight name per compiled graph, not rebuilt on every call.
+        The batch kernels consume it directly; scalar callers that need
+        builtin floats use :meth:`weight_list`.
+        """
+        arr = self._weight_arrays.get(weight)
+        if arr is None:
+            import numpy as np
+
+            arr = np.asarray(self.weight_list(weight), dtype=np.float64)
+            arr.setflags(write=False)
+            self._weight_arrays[weight] = arr
+        return arr
+
+    def incoming(self):
+        """The graph's *incoming*-CSR view ``(in_ptr, in_src, in_arc)``.
+
+        Arcs regrouped by destination: positions ``in_ptr[v]:in_ptr[v+1]``
+        hold the arcs into node ``v``, with ``in_src`` the source index
+        (ascending within each segment, because the outgoing layout is
+        already sorted by ``(src, dst)``) and ``in_arc`` the arc's
+        position in the outgoing arrays (for weight/bitset lookups).
+        Built lazily, cached for the lifetime of the compiled graph;
+        this is the segment layout the multi-root kernel's
+        ``minimum.reduceat`` sweeps run over.
+        """
+        if self._incoming is None:
+            import numpy as np
+
+            n = self.num_nodes
+            dst = np.asarray(self.nbr, dtype=np.int64)
+            counts = np.diff(np.asarray(self.indptr, dtype=np.int64))
+            src = np.repeat(np.arange(n, dtype=np.int64), counts)
+            in_arc = np.lexsort((src, dst))
+            in_src = src[in_arc]
+            in_ptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(dst, minlength=n), out=in_ptr[1:])
+            for arr in (in_ptr, in_src, in_arc):
+                arr.setflags(write=False)
+            self._incoming = (in_ptr, in_src, in_arc)
+        return self._incoming
 
     def __repr__(self) -> str:
         return (

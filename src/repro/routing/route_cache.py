@@ -172,6 +172,83 @@ class RouteCache:
             obs.gauge("cache.routes.hit_rate").set(lru.hits / lookups)
         return paths
 
+    def warm_batch(
+        self,
+        topology: Topology,
+        roots,
+        weight: str = "delay",
+        failures: FailureSet = NO_FAILURES,
+        obs=None,
+    ) -> int:
+        """Insert absent entries for many roots from one multi-root kernel run.
+
+        The batch analogue of priming the cache with one
+        :meth:`shortest_paths` call per root: roots whose
+        ``(topology state, root, weight, failure scenario)`` entry is
+        already cached are skipped, single-element scenarios that a
+        cached failure-free baseline provably cannot be affected by are
+        answered by the same reuse proof the per-call path applies (the
+        shared baseline object is stored, so later hits are
+        indistinguishable), and everything left is computed by a single
+        :func:`~repro.routing.batch.dijkstra_multi` invocation.  Warmed
+        entries are byte-identical to what the per-call API would have
+        computed — the batch kernel's bit-identity contract — so
+        interleaving ``warm_batch`` with ``shortest_paths`` never changes
+        any returned path, only how many kernel runs it took.
+
+        Returns the number of entries inserted (reuse proofs included),
+        accounted under ``cache.routes.batch_inserts``; lookup hit/miss
+        counters are untouched (warming is not a caller-facing lookup).
+        """
+        from repro.routing.batch import dijkstra_multi
+
+        lru = self._lru
+        token = topology.cache_token()
+        fkey = _failure_key(failures)
+        pending: list[NodeId] = []
+        seen: set[NodeId] = set()
+        for root in roots:
+            if root in seen:
+                continue
+            seen.add(root)
+            if lru.peek((token, root, weight, fkey)) is None:
+                pending.append(root)
+        if not pending:
+            return 0
+
+        inserted = 0
+        evictions = 0
+        if fkey is not _NO_FAILURE_KEY:
+            remaining = []
+            for root in pending:
+                baseline = lru.peek((token, root, weight, _NO_FAILURE_KEY))
+                if baseline is not None and _provably_unaffected(
+                    baseline, failures
+                ):
+                    self._reuse_proofs += 1
+                    if obs is not None:
+                        obs.counter("cache.routes.reuse_proofs").inc()
+                    if lru.store((token, root, weight, fkey), baseline):
+                        evictions += 1
+                    inserted += 1
+                else:
+                    remaining.append(root)
+            pending = remaining
+        if pending:
+            batch = dijkstra_multi(
+                topology, pending, weight=weight, failures=failures, obs=obs
+            )
+            for root in pending:
+                if lru.store((token, root, weight, fkey), batch.paths(root)):
+                    evictions += 1
+                inserted += 1
+        if obs is not None:
+            obs.counter("cache.routes.batch_inserts").inc(inserted)
+            if evictions:
+                obs.counter("cache.routes.evictions").inc(evictions)
+            obs.gauge("cache.routes.size").set(len(lru))
+        return inserted
+
     @property
     def stats(self) -> dict[str, int]:
         return {

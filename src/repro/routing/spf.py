@@ -156,10 +156,46 @@ def dijkstra(
     dist, parent, order = csr_dijkstra(
         csr,
         csr.index_of[source],
-        csr.weights(weight),
+        csr.weight_list(weight),
         compile_failures(csr, failures),
     )
     return _to_shortest_paths(source, csr, dist, parent, order)
+
+
+def barrier_search_arrays(
+    topology: Topology,
+    source: NodeId,
+    barriers,
+    weight: str = "delay",
+    failures: FailureSet = NO_FAILURES,
+    obs=None,
+) -> tuple[CsrGraph, list[float] | None, list[int] | None, list[int] | None]:
+    """Raw kernel output of a barrier-constrained search.
+
+    Returns ``(csr, dist, parent, order)`` exactly as
+    :func:`~repro.routing.csr.csr_dijkstra_barriers` produced them —
+    flat index-addressed arrays, no dict materialization.  The vectorized
+    candidate scorer in :mod:`repro.core.candidates` consumes these
+    directly; :func:`dijkstra_with_barriers` is the dict-building wrapper
+    around this call.  A failed ``source`` short-circuits to
+    ``(csr, None, None, None)`` (the wrapper's empty-result semantics)
+    without running the kernel.
+    """
+    _check_args(topology, source, weight)
+    csr = topology.csr()
+    if failures.node_failed(source):
+        return csr, None, None, None
+    if obs is not None:
+        obs.counter("routing.kernel.barrier_calls").inc()
+    index_of = csr.index_of
+    dist, parent, order = csr_dijkstra_barriers(
+        csr,
+        index_of[source],
+        csr.weight_list(weight),
+        compile_failures(csr, failures),
+        (index_of[b] for b in barriers if b in index_of),
+    )
+    return csr, dist, parent, order
 
 
 def dijkstra_with_barriers(
@@ -185,20 +221,11 @@ def dijkstra_with_barriers(
     the batched candidate enumeration in :mod:`repro.core.candidates`
     a single-kernel operation.
     """
-    _check_args(topology, source, weight)
-    if failures.node_failed(source):
-        return ShortestPaths(source=source)
-    csr = topology.csr()
-    if obs is not None:
-        obs.counter("routing.kernel.barrier_calls").inc()
-    index_of = csr.index_of
-    dist, parent, order = csr_dijkstra_barriers(
-        csr,
-        index_of[source],
-        csr.weights(weight),
-        compile_failures(csr, failures),
-        (index_of[b] for b in barriers if b in index_of),
+    csr, dist, parent, order = barrier_search_arrays(
+        topology, source, barriers, weight=weight, failures=failures, obs=obs
     )
+    if dist is None:
+        return ShortestPaths(source=source)
     return _to_shortest_paths(source, csr, dist, parent, order)
 
 

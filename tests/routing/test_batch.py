@@ -1,0 +1,169 @@
+"""Unit tests for the multi-root batch kernel and cache warming.
+
+The property suite (``tests/properties/test_batch_equivalence``) carries
+the bit-identity contract; these tests pin the edge cases and the
+plumbing: dead/duplicate roots, empty batches, lazy view caching, obs
+accounting, and ``RouteCache.warm_batch`` semantics (peek-skip, reuse
+proofs, batch inserts, untouched hit/miss counters).
+"""
+
+import pytest
+
+from repro.graph.topology import Topology
+from repro.obs import Observability
+from repro.routing.batch import BatchShortestPaths, dijkstra_multi
+from repro.routing.failure_view import FailureSet
+from repro.routing.route_cache import RouteCache
+from repro.routing.spf import dijkstra
+
+
+def build(links, nodes=None) -> Topology:
+    topo = Topology("test")
+    seen = list(nodes) if nodes is not None else []
+    for u, v, *_ in links:
+        for n in (u, v):
+            if n not in seen:
+                seen.append(n)
+    for n in seen:
+        topo.add_node(n)
+    for u, v, delay in links:
+        topo.add_link(u, v, delay=delay)
+    return topo
+
+
+def diamond() -> Topology:
+    # 0→1→3 is the shortest route to 3; link (2, 3) is off that tree.
+    return build([(0, 1, 1.0), (1, 3, 1.0), (0, 2, 2.0), (2, 3, 2.0)])
+
+
+class TestDijkstraMulti:
+    def test_duplicate_roots_collapse_to_one_row(self):
+        topo = diamond()
+        batch = dijkstra_multi(topo, [0, 2, 0, 2, 0])
+        assert batch.roots == [0, 2]
+        assert len(batch) == 2
+        assert batch.paths(0).dist == dijkstra(topo, 0).dist
+
+    def test_dead_root_yields_empty_result(self):
+        topo = diamond()
+        failures = FailureSet.nodes(1)
+        batch = dijkstra_multi(topo, [0, 1], failures=failures)
+        dead = batch.paths(1)
+        assert dead.source == 1 and dead.dist == {} and dead.parent == {}
+        # Live roots still route around the failed node.
+        assert batch.paths(0).path_to(3) == [0, 2, 3]
+
+    def test_empty_roots(self):
+        batch = dijkstra_multi(diamond(), [])
+        assert batch.roots == [] and len(batch) == 0
+
+    def test_views_cached_and_lazy(self):
+        topo = diamond()
+        batch = dijkstra_multi(topo, [0, 2])
+        first = batch.paths(0)
+        assert batch.paths(0) is first
+        assert 2 in batch and 3 not in batch
+        with pytest.raises(KeyError):
+            batch.paths(3)  # not part of the batch
+
+    def test_unknown_root_raises(self):
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            dijkstra_multi(diamond(), [99])
+
+    def test_obs_accounting(self):
+        topo = diamond()
+        obs = Observability()
+        dijkstra_multi(topo, [0, 2, 0], obs=obs)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["routing.batch.calls"] == 1
+        assert counters["routing.batch.roots"] == 2  # dedup before count
+        assert counters["routing.batch.rounds"] >= 1
+
+    def test_isolated_node_topology(self):
+        topo = build([], nodes=[0, 1])
+        batch = dijkstra_multi(topo, [0, 1])
+        assert batch.paths(0).dist == {0: 0.0}
+        assert batch.paths(1).dist == {1: 0.0}
+
+    def test_result_type_is_batch(self):
+        assert isinstance(dijkstra_multi(diamond(), [0]), BatchShortestPaths)
+
+
+class TestWarmBatch:
+    def test_warmed_entries_served_as_hits(self):
+        topo = diamond()
+        cache = RouteCache()
+        inserted = cache.warm_batch(topo, [0, 2, 0])
+        assert inserted == 2  # deduped
+        a = cache.shortest_paths(topo, 0)
+        b = cache.shortest_paths(topo, 2)
+        assert a.dist == dijkstra(topo, 0).dist
+        assert b.dist == dijkstra(topo, 2).dist
+        # Warming itself is not a lookup; both lookups were hits.
+        assert cache.stats["hits"] == 2 and cache.stats["misses"] == 0
+
+    def test_existing_entries_skipped(self):
+        topo = diamond()
+        cache = RouteCache()
+        before = cache.shortest_paths(topo, 0)
+        assert cache.warm_batch(topo, [0]) == 0
+        assert cache.shortest_paths(topo, 0) is before
+
+    def test_warmed_identical_to_per_call(self):
+        topo = diamond()
+        failures = FailureSet.links((1, 3))
+        warmed = RouteCache()
+        warmed.warm_batch(topo, [0, 2], failures=failures)
+        plain = RouteCache()
+        for root in (0, 2):
+            got = warmed.shortest_paths(topo, root, failures=failures)
+            want = plain.shortest_paths(topo, root, failures=failures)
+            assert got.dist == want.dist and got.parent == want.parent
+            assert list(got.dist) == list(want.dist)
+
+    def test_reuse_proof_shares_cached_baseline(self):
+        topo = diamond()
+        cache = RouteCache()
+        baseline = cache.shortest_paths(topo, 0)
+        # (2, 3) is off the SPF tree from 0 — the warm path must apply
+        # the same reuse proof the per-call API does: no kernel run, the
+        # baseline object itself is stored under the scenario key.
+        inserted = cache.warm_batch(topo, [0], failures=FailureSet.links((2, 3)))
+        assert inserted == 1
+        assert cache.stats["reuse_proofs"] == 1
+        assert (
+            cache.shortest_paths(topo, 0, failures=FailureSet.links((2, 3)))
+            is baseline
+        )
+
+    def test_no_reuse_proof_without_cached_baseline(self):
+        topo = diamond()
+        cache = RouteCache()
+        obs = Observability()
+        # Cold cache: the proof needs a baseline, so the kernel runs.
+        cache.warm_batch(topo, [0], failures=FailureSet.links((2, 3)), obs=obs)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["routing.batch.calls"] == 1
+        assert counters["cache.routes.batch_inserts"] == 1
+        assert cache.stats["reuse_proofs"] == 0
+
+    def test_dead_roots_get_empty_entries(self):
+        topo = diamond()
+        cache = RouteCache()
+        failures = FailureSet.nodes(0)
+        assert cache.warm_batch(topo, [0, 2], failures=failures) == 2
+        dead = cache.shortest_paths(topo, 0, failures=failures)
+        assert dead.dist == {}
+        assert cache.stats["hits"] == 1
+
+    def test_obs_batch_inserts_counter(self):
+        topo = diamond()
+        cache = RouteCache()
+        obs = Observability()
+        cache.warm_batch(topo, [0, 1, 2], obs=obs)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["cache.routes.batch_inserts"] == 3
+        assert "cache.routes.hits" not in counters
+        assert "cache.routes.misses" not in counters
