@@ -110,6 +110,7 @@ _FIGURES = {
     "fig8": ("repro.experiments.fig8", "run_figure8"),
     "fig9": ("repro.experiments.fig9", "run_figure9"),
     "fig10": ("repro.experiments.fig10", "run_figure10"),
+    "protection": ("repro.experiments.figprotect", "run_protection_figure"),
 }
 
 #: Distinguishes "caller did not mention cache" (session builds one)

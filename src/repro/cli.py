@@ -18,6 +18,11 @@ Commands
     table.  The run is declarative (``--spec service.json`` or
     individual flags) and shards over the standard executors —
     ``--jobs 4`` output is byte-identical to serial output.
+``protection``
+    Run the protection-family figure: restoration latency, recovery
+    distance, and standing reserved state for local detour, global
+    detour, precomputed per-link backup trees, hybrid, and
+    alternate-path recovery across link failure rates.
 ``obs``
     Observability artifacts: ``report`` renders a captured run report,
     ``tail`` replays a telemetry flight record, ``export`` renders a run
@@ -200,8 +205,16 @@ def build_parser() -> argparse.ArgumentParser:
     controller.add_argument("--alpha", type=float, default=0.2)
     controller.add_argument("--topology-seed", type=int, default=0)
     controller.add_argument("--member-seed", type=int, default=0)
-    controller.add_argument("--protocol", choices=["smrp", "spf"],
-                            default="smrp")
+    controller.add_argument(
+        "--protocol",
+        choices=["smrp", "spf", "protection", "hybrid", "alternate"],
+        default="smrp",
+    )
+    controller.add_argument(
+        "--protect-budget", type=int, default=4, metavar="F",
+        help="protected-link budget for protection/hybrid groups "
+             "(backup trees precomputed for the F most-loaded tree links)",
+    )
     controller.add_argument("--d-thresh", type=float, default=0.3)
     controller.add_argument(
         "--workload", choices=["static", "poisson", "flash"],
@@ -221,6 +234,27 @@ def build_parser() -> argparse.ArgumentParser:
     controller.add_argument("--trace-out", metavar="PATH",
                             help="write causal restoration episodes (NDJSON)")
     _add_executor_args(controller)
+
+    protection = sub.add_parser(
+        "protection",
+        help="protection-family figure: reactive vs precomputed recovery",
+    )
+    protection.add_argument("--quick", action="store_true",
+                            help="reduced grid (2x1 scenarios, 2 trials)")
+    protection.add_argument(
+        "--budget", type=int, default=4, metavar="F",
+        help="protected-link budget for the backup/hybrid modes",
+    )
+    protection.add_argument(
+        "--rates", type=float, nargs="+", metavar="R",
+        help="link failure rates to sweep (default 0.02 0.05 0.1; "
+             "quick mode defaults to 0.02 0.1)",
+    )
+    protection.add_argument("--obs-out", metavar="PATH",
+                            help="write an observability run report (JSON)")
+    protection.add_argument("--trace-out", metavar="PATH",
+                            help="write causal restoration episodes (NDJSON)")
+    _add_executor_args(protection)
 
     obs = sub.add_parser("obs", help="observability run artifacts")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -314,6 +348,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "controller": _cmd_controller,
         "serve": _cmd_controller,
+        "protection": _cmd_protection,
         "obs": _cmd_obs,
         "trace": _cmd_trace,
         "info": _cmd_info,
@@ -668,6 +703,7 @@ _CONTROLLER_SPEC_FLAGS = {
     "workload": "static",
     "failure": "auto",
     "shard_size": 50,
+    "protect_budget": 4,
 }
 
 
@@ -724,6 +760,46 @@ def _cmd_controller(args: argparse.Namespace) -> int:
         "command": "controller",
         "spec": spec.describe(),
         "key": spec.content_key(),
+        "executor": executor.kind,
+        "jobs": args.jobs,
+    })
+    _write_trace_out(args, obs)
+    return 0
+
+
+def _cmd_protection(args: argparse.Namespace) -> int:
+    from repro.experiments.figprotect import run_protection_figure
+
+    obs = _make_obs(args)
+    telemetry = _make_telemetry(args)
+    executor = _make_executor(args, telemetry=telemetry)
+    if args.quick:
+        kwargs = {
+            "rates": (0.02, 0.1),
+            "n": 40,
+            "group_size": 8,
+            "topologies": 2,
+            "member_sets": 1,
+            "trials": 2,
+        }
+    else:
+        kwargs = {}
+    if args.rates:
+        kwargs["rates"] = tuple(args.rates)
+    try:
+        with executor:
+            result = run_protection_figure(
+                budget=args.budget, obs=obs, executor=executor, **kwargs
+            )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    print("--- Protection family: reactive vs precomputed recovery ---")
+    print(result.render())
+    _write_obs_report(args, obs, {
+        "command": "protection",
+        "quick": bool(args.quick),
+        "budget": args.budget,
         "executor": executor.kind,
         "jobs": args.jobs,
     })

@@ -3,9 +3,13 @@
 A :class:`MulticastController` hosts many concurrent ``(source, group)``
 multicast sessions over one shared topology — the service setting the
 paper's per-tree machinery is built for.  Each hosted group owns a full
-protocol engine (:class:`~repro.core.protocol.SMRPProtocol` or the
-:class:`~repro.multicast.spf_protocol.SPFMulticastProtocol` baseline)
-with its own tree and SHR state; the controller contributes what the
+protocol engine — :class:`~repro.core.protocol.SMRPProtocol`, the
+:class:`~repro.multicast.spf_protocol.SPFMulticastProtocol` baseline, or
+one of the protection family
+(:class:`~repro.multicast.backup_trees.BackupTreeProtocol` in
+``protection``/``hybrid`` mode,
+:class:`~repro.multicast.backup_trees.AlternatePathProtocol`) — with its
+own tree and standing state; the controller contributes what the
 engines cannot do alone:
 
 - a **group registry** with join/leave/workload verbs addressed by
@@ -34,6 +38,11 @@ from repro.core.protocol import SMRPConfig, SMRPProtocol
 from repro.core.recovery import estimate_restoration_latency
 from repro.errors import ConfigurationError
 from repro.graph.topology import Edge, NodeId, Topology, edge_key
+from repro.multicast.backup_trees import (
+    DEFAULT_BUDGET,
+    AlternatePathProtocol,
+    BackupTreeProtocol,
+)
 from repro.multicast.group import GroupAction, GroupWorkload
 from repro.multicast.spf_protocol import SPFMulticastProtocol
 from repro.obs import NULL_OBS, Observability
@@ -44,7 +53,7 @@ from repro.routing.link_state import ConvergenceModel
 GroupId = tuple
 
 #: Protocol engines the controller can host, by spec name.
-_ENGINES = ("smrp", "spf")
+_ENGINES = ("smrp", "spf", "protection", "hybrid", "alternate")
 
 
 def _batch_restore_default() -> bool:
@@ -143,10 +152,18 @@ class MulticastController:
     topology:
         The shared substrate every hosted tree lives on.
     protocol:
-        Default engine for new groups: ``"smrp"`` or ``"spf"``.
+        Default engine for new groups: ``"smrp"``, ``"spf"``,
+        ``"protection"`` (SPF + per-link backup trees), ``"hybrid"``
+        (SMRP + per-link backup trees), or ``"alternate"`` (SPF +
+        precomputed single-failure alternate routes).
     smrp_config:
         Shared :class:`~repro.core.protocol.SMRPConfig` for SMRP groups
-        (``self_check`` off by default at service scale).
+        (``self_check`` off by default at service scale); also the inner
+        config of ``hybrid`` groups.
+    protect_budget:
+        Protected-link budget ``F`` for ``protection``/``hybrid``
+        groups — the top-``F`` most-loaded tree links get a precomputed
+        backup tree each.
     cache:
         Optional :class:`~repro.experiments.exec.cache.SubstrateCache`;
         its route cache is shared by every hosted engine, so the
@@ -177,6 +194,7 @@ class MulticastController:
         *,
         protocol: str = "smrp",
         smrp_config: SMRPConfig | None = None,
+        protect_budget: int = DEFAULT_BUDGET,
         cache=None,
         convergence: ConvergenceModel | None = None,
         obs: Observability | None = None,
@@ -187,9 +205,14 @@ class MulticastController:
             raise ConfigurationError(
                 f"unknown protocol {protocol!r}; expected one of {_ENGINES}"
             )
+        if protect_budget < 0:
+            raise ConfigurationError(
+                f"protect_budget must be >= 0, got {protect_budget}"
+            )
         self.topology = topology
         self.protocol = protocol
         self.smrp_config = smrp_config or SMRPConfig(self_check=False)
+        self.protect_budget = protect_budget
         self.cache = cache
         self.convergence = convergence
         self.obs = obs if obs is not None else NULL_OBS
@@ -258,6 +281,23 @@ class MulticastController:
                 config=self.smrp_config,
                 obs=self.obs,
                 route_cache=routes,
+            )
+        elif kind in ("protection", "hybrid"):
+            engine = BackupTreeProtocol(
+                self.topology,
+                source,
+                mode=kind,
+                budget=self.protect_budget,
+                smrp_config=self.smrp_config,
+                route_cache=routes,
+                obs=self.obs,
+            )
+        elif kind == "alternate":
+            engine = AlternatePathProtocol(
+                self.topology,
+                source,
+                route_cache=routes,
+                obs=self.obs,
             )
         else:
             engine = SPFMulticastProtocol(

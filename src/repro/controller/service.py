@@ -99,6 +99,7 @@ class ServiceShard:
                 reshape_enabled=spec.reshape_enabled,
                 self_check=False,
             ),
+            protect_budget=spec.protect_budget,
             cache=cache,
             obs=obs,
         )

@@ -30,7 +30,7 @@ from repro.routing.failure_view import NO_FAILURES, FailureSet
 from repro.routing.spf import dijkstra
 
 #: Group-population protocols the controller can host.
-PROTOCOLS = ("smrp", "spf")
+PROTOCOLS = ("smrp", "spf", "protection", "hybrid", "alternate")
 
 #: Membership workload shapes (see :mod:`repro.controller.workload`).
 WORKLOADS = ("static", "poisson", "flash")
@@ -62,10 +62,16 @@ class ServiceSpec:
         churn); a group's randomness derives from
         ``(member_seed, topology_seed, group index)`` only.
     protocol:
-        ``"smrp"`` (local-detour restoration) or ``"spf"`` (the
-        PIM/MOSPF global-detour baseline) for every hosted group.
+        ``"smrp"`` (local-detour restoration), ``"spf"`` (the PIM/MOSPF
+        global-detour baseline), ``"protection"`` (SPF + per-link
+        backup trees), ``"hybrid"`` (SMRP + per-link backup trees), or
+        ``"alternate"`` (SPF + precomputed single-failure alternate
+        routes) for every hosted group.
     d_thresh, reshape_enabled:
         SMRP parameters (ignored by the SPF baseline).
+    protect_budget:
+        Protected-link budget ``F`` of the ``protection``/``hybrid``
+        engines (ignored by the others).
     workload:
         ``"static"`` — members join once; ``"poisson"`` — Poisson
         arrivals with exponential holding times; ``"flash"`` — a static
@@ -100,6 +106,7 @@ class ServiceSpec:
     protocol: str = "smrp"
     d_thresh: float = 0.3
     reshape_enabled: bool = True
+    protect_budget: int = 4
     workload: str = "static"
     churn_duration: float = 200.0
     mean_holding_time: float = 120.0
@@ -141,6 +148,10 @@ class ServiceSpec:
             )
         if self.d_thresh < 0:
             raise ConfigurationError(f"d_thresh must be >= 0, got {self.d_thresh}")
+        if self.protect_budget < 0:
+            raise ConfigurationError(
+                f"protect_budget must be >= 0, got {self.protect_budget}"
+            )
         if self.workload not in WORKLOADS:
             raise ConfigurationError(
                 f"unknown workload {self.workload!r}; expected one of {WORKLOADS}"

@@ -258,15 +258,21 @@ def estimate_restoration_latency(
       over the restoration path (round trip: request out, data back).
     - Global detour: the member's unicast table must re-converge first
       (§1, [25]); then the re-join propagates the same way.
+    - Precomputed strategies (``"alternate"`` re-joins over a
+      pre-established single-failure route; ``"backup"`` switches to a
+      pre-installed tree) skip the re-convergence wait exactly like the
+      local detour — only ``"global"`` pays it.  A backup switchover's
+      recovery distance is zero, so its latency collapses to the
+      detection delay alone.
 
     The latency model deliberately keeps the same detection delay for
-    both strategies so the comparison isolates what the paper argues:
+    every strategy so the comparison isolates what the paper argues:
     the *re-convergence wait* and the *longer restoration path* are the
     global detour's handicap.
     """
     model = convergence or ConvergenceModel()
     signaling = 2.0 * signaling_delay_factor * result.recovery_distance
-    if result.strategy == "local":
+    if result.strategy != "global":
         return model.detection_delay + signaling
     times = model.convergence_times(topology, failures)
     member_ready = times.get(result.member, model.detection_delay)
@@ -311,7 +317,7 @@ def _trace_recovery_episode(
         0.0,
         outcome="already_connected" if result.already_connected else "restored",
     )
-    if result.strategy == "local":
+    if result.strategy != "global":
         ready = model.detection_delay
         episode.add("detect", result.member, 0.0, ready,
                     payload={"detection_delay": model.detection_delay})
@@ -540,6 +546,16 @@ def repair_tree(
         obs.counter("recovery.repair.members_restored").inc(len(report.recoveries))
         obs.counter("recovery.repair.unrecoverable").inc(len(report.unrecoverable))
     return report
+
+
+def surviving_subtree(tree: MulticastTree, failures: FailureSet) -> MulticastTree:
+    """Copy of ``tree`` restricted to the component still fed by the source.
+
+    Public entry point for protocol families that assemble their own
+    repairs (the alternate-path engine grafts precomputed routes onto
+    this) — identical to what :func:`repair_tree` starts from.
+    """
+    return _surviving_subtree(tree, failures)
 
 
 def _surviving_subtree(tree: MulticastTree, failures: FailureSet) -> MulticastTree:

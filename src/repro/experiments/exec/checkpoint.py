@@ -46,6 +46,7 @@ RESULTS_FILENAME = "results.jsonl"
 RESULT_TYPES = {
     "scenario": ("repro.experiments.runner", "ScenarioResult"),
     "service_shard": ("repro.controller.service", "ShardResult"),
+    "protection_point": ("repro.experiments.figprotect", "ProtectionPointResult"),
 }
 
 

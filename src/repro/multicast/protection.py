@@ -76,9 +76,16 @@ class ProtectionStats:
 
     @property
     def protection_premium(self) -> float:
-        """Reserved cost relative to the working (primary) cost."""
+        """Reserved cost relative to the working (primary) cost.
+
+        A zero working cost with a nonzero reservation is an *infinite*
+        premium (everything reserved carries nothing): reporting ``0.0``
+        there would silently hide the standing reservation.  Only the
+        truly empty session (nothing working, nothing reserved) has a
+        zero premium.
+        """
         if self.working_cost <= 0:
-            return 0.0
+            return float("inf") if self.reserved_cost > 0 else 0.0
         return (self.reserved_cost - self.working_cost) / self.working_cost
 
 
@@ -98,7 +105,14 @@ class ProtectedMulticast:
         self.members: dict[NodeId, ProtectedMember] = {}
 
     def join(self, member: NodeId) -> ProtectedMember:
-        """Reserve a protected (or, failing that, unprotected) connection."""
+        """Reserve a protected (or, failing that, unprotected) connection.
+
+        Both arms share one determinism convention: the disjoint pair
+        breaks equal-delay ties by reversed node sequence (dijkstra's
+        smaller-predecessor-id rule), and the bridge-member fallback is
+        the scalar dijkstra path itself — so the primary never depends
+        on which arm produced it.
+        """
         if member in self.members:
             raise AlreadyMemberError(member)
         try:
@@ -166,13 +180,18 @@ class ProtectedMulticast:
                 outcome[member] = False
         return outcome
 
-    def switchover_delay_penalty(self, member: NodeId) -> float:
-        """Extra end-to-end delay when running on the backup path."""
+    def switchover_delay_penalty(self, member: NodeId) -> float | None:
+        """Extra end-to-end delay when running on the backup path.
+
+        Returns ``None`` for an unprotected (bridge) member: it has no
+        backup to switch to, which is a different situation from a
+        backup of equal delay — ``0.0`` would conflate the two.
+        """
         state = self.members.get(member)
         if state is None:
             raise NotMemberError(member)
         if state.backup is None:
-            return 0.0
+            return None
         return self.topology.path_delay(list(state.backup)) - self.topology.path_delay(
             list(state.primary)
         )

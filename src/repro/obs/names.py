@@ -43,6 +43,14 @@ METRIC_NAMES: frozenset[str] = frozenset({
     "exec.retries",
     "exec.scenarios",
     "exec.worker_reports_merged",
+    "protection.alternate.hits",
+    "protection.alternate.misses",
+    "protection.alternate.routes",
+    "protection.alternate.tables",
+    "protection.backups_built",
+    "protection.fallbacks",
+    "protection.standing_links",
+    "protection.switchovers",
     "recovery.global.already_connected",
     "recovery.global.attempts",
     "recovery.global.hops",
@@ -105,6 +113,7 @@ SPAN_NAMES: frozenset[str] = frozenset({
     "fault.injected_hang",
     "inner",
     "outer",
+    "protection.switchover",
     "recovery.repair_tree",
     "scenario.build.smrp",
     "scenario.build.spf",

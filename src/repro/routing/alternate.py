@@ -1,0 +1,158 @@
+"""Precomputed single-failure alternate paths (Bhosle–Gonzalez).
+
+The RouteCache already leans on the Bhosle–Gonzalez single-failure
+result *negatively*: a baseline shortest path provably survives a
+failure that touches none of its arcs (`_provably_unaffected`).  This
+module uses the same result *positively*: for every link on a node
+pair's shortest path, precompute the replacement shortest path that
+avoids it.  A single link failure then resolves by table lookup — no
+re-convergence wait, no post-failure search — which is what promotes
+the alternate-path idea from a cache reuse proof to a first-class
+recovery strategy (see
+:class:`~repro.multicast.backup_trees.AlternatePathProtocol`).
+
+The table is rooted at the *member* and targets the source, matching
+the direction PIM-style joins travel; a recovery re-joins over the
+precomputed route and grafts at the first surviving on-tree node it
+meets, exactly like a global detour minus the convergence wait.
+
+Determinism: every path here comes out of the scalar
+:func:`~repro.routing.spf.dijkstra` (smaller-predecessor-id
+tie-break), optionally through a failure-aware
+:class:`~repro.routing.route_cache.RouteCache`, so tables are
+byte-identical however they are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.topology import Edge, NodeId, Topology, edge_key
+from repro.obs import NULL_OBS
+from repro.routing.failure_view import NO_FAILURES, FailureSet
+from repro.routing.spf import dijkstra
+
+
+@dataclass(frozen=True)
+class AlternateRoute:
+    """The precomputed replacement for one failed primary link.
+
+    ``path`` is ``None`` when removing ``failed_link`` disconnects the
+    endpoints — the link is a bridge and no alternate exists.
+    """
+
+    failed_link: Edge
+    path: tuple[NodeId, ...] | None
+    delay: float | None
+
+
+@dataclass(frozen=True)
+class AlternateRouteTable:
+    """Single-failure alternate routes for one ``root → target`` pair.
+
+    ``primary`` is the failure-free shortest path; ``routes`` maps each
+    primary link to the shortest path that avoids it.  Links *off* the
+    primary need no entry: their failure provably leaves the primary
+    intact (the Bhosle–Gonzalez observation the RouteCache reuse proofs
+    are built on).
+    """
+
+    root: NodeId
+    target: NodeId
+    primary: tuple[NodeId, ...]
+    routes: dict[Edge, AlternateRoute] = field(default_factory=dict)
+
+    def route_under(self, failures: FailureSet) -> tuple[NodeId, ...] | None:
+        """The precomputed route serving ``root → target`` under ``failures``.
+
+        Returns the primary when it is untouched, the stored alternate
+        when exactly one primary link failed and the alternate itself
+        survives, and ``None`` otherwise (multi-failure on the primary,
+        a failed primary node, or a bridge link) — the caller then falls
+        back to a reactive strategy.
+        """
+        if not failures.path_affected(self.primary):
+            return self.primary
+        hit = [
+            edge
+            for edge in self.primary_links()
+            if edge in failures.failed_links
+        ]
+        if len(hit) != 1:
+            return None  # node failure or multi-failure: not precomputed
+        if any(node in failures.failed_nodes for node in self.primary):
+            return None
+        route = self.routes.get(hit[0])
+        if route is None or route.path is None:
+            return None
+        if failures.path_affected(route.path):
+            return None  # the failure also clips the alternate
+        return route.path
+
+    def primary_links(self) -> list[Edge]:
+        return [
+            edge_key(u, v) for u, v in zip(self.primary, self.primary[1:])
+        ]
+
+    def reserved_links(self) -> set[Edge]:
+        """Standing state: links reserved by alternates beyond the primary."""
+        primary = set(self.primary_links())
+        reserved: set[Edge] = set()
+        for route in self.routes.values():
+            if route.path is None:
+                continue
+            reserved |= {
+                edge_key(u, v) for u, v in zip(route.path, route.path[1:])
+            }
+        return reserved - primary
+
+
+def build_alternate_table(
+    topology: Topology,
+    root: NodeId,
+    target: NodeId,
+    weight: str = "delay",
+    route_cache=None,
+    obs=None,
+) -> AlternateRouteTable | None:
+    """Precompute the alternate-route table for ``root → target``.
+
+    One SPF per primary link (each under that link's failure), routed
+    through ``route_cache`` when given so repeated scenarios share the
+    kernel runs.  Returns ``None`` when the pair is disconnected even
+    failure-free.
+    """
+    obs = obs if obs is not None else NULL_OBS
+    baseline = _paths(topology, root, weight, NO_FAILURES, route_cache, obs)
+    if target not in baseline.dist:
+        return None
+    primary = tuple(baseline.path_to(target))
+    routes: dict[Edge, AlternateRoute] = {}
+    for u, v in zip(primary, primary[1:]):
+        edge = edge_key(u, v)
+        failures = FailureSet.links(edge)
+        masked = _paths(topology, root, weight, failures, route_cache, obs)
+        if target in masked.dist:
+            path = tuple(masked.path_to(target))
+            routes[edge] = AlternateRoute(
+                failed_link=edge, path=path, delay=masked.dist[target]
+            )
+        else:
+            routes[edge] = AlternateRoute(
+                failed_link=edge, path=None, delay=None
+            )
+    obs.counter("protection.alternate.tables").inc()
+    obs.counter("protection.alternate.routes").inc(
+        sum(1 for route in routes.values() if route.path is not None)
+    )
+    return AlternateRouteTable(
+        root=root, target=target, primary=primary, routes=routes
+    )
+
+
+def _paths(topology, root, weight, failures, route_cache, obs):
+    if route_cache is not None:
+        return route_cache.shortest_paths(
+            topology, root, weight=weight, failures=failures, obs=obs
+        )
+    return dijkstra(topology, root, weight=weight, failures=failures)

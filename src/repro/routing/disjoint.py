@@ -33,7 +33,11 @@ from repro.routing.spf import dijkstra
 class DisjointPair:
     """Two link-disjoint paths between the same endpoints.
 
-    ``primary`` is the shorter of the two (ties by node sequence);
+    ``primary`` is the shorter of the two; equal-delay pairs break the
+    tie by the *reversed* node sequence — the same smaller-predecessor-id
+    convention the scalar :func:`~repro.routing.spf.dijkstra` uses for
+    equal-length paths — so a pair whose shorter leg ties with the
+    unicast shortest path selects the identical node sequence.
     ``total_delay`` is their combined length — the resource footprint a
     protection scheme must reserve.
     """
@@ -153,7 +157,11 @@ def _recombine(
         paths.append(path)
 
     delays = [topology.path_delay(p) for p in paths]
-    order = sorted(range(2), key=lambda i: (delays[i], paths[i]))
+    # Equal-delay tie-break: reversed-sequence comparison, i.e. prefer
+    # the smaller node id at the *target* end first — exactly dijkstra's
+    # smaller-predecessor-id rule, so protection primaries stay
+    # consistent with the routing substrate's shortest paths.
+    order = sorted(range(2), key=lambda i: (delays[i], tuple(reversed(paths[i]))))
     primary, backup = paths[order[0]], paths[order[1]]
     return DisjointPair(
         primary=tuple(primary),

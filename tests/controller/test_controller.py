@@ -269,3 +269,57 @@ class TestBatchedRestoration:
             MulticastController(waxman50, batch_restoration=True).batch_restoration
             is True
         )
+
+
+class TestProtectionEngines:
+    """The protection family slots in wherever smrp/spf do."""
+
+    def test_protection_modes_hostable(self, waxman50):
+        controller = MulticastController(waxman50)
+        for protocol in ("protection", "hybrid", "alternate"):
+            gid = controller.open_group(
+                0, protocol=protocol, members=[9, 17, 28]
+            )
+            assert controller._groups[gid].protocol == protocol
+            assert controller._groups[gid].engine.name == protocol
+
+    def test_negative_protect_budget_rejected(self, waxman50):
+        with pytest.raises(ConfigurationError, match="protect_budget"):
+            MulticastController(waxman50, protect_budget=-1)
+
+    def test_protected_failure_restores_by_switchover(self, waxman50):
+        controller = MulticastController(
+            waxman50, protocol="protection", protect_budget=4
+        )
+        gid = controller.open_group(0, members=[9, 17, 28, 35, 42])
+        engine = controller._groups[gid].engine
+        engine.backups.ensure(engine.tree)  # open_group joins lazily
+        link = engine.backups.links()[0]
+        controller.fail(FailureSet.links(link))
+        dispatch = controller.restore()
+        assert dispatch.rows
+        row = dispatch.rows[0]
+        assert row.strategy == "backup"
+        assert row.recovery_distance == 0.0
+
+    def test_hybrid_falls_back_to_local(self, waxman50):
+        controller = MulticastController(
+            waxman50, protocol="hybrid", protect_budget=0
+        )
+        gid = controller.open_group(0, members=[9, 17, 28, 35])
+        engine = controller._groups[gid].engine
+        link = sorted(engine.tree.tree_links())[0]
+        controller.fail(FailureSet.links(link))
+        dispatch = controller.restore()
+        if dispatch.rows:
+            assert dispatch.rows[0].strategy == "local"
+
+    def test_alternate_strategy_provenance(self, waxman50):
+        controller = MulticastController(waxman50, protocol="alternate")
+        gid = controller.open_group(0, members=[9, 17, 28, 35])
+        engine = controller._groups[gid].engine
+        link = sorted(engine.tree.tree_links())[0]
+        controller.fail(FailureSet.links(link))
+        dispatch = controller.restore()
+        if dispatch.rows:
+            assert dispatch.rows[0].strategy == "alternate"

@@ -121,3 +121,25 @@ class TestResolveFailure:
         a = resolve_failure(spec, topology)
         b = resolve_failure(spec, topology)
         assert a.failed_links == b.failed_links
+
+
+class TestProtectionFields:
+    def test_protection_protocols_accepted(self):
+        for protocol in ("protection", "hybrid", "alternate"):
+            spec = ServiceSpec(protocol=protocol)
+            assert spec.protocol == protocol
+
+    def test_protect_budget_round_trips(self):
+        spec = ServiceSpec(protocol="hybrid", protect_budget=7)
+        assert ServiceSpec.from_dict(spec.to_dict()) == spec
+        assert ServiceSpec.from_json(spec.to_json()).protect_budget == 7
+
+    def test_negative_protect_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceSpec(protect_budget=-1)
+
+    def test_protect_budget_changes_the_content_key(self):
+        assert (
+            ServiceSpec(protect_budget=4).content_key()
+            != ServiceSpec(protect_budget=5).content_key()
+        )

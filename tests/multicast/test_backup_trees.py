@@ -1,0 +1,252 @@
+"""Per-link backup trees: property suite and protection-engine tests.
+
+The tentpole guarantees asserted here:
+
+* every pre-installed backup tree covers the full member set minus the
+  members its protected link bridges (``unprotectable``);
+* backups are valid trees (loop-free, mirrored parent/children maps);
+* a backup never uses the link it protects;
+* switchover is *equivalent* to a fresh post-failure rebuild with the
+  engine's fallback strategy — same links, same members, same parents;
+* every switchover recovery lands at recovery distance zero.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.core.recovery import repair_tree
+from repro.graph.waxman import WaxmanConfig, waxman_topology
+from repro.multicast.backup_trees import (
+    AlternatePathProtocol,
+    BackupTreeProtocol,
+    PerLinkBackupTrees,
+    protected_links,
+)
+from repro.multicast.group import random_member_set
+from repro.multicast.spf_protocol import SPFMulticastProtocol
+from repro.multicast.validation import check_tree_invariants
+from repro.obs import NULL_OBS
+from repro.routing.failure_view import FailureSet
+
+
+def make_topology(seed: int, n: int = 30):
+    return waxman_topology(
+        WaxmanConfig(n=n, alpha=0.4, beta=0.35, seed=seed)
+    ).topology
+
+
+def build_session(seed: int, group_size: int = 8):
+    topology = make_topology(seed)
+    rng = np.random.default_rng(seed + 1000)
+    source = int(rng.integers(len(topology.nodes())))
+    members = random_member_set(topology, source, group_size, rng)
+    protocol = SPFMulticastProtocol(topology, source, self_check=False)
+    protocol.build(members)
+    return topology, protocol.tree
+
+
+def tree_shape(tree):
+    """Comparable structural identity of a tree."""
+    return (
+        tree.source,
+        tree.members,
+        tree.tree_links(),
+        {node: tree.parent(node) for node in tree.on_tree_nodes()},
+    )
+
+
+class TestProtectedLinks:
+    def test_negative_budget_rejected(self):
+        _, tree = build_session(0)
+        with pytest.raises(ConfigurationError):
+            protected_links(tree, -1)
+
+    def test_budget_caps_the_set(self):
+        _, tree = build_session(0)
+        assert protected_links(tree, 0) == []
+        assert len(protected_links(tree, 3)) == 3
+        everything = protected_links(tree, 10**6)
+        assert len(everything) == len(tree.tree_links())
+
+    def test_ranked_by_subtree_load_then_edge(self):
+        tree_topology, tree = build_session(1)
+        ranked = protected_links(tree, 10**6)
+
+        def load(edge):
+            u, v = edge
+            downstream = v if tree.parent(v) == u else u
+            return tree.subtree_member_count(downstream)
+
+        loads = [load(edge) for edge in ranked]
+        assert loads == sorted(loads, reverse=True)
+        for (la, ea), (lb, eb) in zip(
+            [(-l, e) for l, e in zip(loads, ranked)],
+            [(-l, e) for l, e in zip(loads, ranked)][1:],
+        ):
+            assert (la, ea) <= (lb, eb)
+
+
+class TestBackupTreeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=200))
+    def test_backups_are_valid_and_disjoint_from_their_link(self, seed):
+        topology, tree = build_session(seed)
+        backups = PerLinkBackupTrees(topology, budget=4, strategy="global")
+        backups.ensure(tree)
+        for link in backups.links():
+            backup = backups._backups[link]
+            check_tree_invariants(backup.tree)
+            # The protected link is exactly what failed when this tree
+            # was computed; it must not appear in the replacement.
+            assert link not in backup.tree.tree_links()
+            # Full member coverage, minus the bridged members.
+            covered = {
+                m for m in tree.members if backup.tree.is_member(m)
+            }
+            assert covered == tree.members - set(backup.unprotectable)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        strategy=st.sampled_from(["local", "global"]),
+    )
+    def test_switchover_equals_fresh_rebuild(self, seed, strategy):
+        topology, tree = build_session(seed)
+        backups = PerLinkBackupTrees(topology, budget=4, strategy=strategy)
+        backups.ensure(tree)
+        for link in backups.links():
+            failures = FailureSet.links(link)
+            backup = backups.lookup(failures)
+            if backup is None:
+                # The stored tree itself crosses the failed link set
+                # only in multi-failure scenarios; a single protected
+                # failure must always be covered.
+                pytest.fail(f"protected link {link} not covered")
+            fresh = repair_tree(
+                topology, tree, failures, strategy=strategy, obs=NULL_OBS
+            )
+            assert tree_shape(backup.tree) == tree_shape(fresh.repaired_tree)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=120))
+    def test_switchover_recoveries_have_zero_distance(self, seed):
+        topology, tree = build_session(seed)
+        engine = BackupTreeProtocol(
+            topology, tree.source, mode="protection", budget=4
+        )
+        engine.build(sorted(tree.members))
+        for link in engine.backups.links():
+            report = engine.plan_repair(FailureSet.links(link))
+            assert report.strategy == "backup"
+            for recovery in report.recoveries:
+                assert recovery.recovery_distance == 0.0
+                assert recovery.recovery_hops == 0
+
+
+class TestBackupTreeProtocol:
+    def test_unknown_mode_rejected(self):
+        topology = make_topology(0)
+        with pytest.raises(ConfigurationError):
+            BackupTreeProtocol(topology, 0, mode="bogus")
+
+    def test_unprotected_failure_falls_back(self):
+        topology, tree = build_session(3)
+        engine = BackupTreeProtocol(
+            topology, tree.source, mode="protection", budget=1
+        )
+        engine.build(sorted(tree.members))
+        unprotected = sorted(
+            tree.tree_links() - set(engine.backups.links())
+        )
+        assert unprotected, "budget 1 must leave unprotected links"
+        report = engine.plan_repair(FailureSet.links(unprotected[0]))
+        assert report.strategy == "global"
+
+    def test_hybrid_falls_back_to_local_detour(self):
+        topology, tree = build_session(3)
+        engine = BackupTreeProtocol(
+            topology, tree.source, mode="hybrid", budget=1
+        )
+        engine.build(sorted(tree.members))
+        unprotected = sorted(
+            engine.tree.tree_links() - set(engine.backups.links())
+        )
+        report = engine.plan_repair(FailureSet.links(unprotected[0]))
+        assert report.strategy == "local"
+
+    def test_repair_adopts_the_backup_and_rebinds_state(self):
+        topology, tree = build_session(5)
+        engine = BackupTreeProtocol(
+            topology, tree.source, mode="hybrid", budget=4
+        )
+        engine.build(sorted(tree.members))
+        link = engine.backups.links()[0]
+        report = engine.repair(FailureSet.links(link))
+        assert report.strategy == "backup"
+        assert engine.tree is report.repaired_tree
+        # The hybrid's SMRP state must follow the adopted tree.
+        assert engine._inner.state.tree is report.repaired_tree
+        # A later failure on the new tree still repairs cleanly.
+        check_tree_invariants(engine.tree)
+
+    def test_standing_state_is_beyond_the_working_tree(self):
+        topology, tree = build_session(7)
+        engine = BackupTreeProtocol(
+            topology, tree.source, mode="protection", budget=4
+        )
+        engine.build(sorted(tree.members))
+        standing = engine.standing_links()
+        assert standing.isdisjoint(engine.tree.tree_links())
+        assert engine.standing_cost() == pytest.approx(
+            sum(topology.cost(u, v) for u, v in standing)
+        )
+
+    def test_membership_churn_invalidates_backups(self):
+        topology, tree = build_session(9)
+        engine = BackupTreeProtocol(
+            topology, tree.source, mode="protection", budget=4
+        )
+        members = sorted(tree.members)
+        engine.build(members)
+        before = engine.backups.links()
+        engine.leave(members[-1])
+        assert engine.backups._dirty
+        engine.backups.ensure(engine.tree)
+        assert not engine.backups._dirty
+        assert engine.backups.links() is not before
+
+
+class TestAlternatePathProtocol:
+    def test_alternate_recovery_without_convergence(self):
+        topology, tree = build_session(11)
+        engine = AlternatePathProtocol(topology, tree.source)
+        engine.build(sorted(tree.members))
+        links = sorted(tree.tree_links())
+        report = engine.plan_repair(FailureSet.links(links[0]))
+        assert report.strategy == "alternate"
+        for recovery in report.recoveries:
+            assert recovery.strategy in ("alternate", "global")
+        check_tree_invariants(report.repaired_tree)
+        assert not report.repaired_tree.disconnected_members(
+            FailureSet.links(links[0])
+        )
+
+    def test_tables_garbage_collected_on_leave(self):
+        topology, tree = build_session(11)
+        engine = AlternatePathProtocol(topology, tree.source)
+        members = sorted(tree.members)
+        engine.build(members)
+        assert members[0] in engine._tables
+        engine.leave(members[0])
+        engine.ensure_tables()
+        assert members[0] not in engine._tables
+
+    def test_standing_state_excludes_working_tree(self):
+        topology, tree = build_session(13)
+        engine = AlternatePathProtocol(topology, tree.source)
+        engine.build(sorted(tree.members))
+        standing = engine.standing_links()
+        assert standing.isdisjoint(engine.tree.tree_links())

@@ -8,8 +8,9 @@ from repro.errors import (
     UnrecoverableFailureError,
 )
 from repro.graph.generators import node_id, ring_topology
-from repro.multicast.protection import ProtectedMulticast
+from repro.multicast.protection import ProtectedMulticast, ProtectionStats
 from repro.routing.failure_view import FailureSet
+from repro.routing.spf import shortest_path
 
 
 class TestJoinLeave:
@@ -77,6 +78,22 @@ class TestSwitchover:
         with pytest.raises(NotMemberError):
             session.switchover_delay_penalty(node_id("D"))
 
+    def test_unprotected_member_penalty_is_none(self, line4):
+        """Regression: a bridge member has no backup, so the penalty is
+        ``None`` — not ``0.0``, which would be indistinguishable from a
+        backup of equal delay."""
+        session = ProtectedMulticast(line4, 0)
+        state = session.join(3)
+        assert state.backup is None
+        assert session.switchover_delay_penalty(3) is None
+
+    def test_protected_member_penalty_is_a_float(self, ring6):
+        session = ProtectedMulticast(ring6, 0)
+        session.join(3)
+        penalty = session.switchover_delay_penalty(3)
+        assert penalty is not None
+        assert penalty >= 0.0
+
 
 class TestAccounting:
     def test_reserved_exceeds_working(self, waxman50):
@@ -97,3 +114,39 @@ class TestAccounting:
                 continue
             for u, v in zip(state.primary, state.primary[1:]):
                 assert state.active_path(FailureSet.links((u, v))) == state.backup
+
+    def test_premium_infinite_when_nothing_works(self):
+        """Regression: reserved state with zero working cost is an
+        infinite premium, not a silent 0.0."""
+        stats = ProtectionStats(reserved_cost=5.0, working_cost=0.0)
+        assert stats.protection_premium == float("inf")
+
+    def test_premium_zero_only_for_truly_empty_session(self):
+        assert ProtectionStats().protection_premium == 0.0
+        session = ProtectedMulticast(ring_topology(6), 0)
+        assert session.stats().protection_premium == 0.0
+
+    def test_premium_finite_when_working(self, ring6):
+        session = ProtectedMulticast(ring6, 0)
+        session.join(3)
+        premium = session.stats().protection_premium
+        assert premium >= 0.0
+        assert premium != float("inf")
+
+
+class TestTieBreakConvention:
+    def test_bridge_fallback_is_the_dijkstra_path(self, line4):
+        """Regression: the unprotected fallback must be scalar dijkstra's
+        path, so the primary never depends on which arm produced it."""
+        session = ProtectedMulticast(line4, 0)
+        state = session.join(3)
+        assert state.primary == tuple(shortest_path(line4, 0, 3))
+
+    def test_bridge_fallback_matches_dijkstra_on_random_graphs(self, waxman50):
+        for member in (7, 13, 22, 31, 44):
+            session = ProtectedMulticast(waxman50, 0)
+            state = session.join(member)
+            if state.backup is None:
+                assert state.primary == tuple(
+                    shortest_path(waxman50, 0, member)
+                )

@@ -1,10 +1,12 @@
 """Tests for Suurballe/Bhandari link-disjoint path pairs."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import NoPathError, TopologyError
 from repro.graph.generators import node_id, ring_topology
 from repro.graph.topology import Topology
+from repro.graph.waxman import WaxmanConfig, waxman_topology
 from repro.routing.disjoint import link_disjoint_paths
 from repro.routing.failure_view import FailureSet
 
@@ -133,3 +135,36 @@ class TestDisjointPairs:
             assert pair.backup[0] == 0 and pair.backup[-1] == target
             assert pair.primary_delay <= pair.backup_delay
         assert found > 0
+
+
+class TestTieBreakConvention:
+    """The pair's primary/backup ordering follows the scalar dijkstra
+    convention: smaller delay first, equal delays broken by reversed node
+    sequence (the smaller-predecessor-id rule seen from the target)."""
+
+    def test_equal_delay_tie_broken_by_reversed_sequence(self):
+        # A 4-ring with uniform delays: both 0→2 paths cost 2.0; the
+        # convention picks 0-1-2 (reversed (2,1,0)) over 0-3-2
+        # (reversed (2,3,0)) as primary.
+        ring = ring_topology(4)
+        pair = link_disjoint_paths(ring, 0, 2)
+        assert pair.primary_delay == pair.backup_delay
+        assert tuple(reversed(pair.primary)) < tuple(reversed(pair.backup))
+        assert pair.primary == (0, 1, 2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        target=st.integers(min_value=1, max_value=24),
+    )
+    def test_ordering_convention_on_random_graphs(self, seed, target):
+        topology = waxman_topology(
+            WaxmanConfig(n=25, alpha=0.5, beta=0.4, seed=seed)
+        ).topology
+        try:
+            pair = link_disjoint_paths(topology, 0, target)
+        except (NoPathError, TopologyError):
+            return
+        assert pair.primary_delay <= pair.backup_delay
+        if pair.primary_delay == pair.backup_delay:
+            assert tuple(reversed(pair.primary)) < tuple(reversed(pair.backup))
