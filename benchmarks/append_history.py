@@ -10,6 +10,14 @@ an artifact; locally, run it after a benchmark refresh::
 
     python benchmarks/append_history.py BENCH_routing.json
 
+Observability run reports (``--obs-out`` captures, detected by their
+``metrics`` + ``spans`` sections) are accepted too: instead of the full
+payload, the entry records a latency summary — figure wall clock
+(``profile_wall_s`` from a ``--profile`` run), p50/p99 of per-span
+exclusive self-times, and p50/p99 of every hdr histogram in the report —
+so percentile trajectories across commits survive without archiving
+whole span trees.
+
 Appending the same snapshot twice for the same commit is a no-op
 (deduplicated on ``(git_sha, source)``), so re-runs never inflate the
 history.
@@ -27,6 +35,11 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 HISTORY_PATH = REPO_ROOT / "benchmarks" / "history.jsonl"
+
+try:
+    import repro  # noqa: F401 — probe: installed, or already on PYTHONPATH?
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
 def git_sha() -> str | None:
@@ -69,21 +82,72 @@ def load_history(path: Path) -> list[dict]:
     return entries
 
 
+def _self_time_quantiles(spans: dict) -> dict:
+    """p50/p99 over per-span exclusive self-times, via an hdr histogram
+    so the recorded values use the same bucketing as every other
+    percentile in the repo."""
+    from repro.obs.prof import flat_profile
+    from repro.obs.registry import HdrHistogram
+
+    hist = HdrHistogram("history.span_self_s")
+    for row in flat_profile(spans):
+        hist.observe(row["self_s"])
+    if not hist.count:
+        return {}
+    return {
+        "span_self_s_p50": hist.quantile(0.5),
+        "span_self_s_p99": hist.quantile(0.99),
+        "spans": hist.count,
+    }
+
+
+def run_report_summary(payload: dict) -> dict:
+    """Latency summary of an ``--obs-out`` run report: wall clock, span
+    self-time percentiles, and every hdr histogram's p50/p99."""
+    from repro.obs.registry import HdrHistogram
+
+    summary: dict = {"command": payload.get("meta", {}).get("command")}
+    wall = payload.get("meta", {}).get("profile_wall_s")
+    if isinstance(wall, (int, float)):
+        summary["wall_s"] = wall
+    summary.update(_self_time_quantiles(payload.get("spans", {})))
+    quantiles = {}
+    hdr = payload.get("metrics", {}).get("hdr_histograms", {})
+    for name in sorted(hdr):
+        hist = HdrHistogram.from_dict(name, hdr[name])
+        if not hist.count:
+            continue
+        quantiles[name] = {
+            "n": hist.count,
+            "p50": hist.quantile(0.5),
+            "p99": hist.quantile(0.99),
+        }
+    if quantiles:
+        summary["hdr_quantiles"] = quantiles
+    return summary
+
+
 def build_entry(bench_path: Path, sha: str | None) -> dict:
     payload = json.loads(bench_path.read_text(encoding="utf-8"))
-    if not isinstance(payload, dict) or "benchmark" not in payload:
-        raise SystemExit(
-            f"error: {bench_path} is not a benchmark result "
-            "(missing a 'benchmark' field)"
-        )
-    return {
+    entry = {
         "recorded_at": datetime.datetime.now(datetime.timezone.utc)
         .isoformat(timespec="seconds"),
         "git_sha": sha,
         "source": bench_path.name,
-        "benchmark": payload["benchmark"],
-        "payload": payload,
     }
+    if isinstance(payload, dict) and "benchmark" in payload:
+        entry["benchmark"] = payload["benchmark"]
+        entry["payload"] = payload
+        return entry
+    if isinstance(payload, dict) and "metrics" in payload and "spans" in payload:
+        entry["benchmark"] = "obs_report"
+        entry["payload"] = run_report_summary(payload)
+        return entry
+    raise SystemExit(
+        f"error: {bench_path} is neither a benchmark result (no "
+        "'benchmark' field) nor an observability run report (no "
+        "'metrics'/'spans' sections)"
+    )
 
 
 def main(argv=None) -> int:

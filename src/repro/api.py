@@ -111,6 +111,7 @@ _FIGURES = {
     "fig9": ("repro.experiments.fig9", "run_figure9"),
     "fig10": ("repro.experiments.fig10", "run_figure10"),
     "protection": ("repro.experiments.figprotect", "run_protection_figure"),
+    "distribution": ("repro.experiments.figdist", "run_distribution_figure"),
 }
 
 #: Distinguishes "caller did not mention cache" (session builds one)

@@ -23,10 +23,20 @@ Commands
     distance, and standing reserved state for local detour, global
     detour, precomputed per-link backup trees, hybrid, and
     alternate-path recovery across link failure rates.
+``distribution``
+    Restoration-latency *distribution* figure: host thousands of
+    controller groups per engine, inject the same failure everywhere,
+    and print p50/p90/p99/p99.9/max latency per engine from
+    log-bucketed HDR histograms — the tail-behaviour companion to the
+    mean-based figures.  Shards over the standard executors with
+    byte-identical output.
 ``obs``
     Observability artifacts: ``report`` renders a captured run report,
     ``tail`` replays a telemetry flight record, ``export`` renders a run
-    report as OpenMetrics text, ``diff`` compares two run reports.
+    report as OpenMetrics text, ``diff`` compares two run reports
+    (counters, span self-times, latency quantiles), ``flame`` emits a
+    collapsed-stack self-time profile of a run report for flamegraph
+    tooling.
 ``trace``
     Causal restoration traces: ``analyze`` prints per-phase latency
     breakdowns and critical paths, ``export`` converts an NDJSON trace
@@ -43,6 +53,15 @@ accept ``--trace-out PATH`` to record causal restoration episodes in
 simulated time (:mod:`repro.obs.tracing`) as an NDJSON trace; tracing
 is observe-only, so stdout tables stay byte-identical with or without
 it, and the confirmation line goes to stderr.
+
+``figures``, ``controller``/``serve``, ``protection``, and
+``distribution`` additionally accept ``--profile``: the run body is
+wrapped in a ``prof.run`` span and an exclusive-self-time profile
+(where the wall clock actually went) is printed to stderr afterwards.
+``--profile`` works with or without ``--obs-out``; combined with it,
+the captured report carries the span tree plus a ``profile_wall_s``
+meta field, and ``repro obs flame REPORT`` turns it into collapsed
+stacks.  Profiling is observe-only: stdout stays byte-identical.
 
 Live telemetry
 --------------
@@ -141,6 +160,14 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="wrap the run in a prof.run span and print a self-time "
+             "profile to stderr (where did the wall clock go?)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -157,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write an observability run report (JSON)")
     figures.add_argument("--trace-out", metavar="PATH",
                          help="write causal restoration episodes (NDJSON)")
+    _add_profile_arg(figures)
     _add_executor_args(figures)
 
     scenario = sub.add_parser("scenario", help="run one seeded scenario")
@@ -233,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write an observability run report (JSON)")
     controller.add_argument("--trace-out", metavar="PATH",
                             help="write causal restoration episodes (NDJSON)")
+    _add_profile_arg(controller)
     _add_executor_args(controller)
 
     protection = sub.add_parser(
@@ -254,7 +283,46 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write an observability run report (JSON)")
     protection.add_argument("--trace-out", metavar="PATH",
                             help="write causal restoration episodes (NDJSON)")
+    _add_profile_arg(protection)
     _add_executor_args(protection)
+
+    distribution = sub.add_parser(
+        "distribution",
+        help="restoration-latency distribution: per-engine percentiles "
+             "over thousands of controller groups",
+    )
+    distribution.add_argument(
+        "--quick", action="store_true",
+        help="reduced grid (engines smrp+spf, 1000 groups each)",
+    )
+    distribution.add_argument(
+        "--engines", nargs="+", metavar="ENGINE",
+        choices=["smrp", "spf", "protection", "hybrid", "alternate"],
+        help="restoration engines to compare (default: all five; "
+             "--quick default: smrp spf)",
+    )
+    distribution.add_argument(
+        "--groups", type=int, metavar="N",
+        help="hosted (source, group) sessions per engine "
+             "(default 2000; --quick default 1000)",
+    )
+    distribution.add_argument(
+        "--workload", choices=["static", "poisson", "flash"],
+        default="static",
+    )
+    distribution.add_argument(
+        "--failure", default="auto", metavar="MODE",
+        help="none, auto (busiest hot-source link), link:U-V, or node:X",
+    )
+    distribution.add_argument(
+        "--shard-size", type=int, default=250, metavar="N",
+        help="groups per shard work unit (part of the spec: checkpoint "
+             "identities do not depend on --jobs)",
+    )
+    distribution.add_argument("--obs-out", metavar="PATH",
+                              help="write an observability run report (JSON)")
+    _add_profile_arg(distribution)
+    _add_executor_args(distribution)
 
     obs = sub.add_parser("obs", help="observability run artifacts")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -283,13 +351,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="write to PATH instead of stdout",
     )
     obs_diff = obs_sub.add_parser(
-        "diff", help="compare two run reports (counters, span-time ratios)"
+        "diff", help="compare two run reports (counters, span-time and "
+                     "latency-quantile ratios)"
     )
     obs_diff.add_argument("path_a", help="baseline run report JSON file")
     obs_diff.add_argument("path_b", help="candidate run report JSON file")
     obs_diff.add_argument(
         "--fail-over", type=float, metavar="RATIO",
-        help="exit nonzero when any span-time ratio (b/a) exceeds RATIO",
+        help="exit nonzero when any span-time or latency-quantile "
+             "(p50/p99) ratio (b/a) exceeds RATIO",
+    )
+    obs_flame = obs_sub.add_parser(
+        "flame", help="collapsed-stack self-time profile of a run report "
+                      "(flamegraph.pl / speedscope input)"
+    )
+    obs_flame.add_argument("path", help="run report JSON file (--obs-out)")
+    obs_flame.add_argument(
+        "--out", metavar="PATH",
+        help="write collapsed stacks to PATH instead of stdout",
     )
 
     trace = sub.add_parser("trace", help="causal restoration traces")
@@ -349,6 +428,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "controller": _cmd_controller,
         "serve": _cmd_controller,
         "protection": _cmd_protection,
+        "distribution": _cmd_distribution,
         "obs": _cmd_obs,
         "trace": _cmd_trace,
         "info": _cmd_info,
@@ -359,14 +439,16 @@ def main(argv: Sequence[str] | None = None) -> int:
 def _make_obs(args: argparse.Namespace):
     """The run's Observability, or None when no capture flag was given.
 
-    ``--obs-out`` enables the metrics/spans/events instruments;
-    ``--trace-out`` attaches a restoration tracer.  A trace-only run
-    keeps the other instruments disabled, so the tracer is the only
-    live instrumentation.
+    ``--obs-out`` (or ``--profile``, which needs the span profiler)
+    enables the metrics/spans/events instruments; ``--trace-out``
+    attaches a restoration tracer.  A trace-only run keeps the other
+    instruments disabled, so the tracer is the only live
+    instrumentation.
     """
     obs_out = getattr(args, "obs_out", None)
     trace_out = getattr(args, "trace_out", None)
-    if obs_out is None and trace_out is None:
+    profile = bool(getattr(args, "profile", False))
+    if obs_out is None and trace_out is None and not profile:
         return None
     # Fail fast on an unwritable destination rather than after the run.
     if obs_out is not None:
@@ -376,7 +458,7 @@ def _make_obs(args: argparse.Namespace):
     from repro.obs import Observability, RestorationTracer
 
     return Observability(
-        enabled=obs_out is not None,
+        enabled=obs_out is not None or profile,
         tracer=RestorationTracer() if trace_out is not None else None,
     )
 
@@ -522,6 +604,56 @@ def _write_trace_out(args: argparse.Namespace, obs) -> None:
     )
 
 
+class _ProfileScope:
+    """Wall-clock + ``prof.run`` span wrapper for ``--profile`` runs.
+
+    Entering starts the clock and (when profiling) opens a ``prof.run``
+    span so every span the command emits nests under one root — which is
+    what makes the exclusive self-time decomposition sum back to the
+    measured wall clock on a serial run.  Exiting closes the span,
+    records ``wall_s``, and prints the rendered profile to stderr
+    (stdout must stay byte-identical to an unprofiled run).
+    """
+
+    def __init__(self, args: argparse.Namespace, obs) -> None:
+        self.enabled = bool(getattr(args, "profile", False)) and obs is not None
+        self._obs = obs
+        self._span = None
+        self._start: float | None = None
+        self.wall_s: float | None = None
+
+    def __enter__(self) -> "_ProfileScope":
+        from time import perf_counter
+
+        self._start = perf_counter()
+        if self.enabled:
+            self._span = self._obs.span("prof.run")
+            self._span.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        from time import perf_counter
+
+        if self._span is not None:
+            self._span.__exit__(exc_type, exc, tb)
+            self._span = None
+        self.wall_s = perf_counter() - self._start
+        if self.enabled and exc_type is None:
+            from repro.obs import render_profile
+
+            print(
+                render_profile(self._obs.spans.report(), wall_s=self.wall_s),
+                file=sys.stderr,
+            )
+        return False
+
+    def annotate(self, meta: dict) -> dict:
+        """Stamp the measured wall clock into an obs-report meta dict."""
+        if self.enabled and self.wall_s is not None:
+            meta["profile_wall_s"] = round(self.wall_s, 6)
+        return meta
+
+
 # ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
@@ -546,8 +678,9 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                                  executor=executor),
     }
     figures_run = [args.figure] if args.figure else [7, 8, 9, 10]
+    scope = _ProfileScope(args, obs)
     try:
-        with executor:
+        with scope, executor:
             for figure in figures_run:
                 print(f"--- Figure {figure} ---")
                 print(runs[figure]().render())
@@ -555,13 +688,13 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     finally:
         if telemetry is not None:
             telemetry.close()
-    _write_obs_report(args, obs, {
+    _write_obs_report(args, obs, scope.annotate({
         "command": "figures",
         "figures": figures_run,
         "quick": bool(args.quick),
         "executor": executor.kind,
         "jobs": args.jobs,
-    })
+    }))
     _write_trace_out(args, obs)
     return 0
 
@@ -744,8 +877,9 @@ def _cmd_controller(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
     telemetry = _make_telemetry(args)
     executor = _make_executor(args, telemetry=telemetry)
+    scope = _ProfileScope(args, obs)
     try:
-        with executor:
+        with scope, executor:
             from repro.api import run_service
 
             report = run_service(spec, executor=executor, obs=obs)
@@ -756,13 +890,13 @@ def _cmd_controller(args: argparse.Namespace) -> int:
         if telemetry is not None:
             telemetry.close()
     print(report.render_table())
-    _write_obs_report(args, obs, {
+    _write_obs_report(args, obs, scope.annotate({
         "command": "controller",
         "spec": spec.describe(),
         "key": spec.content_key(),
         "executor": executor.kind,
         "jobs": args.jobs,
-    })
+    }))
     _write_trace_out(args, obs)
     return 0
 
@@ -786,8 +920,9 @@ def _cmd_protection(args: argparse.Namespace) -> int:
         kwargs = {}
     if args.rates:
         kwargs["rates"] = tuple(args.rates)
+    scope = _ProfileScope(args, obs)
     try:
-        with executor:
+        with scope, executor:
             result = run_protection_figure(
                 budget=args.budget, obs=obs, executor=executor, **kwargs
             )
@@ -796,14 +931,61 @@ def _cmd_protection(args: argparse.Namespace) -> int:
             telemetry.close()
     print("--- Protection family: reactive vs precomputed recovery ---")
     print(result.render())
-    _write_obs_report(args, obs, {
+    _write_obs_report(args, obs, scope.annotate({
         "command": "protection",
         "quick": bool(args.quick),
         "budget": args.budget,
         "executor": executor.kind,
         "jobs": args.jobs,
-    })
+    }))
     _write_trace_out(args, obs)
+    return 0
+
+
+def _cmd_distribution(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.experiments.figdist import ENGINES, run_distribution_figure
+
+    obs = _make_obs(args)
+    telemetry = _make_telemetry(args)
+    executor = _make_executor(args, telemetry=telemetry)
+    if args.engines:
+        engines = tuple(args.engines)
+    elif args.quick:
+        engines = ("smrp", "spf")
+    else:
+        engines = ENGINES
+    if args.groups is not None:
+        groups = args.groups
+    else:
+        groups = 1000 if args.quick else 2000
+    scope = _ProfileScope(args, obs)
+    try:
+        with scope, executor:
+            result = run_distribution_figure(
+                engines=engines,
+                groups=groups,
+                workload=args.workload,
+                failure=args.failure,
+                shard_size=args.shard_size,
+                obs=obs,
+                executor=executor,
+            )
+    except ConfigurationError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    print(result.render())
+    _write_obs_report(args, obs, scope.annotate({
+        "command": "distribution",
+        "engines": list(engines),
+        "groups": groups,
+        "quick": bool(args.quick),
+        "executor": executor.kind,
+        "jobs": args.jobs,
+    }))
     return 0
 
 
@@ -833,6 +1015,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         "tail": _cmd_obs_tail,
         "export": _cmd_obs_export,
         "diff": _cmd_obs_diff,
+        "flame": _cmd_obs_flame,
     }
     try:
         return handlers[args.obs_command](args)
@@ -879,19 +1062,60 @@ def _cmd_obs_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_diff(args: argparse.Namespace) -> int:
-    from repro.obs import diff_run_reports, max_span_ratio, render_report_diff
+    from repro.obs import (
+        diff_run_reports,
+        max_regression_ratio,
+        render_report_diff,
+    )
 
     report_a = _load_report_or_fail(args.path_a)
     report_b = _load_report_or_fail(args.path_b)
     diff = diff_run_reports(report_a, report_b)
     print(render_report_diff(diff, threshold=args.fail_over))
-    if args.fail_over is not None and max_span_ratio(diff) > args.fail_over:
+    if (
+        args.fail_over is not None
+        and max_regression_ratio(diff) > args.fail_over
+    ):
         print(
-            f"repro: obs diff: span-time ratio exceeds "
-            f"--fail-over {args.fail_over:g}",
+            f"repro: obs diff: span-time or latency-quantile ratio "
+            f"exceeds --fail-over {args.fail_over:g}",
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_obs_flame(args: argparse.Namespace) -> int:
+    """Collapsed-stack export: one line per span path, weight = exclusive
+    self-time in microseconds.  Pipe into flamegraph.pl or load into
+    speedscope; the summary (frames, covered self time, wall-clock
+    coverage when the report was captured with ``--profile``) goes to
+    stderr so stdout stays clean collapsed-stack data."""
+    from repro.obs import collapse_stacks, self_time_total
+
+    report = _load_report_or_fail(args.path)
+    spans = report.get("spans", {})
+    lines = collapse_stacks(spans)
+    text = "".join(line + "\n" for line in lines)
+    covered = self_time_total(spans)
+    if args.out is not None:
+        _check_out_dir("--out", args.out)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"collapsed stacks ({len(lines)} frames) written to {args.out}")
+    else:
+        sys.stdout.write(text)
+    print(
+        f"{len(lines)} frames, {covered:.3f}s total self time",
+        file=sys.stderr,
+    )
+    wall = report.get("meta", {}).get("profile_wall_s")
+    if isinstance(wall, (int, float)) and wall > 0:
+        print(
+            f"wall-clock coverage: {covered / wall:.1%} of "
+            f"{wall:.3f}s measured wall",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -1039,7 +1263,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.controller",
          "multi-group service: ServiceSpec, controller, sharded runs"),
         ("repro.obs",
-         "metrics registry, span profiling, run reports, live telemetry"),
+         "metrics + hdr histograms, span/self-time profiling, run "
+         "reports, live telemetry"),
         ("repro.api",
          "stable facade: sessions, run_scenario/run_sweep/"
          "build_figure/run_service"),
@@ -1066,7 +1291,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
           "  repro trace analyze/export/diff/figure render per-phase "
           "latency breakdowns, Perfetto-loadable\n"
           "  Chrome trace JSON, analysis diffs, and the "
-          "latency-by-phase figure.")
+          "latency-by-phase figure.\n"
+          "latency distributions & profiling: repro distribution prints "
+          "per-engine p50/p90/p99/p99.9\n"
+          "  restoration-latency tables from hdr histograms; --profile "
+          "prints a self-time profile to stderr;\n"
+          "  repro obs flame turns a captured report into collapsed "
+          "stacks for flamegraph tooling.")
     return 0
 
 

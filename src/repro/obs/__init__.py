@@ -4,7 +4,9 @@ The paper's evaluation is entirely empirical — recovery latency, message
 overhead (§4.4), tree cost — so this package makes those quantities
 first-class measured outputs of any run instead of ad-hoc return values:
 
-- :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms;
+- :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms
+  (hop counts), and log-bucketed :class:`HdrHistogram` quantile trackers
+  for latency-shaped metrics;
 - :class:`SpanProfiler` — hierarchical ``perf_counter`` timing tree;
 - :class:`EventLog` — bounded structured events, exportable as JSONL;
 - run reports — one JSON document per run (``repro obs report`` renders it).
@@ -32,6 +34,9 @@ from __future__ import annotations
 
 from repro.obs.diff import (
     diff_run_reports,
+    hdr_quantiles,
+    max_quantile_ratio,
+    max_regression_ratio,
     max_span_ratio,
     render_report_diff,
     span_totals,
@@ -61,10 +66,19 @@ from repro.obs.merge import (
     merge_reports_into,
     merge_run_reports,
 )
+from repro.obs.prof import (
+    collapse_stacks,
+    flat_profile,
+    render_collapsed,
+    render_profile,
+    self_time_total,
+)
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
+    DEFAULT_HDR_GROWTH,
     Counter,
     Gauge,
+    HdrHistogram,
     Histogram,
     MetricsRegistry,
 )
@@ -119,6 +133,9 @@ class Observability:
     def histogram(self, name: str, bounds=DEFAULT_BUCKETS):
         return self.metrics.histogram(name, bounds)
 
+    def hdr_histogram(self, name: str, growth=DEFAULT_HDR_GROWTH):
+        return self.metrics.hdr_histogram(name, growth)
+
     def span(self, name: str):
         return self.spans.span(name)
 
@@ -140,9 +157,17 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HdrHistogram",
     "DEFAULT_BUCKETS",
+    "DEFAULT_HDR_GROWTH",
     "SpanProfiler",
     "SpanNode",
+    # Self-time profiling (repro.obs.prof)
+    "flat_profile",
+    "self_time_total",
+    "collapse_stacks",
+    "render_collapsed",
+    "render_profile",
     "EventLog",
     "DEFAULT_MAX_EVENTS",
     "read_jsonl",
@@ -170,6 +195,9 @@ __all__ = [
     "render_openmetrics",
     # Run-report diffing
     "diff_run_reports",
+    "hdr_quantiles",
+    "max_quantile_ratio",
+    "max_regression_ratio",
     "max_span_ratio",
     "render_report_diff",
     "span_totals",

@@ -9,10 +9,15 @@ matter for triaging a regression between two builds or configurations:
 - **span-time ratios** — per-span wall-clock of report *b* relative to
   report *a*, aggregated by span name across the whole tree (recursion
   depths sum), so a hot path that got slower stands out;
+- **latency-quantile ratios** — p50/p99 of every
+  :class:`~repro.obs.registry.HdrHistogram` in report *b* relative to
+  report *a*: a tail regression (p99 blew up while the mean held) is
+  exactly what mean-based counters hide;
 - **event accounting** — recorded/dropped totals side by side.
 
 ``repro obs diff a.json b.json --fail-over R`` exits nonzero when any
-span-time ratio exceeds ``R``, making the diff usable as a CI tripwire.
+span-time *or* latency-quantile ratio exceeds ``R``, making the diff
+usable as a CI tripwire.
 """
 
 from __future__ import annotations
@@ -20,10 +25,14 @@ from __future__ import annotations
 import math
 
 from repro.errors import ConfigurationError
+from repro.obs.registry import HdrHistogram
 
 #: Spans faster than this (seconds) in *both* reports are ignored by the
 #: threshold check: ratios of near-zero timings are noise, not signal.
 SPAN_NOISE_FLOOR_S = 1e-4
+
+#: Quantiles compared (and gated on) per hdr histogram.
+DIFF_QUANTILES: tuple[tuple[str, float], ...] = (("p50", 0.5), ("p99", 0.99))
 
 
 def span_totals(tree: dict) -> dict[str, tuple[int, float]]:
@@ -47,21 +56,38 @@ def span_totals(tree: dict) -> dict[str, tuple[int, float]]:
     return out
 
 
+def hdr_quantiles(report: dict) -> dict[str, dict[str, float | None]]:
+    """``name -> {label: value}`` for every hdr histogram in a report.
+
+    Quantile labels follow :data:`DIFF_QUANTILES`; reports predating the
+    hdr section simply yield an empty dict.
+    """
+    out: dict[str, dict[str, float | None]] = {}
+    payloads = report.get("metrics", {}).get("hdr_histograms", {})
+    for name in sorted(payloads):
+        hist = HdrHistogram.from_dict(name, payloads[name])
+        out[name] = {label: hist.quantile(q) for label, q in DIFF_QUANTILES}
+    return out
+
+
 def diff_run_reports(a: dict, b: dict) -> dict:
     """Structured comparison of two run reports.
 
     Returns::
 
         {
-          "counters": {name: {"a": .., "b": .., "delta": ..}},   # changed only
-          "spans":    {name: {"a_s": .., "b_s": .., "ratio": ..}},
-          "events":   {"a": {...}, "b": {...}},
+          "counters":  {name: {"a": .., "b": .., "delta": ..}},   # changed only
+          "spans":     {name: {"a_s": .., "b_s": .., "ratio": ..}},
+          "quantiles": {"name.p99": {"a": .., "b": .., "ratio": ..}},
+          "events":    {"a": {...}, "b": {...}},
         }
 
     Span ``ratio`` is ``b_s / a_s``; a span absent (or zero) in ``a`` but
     timed in ``b`` gets ``inf``, and one that vanished gets ``0.0``.
     Ratios of spans below :data:`SPAN_NOISE_FLOOR_S` on both sides are
-    reported as ``None`` (noise).
+    reported as ``None`` (noise).  Quantile entries compare each hdr
+    histogram's :data:`DIFF_QUANTILES` the same way (``None`` when both
+    sides are zero or the series is empty on both sides).
     """
     for name, report in (("a", a), ("b", b)):
         if not isinstance(report, dict) or "metrics" not in report:
@@ -91,9 +117,29 @@ def diff_run_reports(a: dict, b: dict) -> dict:
             ratio = math.inf if tb > 0 else 0.0
         spans[name] = {"a_s": ta, "b_s": tb, "ratio": ratio}
 
+    quantiles_a = hdr_quantiles(a)
+    quantiles_b = hdr_quantiles(b)
+    quantiles = {}
+    for name in sorted(set(quantiles_a) | set(quantiles_b)):
+        for label, _ in DIFF_QUANTILES:
+            va = quantiles_a.get(name, {}).get(label)
+            vb = quantiles_b.get(name, {}).get(label)
+            if va is None and vb is None:
+                continue
+            va = va or 0.0
+            vb = vb or 0.0
+            if va > 0:
+                ratio = vb / va
+            elif vb > 0:
+                ratio = math.inf
+            else:
+                ratio = None  # both zero: nothing to gate on
+            quantiles[f"{name}.{label}"] = {"a": va, "b": vb, "ratio": ratio}
+
     return {
         "counters": counters,
         "spans": spans,
+        "quantiles": quantiles,
         "events": {"a": a.get("events", {}), "b": b.get("events", {})},
     }
 
@@ -106,6 +152,26 @@ def max_span_ratio(diff: dict) -> float:
         if entry.get("ratio") is not None
     ]
     return max(ratios, default=0.0)
+
+
+def max_quantile_ratio(diff: dict) -> float:
+    """The worst latency-quantile ratio (0.0 when no hdr series)."""
+    ratios = [
+        entry["ratio"]
+        for entry in diff.get("quantiles", {}).values()
+        if entry.get("ratio") is not None
+    ]
+    return max(ratios, default=0.0)
+
+
+def max_regression_ratio(diff: dict) -> float:
+    """Worst of the span-time and latency-quantile ratios.
+
+    This is what ``repro obs diff --fail-over`` gates on: a build that
+    kept every span flat but doubled a restoration-latency p99 fails
+    the same tripwire as one that slowed a hot path.
+    """
+    return max(max_span_ratio(diff), max_quantile_ratio(diff))
 
 
 def render_report_diff(diff: dict, threshold: float | None = None) -> str:
@@ -142,6 +208,26 @@ def render_report_diff(diff: dict, threshold: float | None = None) -> str:
             lines.append(
                 f"  {name:<{width}}  {entry['a_s']:.6f}s -> "
                 f"{entry['b_s']:.6f}s  {shown}{flag}"
+            )
+
+    quantiles = diff.get("quantiles", {})
+    rated = {n: e for n, e in quantiles.items() if e.get("ratio") is not None}
+    if rated:
+        lines.append("")
+        lines.append("latency-quantile ratios (b/a):")
+        width = max(len(n) for n in rated)
+        for name in sorted(rated, key=lambda n: -(
+            rated[n]["ratio"] if math.isfinite(rated[n]["ratio"]) else 1e18
+        )):
+            entry = rated[name]
+            ratio = entry["ratio"]
+            shown = "inf" if math.isinf(ratio) else f"{ratio:.2f}x"
+            flag = ""
+            if threshold is not None and ratio > threshold:
+                flag = f"  <-- over --fail-over {threshold:g}"
+            lines.append(
+                f"  {name:<{width}}  {entry['a']:g} -> "
+                f"{entry['b']:g}  {shown}{flag}"
             )
 
     events = diff.get("events", {})

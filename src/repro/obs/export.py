@@ -11,15 +11,24 @@ from __future__ import annotations
 
 import json
 import re
+from math import ceil
 from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
+from repro.obs.registry import HdrHistogram
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
 
 #: Schema marker so future readers can evolve the format compatibly.
 REPORT_VERSION = 1
+
+#: Quantiles the report renderer prints for every histogram family.
+REPORT_QUANTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.5),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
 
 
 def build_run_report(obs: "Observability", meta: dict | None = None) -> dict:
@@ -109,9 +118,13 @@ def render_run_report(report: dict) -> str:
             mean = h["sum"] / h["count"] if h["count"] else 0.0
             low = "—" if h["min"] is None else h["min"]
             high = "—" if h["max"] is None else h["max"]
+            quantiles = " ".join(
+                f"{label}={_quantile_text(_fixed_quantile(h, q))}"
+                for label, q in REPORT_QUANTILES
+            )
             lines.append(
                 f"  {name}: n={h['count']} mean={mean:.3f} "
-                f"min={low} max={high}"
+                f"min={low} max={high} {quantiles}"
             )
             lower = None
             for bound, count in zip(h["bounds"], h["counts"]):
@@ -125,6 +138,23 @@ def render_run_report(report: dict) -> str:
             overflow = h["counts"][len(h["bounds"])]
             if overflow:
                 lines.append(f"    {'> ' + format(h['bounds'][-1], 'g'):>12}  {overflow}")
+
+    hdr = metrics.get("hdr_histograms", {})
+    if hdr:
+        lines.append("")
+        lines.append("hdr histograms (log-bucketed):")
+        for name in sorted(hdr):
+            hist = HdrHistogram.from_dict(name, hdr[name])
+            low = "—" if hist.min is None else format(hist.min, "g")
+            high = "—" if hist.max is None else format(hist.max, "g")
+            quantiles = " ".join(
+                f"{label}={_quantile_text(hist.quantile(q))}"
+                for label, q in REPORT_QUANTILES
+            )
+            lines.append(
+                f"  {name}: n={hist.count} mean={hist.mean:.3f} "
+                f"min={low} max={high} {quantiles}"
+            )
 
     spans = report.get("spans", {})
     if spans.get("children"):
@@ -149,6 +179,41 @@ def render_run_report(report: dict) -> str:
             f"{tracing.get('trimmed', 0)} spans trimmed"
         )
     return "\n".join(lines)
+
+
+def _quantile_text(value: float | None) -> str:
+    """Render a quantile estimate, em-dash when the series is empty."""
+    return "—" if value is None else format(float(value), "g")
+
+
+def _fixed_quantile(h: dict, q: float) -> float | None:
+    """Quantile estimate from a fixed-bucket histogram payload.
+
+    The walk finds the bucket holding rank ``ceil(q * n)`` and reports
+    its upper bound clamped into the observed ``[min, max]`` — coarse
+    (bucket-resolution) but honest for hop-count-shaped series.  Returns
+    ``None`` for an empty histogram (the caller renders "—").
+    """
+    count = h.get("count", 0)
+    if not count:
+        return None
+    target = max(1, ceil(q * count))
+    if target >= count and h.get("max") is not None:
+        return h["max"]
+    if target == 1 and h.get("min") is not None:
+        return h["min"]
+    seen = 0
+    value = None
+    for bound, bucket in zip(h["bounds"], h["counts"]):
+        seen += bucket
+        if seen >= target:
+            value = float(bound)
+            break
+    if value is None:  # target rank sits in the overflow bucket
+        value = h["max"] if h["max"] is not None else float(h["bounds"][-1])
+    low = h["min"] if h["min"] is not None else value
+    high = h["max"] if h["max"] is not None else value
+    return min(max(value, low), high)
 
 
 def _render_batch_routing(counters: dict) -> list[str]:
@@ -248,6 +313,22 @@ def openmetrics_from_snapshot(
         lines.append(f'{om}_bucket{{le="+Inf"}} {payload["count"]}')
         lines.append(f"{om}_sum {_openmetrics_value(payload['sum'])}")
         lines.append(f"{om}_count {payload['count']}")
+    for name, payload in sorted(snapshot.get("hdr_histograms", {}).items()):
+        om = _openmetrics_name(name, prefix)
+        hist = HdrHistogram.from_dict(name, payload)
+        lines.append(f"# TYPE {om} histogram")
+        cumulative = hist.zero_count
+        if cumulative:
+            lines.append(f'{om}_bucket{{le="0"}} {cumulative}')
+        for index in sorted(hist.counts):
+            cumulative += hist.counts[index]
+            upper = hist.growth ** (index + 1)
+            lines.append(
+                f'{om}_bucket{{le="{_openmetrics_value(upper)}"}} {cumulative}'
+            )
+        lines.append(f'{om}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{om}_sum {_openmetrics_value(hist.total)}")
+        lines.append(f"{om}_count {hist.count}")
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 

@@ -64,18 +64,6 @@ from repro.obs.registry import MetricsRegistry
 #: Telemetry record schema marker.
 RECORD_VERSION = 1
 
-#: Bucket bounds (seconds) for the live per-scenario duration histogram.
-SCENARIO_SECONDS_BUCKETS: tuple[float, ...] = (
-    0.05, 0.1, 0.25, 0.5, 1, 2, 5, 10, 30, 60, 120, 300,
-)
-
-#: Bucket bounds (model time units) for per-group restoration latency —
-#: spans the local-detour floor (~detection delay) up to slow global
-#: detours behind long re-convergence waits.
-GROUP_RESTORE_LATENCY_BUCKETS: tuple[float, ...] = (
-    25, 50, 75, 100, 150, 200, 300, 500, 1000, 2000,
-)
-
 
 class TelemetryHub:
     """Parent-side aggregator of live telemetry records.
@@ -213,8 +201,10 @@ class TelemetryHub:
                 counters("telemetry.scenarios.cached").inc()
             duration = record.get("duration_s")
             if duration is not None:
-                self.metrics.histogram(
-                    "telemetry.scenario_seconds", SCENARIO_SECONDS_BUCKETS
+                # Latency-shaped: log-bucketed so both a 50ms cached hit
+                # and a 5-minute straggler resolve to ~1% quantiles.
+                self.metrics.hdr_histogram(
+                    "telemetry.scenario_seconds"
                 ).observe(duration)
             if index is not None:
                 self.in_flight.pop(index, None)
@@ -254,9 +244,8 @@ class TelemetryHub:
                 )
             latency = record.get("latency_s")
             if latency is not None:
-                self.metrics.histogram(
-                    "telemetry.group_restore_latency_s",
-                    GROUP_RESTORE_LATENCY_BUCKETS,
+                self.metrics.hdr_histogram(
+                    "telemetry.group_restore_latency_s"
                 ).observe(latency)
 
     # ------------------------------------------------------------------

@@ -37,6 +37,8 @@ METRIC_NAMES: frozenset[str] = frozenset({
     "controller.members_restored",
     "controller.workload_events",
     "demo.widgets",
+    "dist.groups",
+    "dist.rows",
     "exec.checkpoint.hits",
     "exec.checkpoint.writes",
     "exec.jobs",
@@ -113,6 +115,7 @@ SPAN_NAMES: frozenset[str] = frozenset({
     "fault.injected_hang",
     "inner",
     "outer",
+    "prof.run",
     "protection.switchover",
     "recovery.repair_tree",
     "scenario.build.smrp",
@@ -149,6 +152,7 @@ TRACE_PHASES: frozenset[str] = frozenset({
 #: sweep values, fault-injection counters).  A dynamic emission matches
 #: when its literal prefix is listed here.
 DYNAMIC_PREFIXES: tuple[str, ...] = (
+    "dist.",          # dist.{latency,mean_latency}.<engine> hdr histograms
     "exec.",          # exec.{timeouts,crashes,scenario_errors} fault counters
     "sim.msg.bytes.",  # per message kind
     "sim.msg.sent.",   # per message kind

@@ -1,0 +1,154 @@
+"""Self-time profiling: flat profiles and flamegraphs from span trees.
+
+The span profiler (:mod:`repro.obs.spans`) records *inclusive* time: a
+``scenario.measure`` span contains every ``smrp.join`` nested under it.
+Attributing wall clock therefore needs the **exclusive** (self) view —
+``self = total − sum(children.total)`` per node — which this module
+derives from a report's span tree:
+
+- :func:`flat_profile` — one row per span name (summed across depths),
+  sorted by self time: "where did the wall clock actually go?";
+- :func:`collapse_stacks` — Brendan Gregg collapsed-stack lines
+  (``a;b;c <µs>``) consumable by ``flamegraph.pl``, speedscope, or any
+  flamegraph viewer (``repro obs flame``);
+- :func:`render_profile` — the human-readable table behind the CLI's
+  ``--profile`` flag, with wall-clock coverage when the caller measured
+  the run (the ``prof.run`` span wraps the whole command body, so the
+  tree's self-time total matches the measured wall clock).
+
+All functions take the *report dict* form of the tree
+(:meth:`SpanProfiler.report` / the ``"spans"`` section of a run report)
+so they work on live runs and loaded ``--obs-out`` files alike.
+Exclusive times are recomputed from the tree shape rather than read
+from the stored ``self_s``, so hand-built or merged trees need not
+carry it.
+
+One caveat for parallel runs: worker span trees merge at the *root* of
+the parent's tree (:meth:`SpanProfiler.merge_report`), beside — not
+inside — the parent's ``prof.run`` span.  Their self time is worker
+wall clock, which overlaps the parent's, so a pooled run's self-time
+total legitimately exceeds the parent's elapsed time.  Profile serial
+runs when attributing single-machine wall clock.
+"""
+
+from __future__ import annotations
+
+#: Collapsed-stack weights are integers by convention; microseconds
+#: keep sub-millisecond spans visible without floats.
+COLLAPSE_SCALE = 1_000_000
+
+
+def _children(node: dict) -> list:
+    return node.get("children", []) if node else []
+
+
+def _self_s(node: dict) -> float:
+    """Exclusive seconds of one tree node (total minus children)."""
+    return node.get("total_s", 0.0) - sum(
+        child.get("total_s", 0.0) for child in _children(node)
+    )
+
+
+def flat_profile(spans: dict) -> list[dict]:
+    """One row per span name: calls, inclusive and exclusive seconds.
+
+    A name appearing at several depths (recursion, or the same span
+    reached from different parents) is summed into one row.  Rows are
+    sorted by exclusive time, hottest first; ties break on name so the
+    order is deterministic.
+    """
+    rows: dict[str, dict] = {}
+
+    def visit(node: dict) -> None:
+        for child in _children(node):
+            row = rows.get(child["name"])
+            if row is None:
+                row = rows[child["name"]] = {
+                    "name": child["name"],
+                    "calls": 0,
+                    "total_s": 0.0,
+                    "self_s": 0.0,
+                }
+            row["calls"] += child.get("calls", 0)
+            row["total_s"] += child.get("total_s", 0.0)
+            row["self_s"] += _self_s(child)
+            visit(child)
+
+    visit(spans or {})
+    return sorted(rows.values(), key=lambda row: (-row["self_s"], row["name"]))
+
+
+def self_time_total(spans: dict) -> float:
+    """Sum of exclusive time over the whole tree.
+
+    Self times telescope: every node's children subtract from it and add
+    themselves back, so the tree-wide sum equals the sum of the
+    top-level spans' inclusive totals.
+    """
+    return sum(child.get("total_s", 0.0) for child in _children(spans or {}))
+
+
+def collapse_stacks(spans: dict, scale: int = COLLAPSE_SCALE) -> list[str]:
+    """Collapsed-stack lines (``outer;inner <weight>``) of a span tree.
+
+    ``weight`` is the frame's *exclusive* time in ``1/scale`` seconds,
+    rounded to an integer; frames that round to zero are dropped (they
+    would render as nothing anyway).  Stacks come out in depth-first
+    name order — the same order the tree serializes in — so two
+    identical trees always collapse to identical lines.
+    """
+    lines: list[str] = []
+
+    def visit(node: dict, prefix: str) -> None:
+        for child in _children(node):
+            stack = f"{prefix};{child['name']}" if prefix else child["name"]
+            weight = int(round(max(0.0, _self_s(child)) * scale))
+            if weight > 0:
+                lines.append(f"{stack} {weight}")
+            visit(child, stack)
+
+    visit(spans or {}, "")
+    return lines
+
+
+def render_collapsed(spans: dict, scale: int = COLLAPSE_SCALE) -> str:
+    """The collapsed-stack profile as one writable text blob."""
+    lines = collapse_stacks(spans, scale=scale)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_profile(
+    spans: dict, wall_s: float | None = None, top: int = 20
+) -> str:
+    """Human-readable flat profile, hottest self-time first.
+
+    With ``wall_s`` (the caller's measured wall clock) the header states
+    how much of it the spans cover — the unattributed remainder is time
+    outside any span (imports, argument parsing, rendering).
+    """
+    rows = flat_profile(spans)
+    covered = self_time_total(spans)
+    lines = ["self-time profile (exclusive = total - children):"]
+    if wall_s is not None and wall_s > 0:
+        lines.append(
+            f"  wall {wall_s:.3f}s, spans cover {covered:.3f}s "
+            f"({covered / wall_s:.1%})"
+        )
+    else:
+        lines.append(f"  spans cover {covered:.3f}s")
+    if not rows:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+    lines.append(
+        f"  {'self':>10}  {'%':>6}  {'calls':>8}  {'total':>10}  name"
+    )
+    for row in rows[:top]:
+        share = row["self_s"] / covered if covered > 0 else 0.0
+        lines.append(
+            f"  {row['self_s']:>9.4f}s  {share:>6.1%}  {row['calls']:>8}  "
+            f"{row['total_s']:>9.4f}s  {row['name']}"
+        )
+    if len(rows) > top:
+        rest = sum(row["self_s"] for row in rows[top:])
+        lines.append(f"  ... {len(rows) - top} more spans ({rest:.4f}s self)")
+    return "\n".join(lines)

@@ -1,4 +1,4 @@
-"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+"""The metrics registry: counters, gauges, and histograms.
 
 Everything here is dependency-free and built for two regimes:
 
@@ -11,11 +11,20 @@ Everything here is dependency-free and built for two regimes:
 
 Names are dotted strings (``"sim.engine.events_fired"``); per-message-type
 series append the type as a final segment (``"sim.msg.sent.JoinReq"``).
+
+Two histogram families coexist on purpose:
+
+- :class:`Histogram` — fixed buckets, for small-integer quantities whose
+  interesting edges are known up front (hop counts, §4.3/§4.4);
+- :class:`HdrHistogram` — log-spaced buckets with bounded *relative*
+  error, for latency-shaped metrics spanning orders of magnitude where
+  tail quantiles (p99, p99.9) are the signal.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
+from math import ceil, floor, log
 from typing import Sequence
 
 from repro.errors import ConfigurationError
@@ -23,6 +32,12 @@ from repro.errors import ConfigurationError
 #: Default histogram bucket upper bounds, tuned for hop counts and other
 #: small integer quantities the evaluation reports (§4.3/§4.4).
 DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+
+#: Default geometric bucket growth for :class:`HdrHistogram`.  Bucket
+#: ``i`` spans ``[growth**i, growth**(i+1))`` and reports its geometric
+#: midpoint, so the worst-case relative error is ``growth**0.5 - 1`` —
+#: just under 1% at 1.02 (~116 buckets per decade).
+DEFAULT_HDR_GROWTH: float = 1.02
 
 
 class Counter:
@@ -100,6 +115,174 @@ class Histogram:
         return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3f})"
 
 
+class HdrHistogram:
+    """Log-bucketed histogram with bounded relative error (HDR-style).
+
+    Positive observations land in geometric buckets
+    ``[growth**i, growth**(i+1))`` stored sparsely (``index -> count``);
+    non-positive ones collapse into a dedicated zero bucket.  Exact
+    ``min``/``max`` are kept alongside, so ``quantile(0)`` and
+    ``quantile(1)`` are exact and interior quantiles are off by at most
+    a factor of ``growth**0.5`` (the bucket midpoint).
+
+    The derived ``total``/``mean`` are computed from the bucket counts
+    in ascending index order — never from a running float sum — so two
+    histograms holding the same observations are *identical* regardless
+    of observation or merge order.  That is what lets sharded runs merge
+    worker histograms and still render byte-identical tables.
+
+    Examples
+    --------
+    >>> h = HdrHistogram("demo.latency")
+    >>> for v in (10, 20, 30, 40, 1000):
+    ...     h.observe(v)
+    >>> h.count
+    5
+    >>> h.quantile(1.0)
+    1000
+    >>> abs(h.quantile(0.5) - 30) / 30 < 0.01
+    True
+    """
+
+    __slots__ = (
+        "name", "growth", "counts", "zero_count", "count", "min", "max",
+        "_log_growth",
+    )
+
+    def __init__(self, name: str, growth: float = DEFAULT_HDR_GROWTH) -> None:
+        if not growth > 1.0:
+            raise ConfigurationError(
+                f"hdr histogram {name!r} needs growth > 1, got {growth!r}"
+            )
+        self.name = name
+        self.growth = float(growth)
+        self._log_growth = log(self.growth)
+        self.counts: dict[int, int] = {}
+        self.zero_count = 0
+        self.count = 0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def bucket_index(self, value: float) -> int:
+        """Index ``i`` with ``growth**i <= value < growth**(i+1)``."""
+        index = floor(log(value) / self._log_growth)
+        # Snap float imprecision at bucket boundaries: log() can land a
+        # value one bucket off its own edge, which would make indexing
+        # (and therefore merged snapshots) platform-dependent.
+        if value < self.growth ** index:
+            index -= 1
+        elif value >= self.growth ** (index + 1):
+            index += 1
+        return index
+
+    def bucket_value(self, index: int) -> float:
+        """The bucket's reported representative (geometric midpoint)."""
+        return self.growth ** (index + 0.5)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zero_count += 1
+            return
+        index = self.bucket_index(value)
+        self.counts[index] = self.counts.get(index, 0) + 1
+
+    @property
+    def total(self) -> float:
+        """Approximate sum, derived from bucket counts (order-free)."""
+        acc = 0.0
+        for index in sorted(self.counts):
+            acc += self.counts[index] * self.bucket_value(index)
+        return acc
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float | None:
+        """The value at rank ``ceil(q * count)``, or ``None`` when empty.
+
+        The walk finds the bucket holding the target rank and reports
+        its midpoint, clamped into the exact observed ``[min, max]`` —
+        clamping can only move the estimate *within* the found bucket,
+        so the relative-error bound survives it.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile q must be in [0, 1], got {q!r}")
+        if not self.count:
+            return None
+        target = max(1, ceil(q * self.count))
+        # The first and last ranks are the exact extrema — return them
+        # directly so quantile(0) == min and quantile(1) == max.
+        if target >= self.count:
+            return self.max
+        if target == 1:
+            return self.min
+        seen = self.zero_count
+        if seen >= target:
+            value = 0.0
+        else:
+            value = self.max
+            for index in sorted(self.counts):
+                seen += self.counts[index]
+                if seen >= target:
+                    value = self.bucket_value(index)
+                    break
+        return min(max(value, self.min), self.max)
+
+    # -- serialization and merging --------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable state; :meth:`from_dict` round-trips it."""
+        return {
+            "growth": self.growth,
+            "counts": [[i, self.counts[i]] for i in sorted(self.counts)],
+            "zero_count": self.zero_count,
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict) -> "HdrHistogram":
+        hist = cls(name, growth=payload["growth"])
+        hist.merge_payload(payload)
+        return hist
+
+    def merge_payload(self, payload: dict) -> None:
+        """Fold a :meth:`to_dict` produced elsewhere into this one."""
+        if float(payload["growth"]) != self.growth:
+            raise ConfigurationError(
+                f"hdr histogram {self.name!r}: cannot merge growth "
+                f"{payload['growth']!r} into {self.growth!r}"
+            )
+        for index, count in payload.get("counts", []):
+            index = int(index)
+            self.counts[index] = self.counts.get(index, 0) + count
+        self.zero_count += payload.get("zero_count", 0)
+        self.count += payload.get("count", 0)
+        for attr in ("min", "max"):
+            incoming = payload.get(attr)
+            if incoming is None:
+                continue
+            current = getattr(self, attr)
+            if (
+                current is None
+                or (attr == "min" and incoming < current)
+                or (attr == "max" and incoming > current)
+            ):
+                setattr(self, attr, incoming)
+
+    def merge(self, other: "HdrHistogram") -> None:
+        self.merge_payload(other.to_dict())
+
+    def __repr__(self) -> str:
+        return f"HdrHistogram({self.name}, n={self.count}, mean={self.mean:.3f})"
+
+
 class _NullCounter:
     __slots__ = ()
 
@@ -143,6 +326,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._hdr_histograms: dict[str, HdrHistogram] = {}
 
     # ------------------------------------------------------------------
     # Registration (idempotent: same name returns the same instrument)
@@ -152,7 +336,9 @@ class MetricsRegistry:
             return _NULL_COUNTER  # type: ignore[return-value]
         instrument = self._counters.get(name)
         if instrument is None:
-            self._check_free(name, self._gauges, self._histograms)
+            self._check_free(
+                name, self._gauges, self._histograms, self._hdr_histograms
+            )
             instrument = self._counters[name] = Counter(name)
         return instrument
 
@@ -161,7 +347,9 @@ class MetricsRegistry:
             return _NULL_GAUGE  # type: ignore[return-value]
         instrument = self._gauges.get(name)
         if instrument is None:
-            self._check_free(name, self._counters, self._histograms)
+            self._check_free(
+                name, self._counters, self._histograms, self._hdr_histograms
+            )
             instrument = self._gauges[name] = Gauge(name)
         return instrument
 
@@ -172,11 +360,30 @@ class MetricsRegistry:
             return _NULL_HISTOGRAM  # type: ignore[return-value]
         instrument = self._histograms.get(name)
         if instrument is None:
-            self._check_free(name, self._counters, self._gauges)
+            self._check_free(
+                name, self._counters, self._gauges, self._hdr_histograms
+            )
             instrument = self._histograms[name] = Histogram(name, bounds)
         elif instrument.bounds != tuple(float(b) for b in bounds):
             raise ConfigurationError(
                 f"histogram {name!r} re-registered with different bounds"
+            )
+        return instrument
+
+    def hdr_histogram(
+        self, name: str, growth: float = DEFAULT_HDR_GROWTH
+    ) -> HdrHistogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM  # type: ignore[return-value]
+        instrument = self._hdr_histograms.get(name)
+        if instrument is None:
+            self._check_free(
+                name, self._counters, self._gauges, self._histograms
+            )
+            instrument = self._hdr_histograms[name] = HdrHistogram(name, growth)
+        elif instrument.growth != float(growth):
+            raise ConfigurationError(
+                f"hdr histogram {name!r} re-registered with different growth"
             )
         return instrument
 
@@ -201,7 +408,11 @@ class MetricsRegistry:
           is the caller's responsibility), ``high_water`` takes the max;
         - **histograms** — bucket counts, totals, and min/max are
           combined; bounds must match (:class:`ConfigurationError`
-          otherwise, same rule as re-registration).
+          otherwise, same rule as re-registration);
+        - **hdr histograms** — sparse bucket counts, zero counts, and
+          min/max are combined; growth factors must match.  Because
+          their sums are derived from bucket counts (never a running
+          float total), merge order cannot perturb any rendered value.
 
         A disabled registry ignores the merge, mirroring every other
         write path.
@@ -232,6 +443,10 @@ class MetricsRegistry:
                     or (attr == "max" and incoming > current)
                 ):
                     setattr(hist, attr, incoming)
+        for name, payload in snapshot.get("hdr_histograms", {}).items():
+            self.hdr_histogram(name, growth=payload["growth"]).merge_payload(
+                payload
+            )
 
     # ------------------------------------------------------------------
     # Reading back
@@ -262,5 +477,8 @@ class MetricsRegistry:
                     "max": h.max,
                 }
                 for n, h in sorted(self._histograms.items())
+            },
+            "hdr_histograms": {
+                n: h.to_dict() for n, h in sorted(self._hdr_histograms.items())
             },
         }

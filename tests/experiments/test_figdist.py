@@ -1,0 +1,95 @@
+"""Tests for the restoration-latency distribution figure family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.exec.executor import ParallelExecutor, SerialExecutor
+from repro.experiments.figdist import (
+    DistributionResult,
+    build_engine_spec,
+    run_distribution_figure,
+)
+from repro.obs import Observability
+
+#: Small but non-degenerate: on this seed both engines restore members,
+#: so the latency histograms are populated.
+QUICK = dict(engines=("smrp", "spf"), groups=30, n=50, sources=4,
+             shard_size=8)
+
+
+class TestBuildEngineSpec:
+    def test_engines_differ_only_in_protocol(self):
+        a = build_engine_spec("smrp", 100)
+        b = build_engine_spec("spf", 100)
+        assert a.protocol == "smrp" and b.protocol == "spf"
+        assert a.content_key() != b.content_key()
+        fields = {
+            name: getattr(a, name)
+            for name in ("n", "alpha", "groups", "sources", "shard_size",
+                         "failure", "workload")
+        }
+        assert fields == {
+            name: getattr(b, name) for name in fields
+        }
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_engine_spec("teleport", 100)
+
+
+class TestRunDistributionFigure:
+    def test_quick_run_shape(self):
+        result = run_distribution_figure(**QUICK)
+        assert isinstance(result, DistributionResult)
+        assert [d.engine for d in result.engines] == ["smrp", "spf"]
+        for dist in result.engines:
+            assert dist.members > 0
+            assert dist.affected > 0
+            assert dist.worst.count > 0
+            # only restored groups have a latency
+            assert dist.worst.count <= dist.affected
+            assert dist.worst.count == dist.mean.count
+            # slowest member dominates the group mean
+            assert dist.worst.quantile(1.0) >= dist.mean.quantile(1.0)
+
+    def test_no_engines_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_distribution_figure(engines=(), groups=10)
+
+    def test_render_contains_quantile_table(self):
+        text = run_distribution_figure(**QUICK).render()
+        assert "== restoration-latency distribution ==" in text
+        for column in ("p50", "p90", "p99", "p99.9", "max"):
+            assert column in text
+        assert "smrp" in text and "spf" in text
+
+    def test_parallel_output_byte_identical_to_serial(self):
+        serial = run_distribution_figure(**QUICK).render()
+        with ParallelExecutor(jobs=2) as executor:
+            pooled = run_distribution_figure(
+                executor=executor, **QUICK
+            ).render()
+        assert pooled == serial
+
+    def test_passed_executor_stays_open(self):
+        executor = SerialExecutor()
+        run_distribution_figure(executor=executor, **QUICK)
+        # a second use must not hit a closed executor
+        run_distribution_figure(executor=executor, **QUICK)
+        executor.close()
+
+    def test_obs_mirrors_histograms_and_counters(self):
+        obs = Observability(enabled=True)
+        result = run_distribution_figure(obs=obs, **QUICK)
+        metrics = obs.run_report()["metrics"]
+        assert metrics["counters"]["dist.groups"] == 60
+        assert metrics["counters"]["dist.rows"] == sum(
+            d.affected for d in result.engines
+        )
+        hdr = metrics["hdr_histograms"]
+        for dist in result.engines:
+            mirrored = hdr[f"dist.latency.{dist.engine}"]
+            assert mirrored["count"] == dist.worst.count
+            assert mirrored == dist.worst.to_dict()

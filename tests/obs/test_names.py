@@ -19,7 +19,9 @@ TESTS = Path(__file__).resolve().parents[1]
 
 #: ``obs.counter("...")`` / bare ``gauge("...")`` (live.py binds the
 #: method to a local) / f-string dynamic names.
-_METRIC = re.compile(r'\b(?:counter|gauge|histogram)\(\s*(f?)"([^"]*)"')
+_METRIC = re.compile(
+    r'\b(?:counter|gauge|hdr_histogram|histogram)\(\s*(f?)"([^"]*)"'
+)
 _SPAN = re.compile(r'\.span\(\s*(f?)"([^"]*)"')
 #: Episode span-tree emission sites (repro.obs.tracing handles).
 _PHASE = re.compile(

@@ -1,0 +1,168 @@
+"""Tests for the self-time profiler (:mod:`repro.obs.prof`)."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import (
+    Observability,
+    collapse_stacks,
+    flat_profile,
+    render_collapsed,
+    render_profile,
+    self_time_total,
+)
+
+#: A hand-built span tree: root wall 1.0s, of which outer takes 0.9s
+#: (0.3s exclusive), its two inner calls 0.6s, and a sibling 0.1s.
+TREE = {
+    "name": "<root>",
+    "calls": 0,
+    "total_s": 0.0,
+    "children": [
+        {
+            "name": "outer",
+            "calls": 1,
+            "total_s": 0.9,
+            "children": [
+                {"name": "inner", "calls": 2, "total_s": 0.6, "children": []},
+            ],
+        },
+        {"name": "sidecar", "calls": 1, "total_s": 0.1, "children": []},
+    ],
+}
+
+
+class TestFlatProfile:
+    def test_exclusive_is_total_minus_children(self):
+        rows = {row["name"]: row for row in flat_profile(TREE)}
+        assert rows["outer"]["self_s"] == rows["outer"]["total_s"] - 0.6
+        assert rows["inner"]["self_s"] == 0.6
+        assert rows["sidecar"]["self_s"] == 0.1
+
+    def test_sorted_by_self_time_desc(self):
+        names = [row["name"] for row in flat_profile(TREE)]
+        assert names == ["inner", "outer", "sidecar"]
+
+    def test_same_name_at_depths_sums_into_one_row(self):
+        tree = {
+            "name": "<root>",
+            "total_s": 0.0,
+            "children": [
+                {
+                    "name": "a",
+                    "calls": 1,
+                    "total_s": 1.0,
+                    "children": [
+                        {"name": "a", "calls": 1, "total_s": 0.4,
+                         "children": []},
+                    ],
+                },
+            ],
+        }
+        rows = flat_profile(tree)
+        assert len(rows) == 1
+        assert rows[0]["calls"] == 2
+        assert rows[0]["total_s"] == 1.4
+        # 0.6 exclusive at the top + 0.4 at the bottom
+        assert abs(rows[0]["self_s"] - 1.0) < 1e-12
+
+    def test_empty_tree(self):
+        assert flat_profile({}) == []
+        assert flat_profile({"children": []}) == []
+
+
+class TestSelfTimeTotal:
+    def test_telescopes_to_top_level_totals(self):
+        assert abs(self_time_total(TREE) - 1.0) < 1e-12
+
+    def test_matches_flat_profile_sum(self):
+        rows = flat_profile(TREE)
+        assert abs(
+            self_time_total(TREE) - sum(row["self_s"] for row in rows)
+        ) < 1e-12
+
+
+class TestCollapseStacks:
+    def test_paths_and_weights(self):
+        lines = collapse_stacks(TREE)
+        assert lines == [
+            "outer 300000",
+            "outer;inner 600000",
+            "sidecar 100000",
+        ]
+
+    def test_zero_weight_frames_dropped(self):
+        tree = {
+            "name": "<root>",
+            "total_s": 0.0,
+            "children": [
+                {
+                    "name": "shell",
+                    "calls": 1,
+                    "total_s": 0.5,
+                    "children": [
+                        {"name": "work", "calls": 1, "total_s": 0.5,
+                         "children": []},
+                    ],
+                },
+            ],
+        }
+        assert collapse_stacks(tree) == ["shell;work 500000"]
+
+    def test_weights_sum_to_self_time_total(self):
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in collapse_stacks(TREE))
+        assert abs(total / 1_000_000 - self_time_total(TREE)) < 1e-6
+
+    def test_render_collapsed_trailing_newline(self):
+        assert render_collapsed(TREE).endswith("\n")
+        assert render_collapsed({}) == ""
+
+
+class TestRenderProfile:
+    def test_includes_wall_coverage(self):
+        text = render_profile(TREE, wall_s=1.25)
+        assert "wall 1.250s" in text
+        assert "spans cover 1.000s" in text
+        assert "80.0%" in text
+
+    def test_without_wall(self):
+        text = render_profile(TREE)
+        assert "spans cover 1.000s" in text
+        assert "wall" not in text
+
+    def test_empty(self):
+        assert "(no spans recorded)" in render_profile({})
+
+    def test_top_truncation(self):
+        tree = {
+            "name": "<root>",
+            "total_s": 0.0,
+            "children": [
+                {"name": f"s{i:02}", "calls": 1, "total_s": 0.01,
+                 "children": []}
+                for i in range(25)
+            ],
+        }
+        text = render_profile(tree, top=20)
+        assert "... 5 more spans" in text
+
+
+class TestLiveTreeCoverage:
+    def test_self_time_matches_wall_on_serial_run(self):
+        """A run whose spans all nest under one root attributes (nearly)
+        the whole measured wall clock — the `--profile` contract."""
+        obs = Observability(enabled=True)
+        start = time.perf_counter()
+        with obs.span("prof.run"):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    time.sleep(0.02)
+                time.sleep(0.01)
+        wall = time.perf_counter() - start
+        spans = obs.spans.report()
+        covered = self_time_total(spans)
+        assert covered <= wall + 1e-9
+        assert covered >= wall * 0.9
+        rows = {row["name"]: row for row in flat_profile(spans)}
+        assert rows["inner"]["self_s"] >= 0.015

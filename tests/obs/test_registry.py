@@ -90,14 +90,21 @@ class TestDisabled:
         assert reg.counter("a") is _NULL_COUNTER
         assert reg.gauge("b") is _NULL_GAUGE
         assert reg.histogram("c") is _NULL_HISTOGRAM
+        assert reg.hdr_histogram("d") is _NULL_HISTOGRAM
 
     def test_noop_instruments_record_nothing(self):
         reg = MetricsRegistry(enabled=False)
         reg.counter("a").inc(10)
         reg.gauge("b").set(5)
         reg.histogram("c").observe(1)
+        reg.hdr_histogram("d").observe(2)
         snap = reg.snapshot()
-        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert snap == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "hdr_histograms": {},
+        }
 
 
 class TestSnapshot:

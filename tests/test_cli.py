@@ -547,3 +547,168 @@ class TestController:
     def test_info_documents_the_controller(self, capsys):
         assert main(["info"]) == 0
         assert "repro.controller" in capsys.readouterr().out
+
+
+class TestDistribution:
+    ARGS = [
+        "distribution", "--engines", "smrp", "spf", "--groups", "30",
+        "--shard-size", "8",
+    ]
+
+    def test_prints_quantile_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "== restoration-latency distribution ==" in out
+        assert "p99.9" in out
+        assert "smrp" in out and "spf" in out
+
+    def test_parallel_output_byte_identical(self, capsys):
+        assert main(self.ARGS) == 0
+        serial = capsys.readouterr().out
+        assert main([*self.ARGS, "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_resumed_output_byte_identical(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(self.ARGS) == 0
+        serial = capsys.readouterr().out
+        assert main([*self.ARGS, "--checkpoint-dir", ckpt]) == 0
+        assert capsys.readouterr().out == serial
+        assert main([*self.ARGS, "--checkpoint-dir", ckpt, "--resume"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_bad_engine_rejected_by_parser(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["distribution", "--engines", "warp"])
+
+    def test_bad_groups_is_exit_2(self, capsys):
+        assert main(["distribution", "--groups", "0"]) == 2
+        assert "repro: error" in capsys.readouterr().err
+
+    def test_obs_report_carries_hdr_quantiles(self, capsys, tmp_path):
+        path = str(tmp_path / "dist.json")
+        assert main([*self.ARGS, "--obs-out", path]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", path]) == 0
+        out = capsys.readouterr().out
+        assert "dist.latency.smrp" in out
+        assert "p99=" in out
+
+
+class TestProfileFlag:
+    def test_profile_prints_self_time_table_to_stderr(self, capsys):
+        args = [
+            "distribution", "--engines", "smrp", "--groups", "30",
+            "--shard-size", "8",
+        ]
+        assert main(args) == 0
+        plain = capsys.readouterr()
+        assert main([*args, "--profile"]) == 0
+        profiled = capsys.readouterr()
+        # observe-only: stdout stays byte-identical
+        assert profiled.out == plain.out
+        assert "self-time profile" in profiled.err
+        assert "prof.run" in profiled.err
+        assert "wall" in profiled.err
+
+    def test_profile_records_wall_in_report_meta(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "run.json")
+        assert main([
+            "distribution", "--engines", "smrp", "--groups", "30",
+            "--shard-size", "8", "--profile", "--obs-out", path,
+        ]) == 0
+        report = json.load(open(path, encoding="utf-8"))
+        assert report["meta"]["profile_wall_s"] > 0
+        assert report["meta"]["command"] == "distribution"
+
+
+class TestObsFlame:
+    def _profiled_report(self, tmp_path) -> str:
+        path = str(tmp_path / "run.json")
+        assert main([
+            "distribution", "--engines", "smrp", "--groups", "30",
+            "--shard-size", "8", "--profile", "--obs-out", path,
+        ]) == 0
+        return path
+
+    def test_collapsed_stacks_to_stdout(self, capsys, tmp_path):
+        path = self._profiled_report(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "flame", path]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.splitlines()
+        assert lines, "expected collapsed-stack lines"
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0
+            assert stack.startswith("prof.run")
+        assert "total self time" in captured.err
+        assert "wall-clock coverage" in captured.err
+
+    def test_self_time_within_one_percent_of_wall(self, capsys, tmp_path):
+        """The acceptance contract: on a serial profiled run the flame's
+        self-time total matches the measured wall clock within 1%."""
+        import json
+
+        path = self._profiled_report(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "flame", path]) == 0
+        out = capsys.readouterr().out
+        covered = sum(
+            int(line.rsplit(" ", 1)[1]) for line in out.splitlines()
+        ) / 1_000_000
+        wall = json.load(open(path, encoding="utf-8"))["meta"]["profile_wall_s"]
+        assert abs(covered - wall) / wall < 0.01
+
+    def test_out_file(self, capsys, tmp_path):
+        path = self._profiled_report(tmp_path)
+        out_path = str(tmp_path / "flame.txt")
+        capsys.readouterr()
+        assert main(["obs", "flame", path, "--out", out_path]) == 0
+        assert "written to" in capsys.readouterr().out
+        text = open(out_path, encoding="utf-8").read()
+        assert text.startswith("prof.run")
+
+    def test_rejects_non_report(self, capsys, tmp_path):
+        junk = tmp_path / "junk.json"
+        junk.write_text("[]")
+        assert main(["obs", "flame", str(junk)]) == 1
+        assert "repro: error" in capsys.readouterr().err
+
+
+class TestObsDiffQuantiles:
+    def _dist_report(self, tmp_path, name: str) -> str:
+        path = str(tmp_path / name)
+        assert main([
+            "distribution", "--engines", "smrp", "--groups", "30",
+            "--shard-size", "8", "--obs-out", path,
+        ]) == 0
+        return path
+
+    def test_quantile_regression_trips_fail_over(self, capsys, tmp_path):
+        import json
+
+        a = self._dist_report(tmp_path, "a.json")
+        report = json.load(open(a, encoding="utf-8"))
+        # Shift every latency histogram 8 buckets up (~17% regression).
+        for payload in report["metrics"]["hdr_histograms"].values():
+            payload["counts"] = [[i + 8, c] for i, c in payload["counts"]]
+            payload["min"] *= 1.2
+            payload["max"] *= 1.2
+        b = str(tmp_path / "b.json")
+        json.dump(report, open(b, "w", encoding="utf-8"))
+        capsys.readouterr()
+        assert main(["obs", "diff", a, b, "--fail-over", "1.1"]) == 1
+        captured = capsys.readouterr()
+        assert "latency-quantile" in captured.out
+        assert "latency-quantile ratio exceeds" in captured.err
+
+    def test_identical_reports_pass_gate(self, capsys, tmp_path):
+        a = self._dist_report(tmp_path, "a.json")
+        capsys.readouterr()
+        assert main(["obs", "diff", a, a, "--fail-over", "1.05"]) == 0
+        assert "latency-quantile ratios" in capsys.readouterr().out
